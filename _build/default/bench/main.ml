@@ -1,0 +1,236 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Voigt/Salem/Lehner, ICDE'08 workshops) and runs a Bechamel
+   micro-benchmark per artifact.
+
+   Usage:
+     main.exe [table1] [table2] [figure3] [figure4] [ablation] [micro]
+              [--rows N] [--value-range N] [--scale F] [--seed N] [--quick]
+   With no experiment named, everything runs.  --quick shrinks the instance
+   for a fast smoke run; --rows 2500000 --value-range 500000 approaches the
+   paper's physical scale. *)
+
+module Setup = Cddpd_experiments.Setup
+module Session = Cddpd_experiments.Session
+module Table1 = Cddpd_experiments.Table1
+module Table2 = Cddpd_experiments.Table2
+module Figure3 = Cddpd_experiments.Figure3
+module Figure4 = Cddpd_experiments.Figure4
+module Ablation = Cddpd_experiments.Ablation
+module Updates = Cddpd_experiments.Updates
+module Views = Cddpd_experiments.Views
+module Space_bound = Cddpd_experiments.Space_bound
+module Solution = Cddpd_core.Solution
+module Optimizer = Cddpd_core.Optimizer
+module Simulator = Cddpd_core.Simulator
+module Mix = Cddpd_workload.Mix
+module Rng = Cddpd_util.Rng
+
+type options = {
+  experiments : string list;
+  config : Setup.config;
+}
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [table1|table2|figure3|figure4|ablation|micro]... \
+     [--rows N] [--value-range N] [--scale F] [--seed N] [--quick]";
+  exit 2
+
+let parse_args () =
+  let experiments = ref [] in
+  let config = ref Setup.default_config in
+  let rec go args =
+    match args with
+    | [] -> ()
+    | "--rows" :: v :: rest ->
+        config := { !config with Setup.rows = int_of_string v };
+        go rest
+    | "--value-range" :: v :: rest ->
+        config := { !config with Setup.value_range = int_of_string v };
+        go rest
+    | "--scale" :: v :: rest ->
+        config := { !config with Setup.scale = float_of_string v };
+        go rest
+    | "--seed" :: v :: rest ->
+        config := { !config with Setup.seed = int_of_string v };
+        go rest
+    | "--quick" :: rest ->
+        config :=
+          { !config with Setup.rows = 20_000; value_range = 4_000; scale = 0.2 };
+        go rest
+    | name :: rest ->
+        (match name with
+        | "table1" | "table2" | "figure3" | "figure4" | "ablation" | "updates" | "views" | "space" | "micro" ->
+            experiments := name :: !experiments
+        | _ -> usage ());
+        go rest
+  in
+  (try go (List.tl (Array.to_list Sys.argv)) with
+  | Failure _ | Invalid_argument _ -> usage ());
+  let experiments =
+    match List.rev !experiments with
+    | [] -> [ "table1"; "table2"; "figure3"; "figure4"; "ablation"; "updates"; "views"; "space"; "micro" ]
+    | list -> list
+  in
+  { experiments; config = !config }
+
+let banner title =
+  Printf.printf "\n==== %s ====\n\n%!" title
+
+(* -- Bechamel micro-benchmarks: one Test.make per table/figure ----------- *)
+
+let micro (session : Session.t) =
+  let open Bechamel in
+  let problem = session.Session.problem_w1 in
+  let solve method_name k () =
+    match Optimizer.solve problem ~method_name ?k () with
+    | Ok _ -> ()
+    | Error _ -> failwith "micro: solver failed"
+  in
+  (* A one-segment replay instance for the Figure 3 micro-bench: replaying
+     the full workload per sample would take minutes. *)
+  let segment = session.Session.steps_w1.(0) in
+  let schedule =
+    match Optimizer.solve problem ~method_name:Solution.Kaware ~k:2 () with
+    | Ok s -> Solution.schedule problem s
+    | Error _ -> failwith "micro: kaware failed"
+  in
+  let replay_segment () =
+    ignore
+      (Simulator.run session.Session.db ~steps:[| segment |]
+         ~schedule:[| schedule.(0) |])
+  in
+  let sample_mix =
+    let rng = Rng.create 99 in
+    fun () ->
+      for _ = 1 to 100 do
+        ignore (Mix.sample_query Mix.mix_a ~table:"t" ~value_range:1000 rng)
+      done
+  in
+  let tests =
+    Test.make_grouped ~name:"cddpd"
+      [
+        Test.make ~name:"table1/mix-sample-100" (Staged.stage sample_mix);
+        Test.make ~name:"table2/unconstrained"
+          (Staged.stage (solve Solution.Unconstrained None));
+        Test.make ~name:"table2/kaware-k2" (Staged.stage (solve Solution.Kaware (Some 2)));
+        Test.make ~name:"figure3/replay-1-segment" (Staged.stage replay_segment);
+        Test.make ~name:"figure4/kaware-k18" (Staged.stage (solve Solution.Kaware (Some 18)));
+        Test.make ~name:"figure4/merging-k2" (Staged.stage (solve Solution.Merging (Some 2)));
+        Test.make ~name:"ablation/greedy-seq-k2"
+          (Staged.stage (solve Solution.Greedy_seq (Some 2)));
+        Test.make ~name:"ablation/hybrid-k10" (Staged.stage (solve Solution.Hybrid (Some 10)));
+        Test.make ~name:"updates/blend-1-segment"
+          (Staged.stage (fun () ->
+               ignore
+                 (Cddpd_workload.Dml_gen.blend ~update_fraction:0.3
+                    ~value_range:session.Session.config.Setup.value_range ~seed:5
+                    session.Session.steps_w1.(0))));
+        Test.make ~name:"views/maintain-100-inserts"
+          (Staged.stage
+             (let schema = Setup.schema in
+              let pool =
+                Cddpd_storage.Buffer_pool.create ~capacity:512
+                  (Cddpd_storage.Disk.create ())
+              in
+              let heap = Cddpd_storage.Heap_file.create pool in
+              let rng = Rng.create 3 in
+              for _ = 1 to 2000 do
+                ignore
+                  (Cddpd_storage.Heap_file.insert heap
+                     (Array.init 4 (fun _ -> Cddpd_storage.Tuple.Int (Rng.int rng 50))))
+              done;
+              let view =
+                Cddpd_engine.Mat_view.build pool schema heap
+                  (Cddpd_catalog.View_def.make ~table:"t" ~group_by:"a")
+              in
+              fun () ->
+                for _ = 1 to 100 do
+                  Cddpd_engine.Mat_view.apply_insert view
+                    (Array.init 4 (fun _ -> Cddpd_storage.Tuple.Int (Rng.int rng 50)))
+                done));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> est
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let table =
+    Cddpd_util.Text_table.create
+      [ ("micro-benchmark", Cddpd_util.Text_table.Left); ("ns/run", Cddpd_util.Text_table.Right) ]
+  in
+  List.iter
+    (fun (name, ns) ->
+      Cddpd_util.Text_table.add_row table [ name; Printf.sprintf "%.0f" ns ])
+    rows;
+  Cddpd_util.Text_table.print table
+
+let () =
+  let { experiments; config } = parse_args () in
+  Printf.printf
+    "cddpd benchmark harness — rows=%d value_range=%d scale=%.2f seed=%d\n%!"
+    config.Setup.rows config.Setup.value_range config.Setup.scale config.Setup.seed;
+  let needs_session =
+    List.exists
+      (fun e ->
+        List.mem e [ "table2"; "figure3"; "figure4"; "ablation"; "updates"; "views"; "space"; "micro" ])
+      experiments
+  in
+  let session =
+    if needs_session then begin
+      let t0 = Unix.gettimeofday () in
+      let s = Session.create config in
+      Printf.printf "(session loaded in %.1fs)\n%!" (Unix.gettimeofday () -. t0);
+      Some s
+    end
+    else None
+  in
+  let get_session () =
+    match session with Some s -> s | None -> failwith "session required"
+  in
+  List.iter
+    (fun experiment ->
+      match experiment with
+      | "table1" ->
+          banner "Table 1: Workload Query Mixes";
+          Table1.print (Table1.run ())
+      | "table2" ->
+          banner "Table 2: Dynamic Workloads and Physical Designs";
+          Table2.print (Table2.run (get_session ()))
+      | "figure3" ->
+          banner "Figure 3: Relative Execution Times";
+          Figure3.print (Figure3.run (get_session ()))
+      | "figure4" ->
+          banner "Figure 4: Optimizer Runtimes";
+          Figure4.print (Figure4.run (get_session ()))
+      | "ablation" ->
+          banner "Ablation: solver comparison";
+          Ablation.print (Ablation.run (get_session ()))
+      | "updates" ->
+          banner "Updates ablation: queries and updates";
+          Updates.print (Updates.run (get_session ()))
+      | "views" ->
+          banner "Views: scheduling materialized views";
+          Views.print (Views.run (get_session ()))
+      | "space" ->
+          banner "Space bound: SIZE(C) <= b sweep";
+          Space_bound.print (Space_bound.run (get_session ()))
+      | "micro" ->
+          banner "Bechamel micro-benchmarks";
+          micro (get_session ())
+      | _ -> usage ())
+    experiments

@@ -1,0 +1,229 @@
+(* cddpd — constrained dynamic physical database design, command line tool.
+
+   Subcommands:
+     generate    write a workload trace (one SQL statement per line)
+     recommend   recommend a (constrained) dynamic physical design for a trace
+     simulate    replay a trace under the recommended design and report I/O
+     experiment  reproduce a table/figure of the paper
+*)
+
+module Setup = Cddpd_experiments.Setup
+module Session = Cddpd_experiments.Session
+module Design = Cddpd_catalog.Design
+module Database = Cddpd_engine.Database
+module Trace = Cddpd_workload.Trace
+module Spec = Cddpd_workload.Spec
+module Workloads = Cddpd_workload.Workloads
+module Advisor = Cddpd_core.Advisor
+module Solution = Cddpd_core.Solution
+module Problem = Cddpd_core.Problem
+module Simulator = Cddpd_core.Simulator
+module Text_table = Cddpd_util.Text_table
+
+open Cmdliner
+
+(* -- shared arguments ---------------------------------------------------- *)
+
+let rows_arg =
+  Arg.(value & opt int Setup.default_config.Setup.rows
+       & info [ "rows" ] ~docv:"N" ~doc:"Synthetic table cardinality.")
+
+let value_range_arg =
+  Arg.(value & opt int Setup.default_config.Setup.value_range
+       & info [ "value-range" ] ~docv:"N" ~doc:"Column value domain $(docv).")
+
+let seed_arg =
+  Arg.(value & opt int Setup.default_config.Setup.seed
+       & info [ "seed" ] ~docv:"N" ~doc:"Master random seed.")
+
+let scale_arg =
+  Arg.(value & opt float 1.0
+       & info [ "scale" ] ~docv:"F" ~doc:"Workload segment-length multiplier.")
+
+let config_of rows value_range seed scale =
+  { Setup.rows; value_range; seed; scale; pool_capacity = Setup.default_config.Setup.pool_capacity }
+
+let method_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "unconstrained" -> Ok Solution.Unconstrained
+    | "kaware" | "k-aware" | "optimal" -> Ok Solution.Kaware
+    | "greedy" | "greedy-seq" -> Ok Solution.Greedy_seq
+    | "merging" -> Ok Solution.Merging
+    | "ranking" -> Ok Solution.Ranking
+    | "hybrid" -> Ok Solution.Hybrid
+    | s -> Error (`Msg (Printf.sprintf "unknown method %s" s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Solution.method_to_string m))
+
+let method_arg =
+  Arg.(value & opt method_conv Solution.Kaware
+       & info [ "method" ] ~docv:"METHOD"
+           ~doc:"Solver: unconstrained, kaware, greedy-seq, merging, ranking, hybrid.")
+
+let k_arg =
+  Arg.(value & opt (some int) None
+       & info [ "k" ] ~docv:"K" ~doc:"Change budget (omit for unconstrained).")
+
+let segment_arg =
+  Arg.(value & opt int 500
+       & info [ "segment" ] ~docv:"N" ~doc:"Statements per optimizer step.")
+
+(* -- generate -------------------------------------------------------------- *)
+
+let generate workload scale seed value_range output =
+  let spec = Workloads.by_name workload ~scale () in
+  let statements =
+    Spec.generate_flat spec ~table:Setup.table_name ~value_range ~seed:(seed + 1)
+  in
+  Trace.save output statements;
+  Printf.printf "wrote %d statements (%s, %d segments) to %s\n"
+    (Array.length statements) workload (Spec.n_segments spec) output;
+  0
+
+let generate_cmd =
+  let workload =
+    Arg.(value & opt string "W1"
+         & info [ "workload" ] ~docv:"NAME" ~doc:"W1, W2 or W3 (Table 2).")
+  in
+  let output =
+    Arg.(value & opt string "trace.sql"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a workload trace from the paper's specifications.")
+    Term.(const generate $ workload $ scale_arg $ seed_arg $ value_range_arg $ output)
+
+(* -- recommend / simulate --------------------------------------------------- *)
+
+let load_trace path =
+  match Trace.load path with
+  | Ok statements -> statements
+  | Error message ->
+      prerr_endline ("cddpd: cannot load trace: " ^ message);
+      exit 1
+
+let with_recommendation trace_path segment k method_name rows value_range seed f =
+  let statements = load_trace trace_path in
+  let steps = Trace.segment statements ~size:segment in
+  let config = config_of rows value_range seed 1.0 in
+  let db = Setup.make_database config in
+  let request =
+    { (Advisor.default_request ~steps ~table:Setup.table_name) with
+      Advisor.k; method_name }
+  in
+  match Advisor.recommend db request with
+  | Ok recommendation -> f db steps recommendation
+  | Error Cddpd_core.Optimizer.Infeasible ->
+      prerr_endline "cddpd: infeasible change budget";
+      1
+  | Error (Cddpd_core.Optimizer.Ranking_gave_up n) ->
+      Printf.eprintf "cddpd: ranking gave up after %d paths\n" n;
+      1
+
+let print_schedule steps recommendation segment =
+  let table =
+    Text_table.create
+      [
+        ("statements", Text_table.Left);
+        ("design", Text_table.Left);
+      ]
+  in
+  let runs = Solution.runs recommendation.Advisor.problem recommendation.Advisor.solution in
+  List.iter
+    (fun (start, len, design) ->
+      let first = (start * segment) + 1 in
+      let last = min (Array.length steps * segment) ((start + len) * segment) in
+      Text_table.add_row table [ Printf.sprintf "%d-%d" first last; Design.name design ])
+    runs;
+  Text_table.print table;
+  Format.printf "%a@." Solution.pp recommendation.Advisor.solution
+
+let recommend trace segment k method_name rows value_range seed =
+  with_recommendation trace segment k method_name rows value_range seed
+    (fun _db steps recommendation ->
+      print_schedule steps recommendation segment;
+      0)
+
+let trace_arg =
+  Arg.(required & opt (some file) None
+       & info [ "trace" ] ~docv:"FILE" ~doc:"Workload trace (one SQL statement per line).")
+
+let recommend_cmd =
+  Cmd.v
+    (Cmd.info "recommend"
+       ~doc:"Recommend a change-constrained dynamic physical design for a trace.")
+    Term.(const recommend $ trace_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
+          $ value_range_arg $ seed_arg)
+
+let simulate trace segment k method_name rows value_range seed =
+  with_recommendation trace segment k method_name rows value_range seed
+    (fun db steps recommendation ->
+      print_schedule steps recommendation segment;
+      let report = Simulator.run db ~steps ~schedule:recommendation.Advisor.schedule in
+      Printf.printf
+        "replay: %d page accesses (%d execution + %d transitions), %d rows returned\n"
+        report.Simulator.total_logical_io report.Simulator.exec_logical_io
+        report.Simulator.trans_logical_io report.Simulator.rows_returned;
+      0)
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Recommend a design for a trace, then replay the trace under it.")
+    Term.(const simulate $ trace_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
+          $ value_range_arg $ seed_arg)
+
+(* -- experiment -------------------------------------------------------------- *)
+
+let experiment name rows value_range seed scale =
+  let config = config_of rows value_range seed scale in
+  let session = lazy (Session.create config) in
+  match String.lowercase_ascii name with
+  | "table1" ->
+      Cddpd_experiments.Table1.print (Cddpd_experiments.Table1.run ());
+      0
+  | "table2" ->
+      Cddpd_experiments.Table2.print (Cddpd_experiments.Table2.run (Lazy.force session));
+      0
+  | "figure3" ->
+      Cddpd_experiments.Figure3.print (Cddpd_experiments.Figure3.run (Lazy.force session));
+      0
+  | "figure4" ->
+      Cddpd_experiments.Figure4.print (Cddpd_experiments.Figure4.run (Lazy.force session));
+      0
+  | "ablation" ->
+      Cddpd_experiments.Ablation.print (Cddpd_experiments.Ablation.run (Lazy.force session));
+      0
+  | "updates" ->
+      Cddpd_experiments.Updates.print (Cddpd_experiments.Updates.run (Lazy.force session));
+      0
+  | "views" ->
+      Cddpd_experiments.Views.print (Cddpd_experiments.Views.run (Lazy.force session));
+      0
+  | "space" ->
+      Cddpd_experiments.Space_bound.print
+        (Cddpd_experiments.Space_bound.run (Lazy.force session));
+      0
+  | other ->
+      Printf.eprintf "cddpd: unknown experiment %s (table1|table2|figure3|figure4|ablation|updates|views|space)\n"
+        other;
+      1
+
+let experiment_cmd =
+  let experiment_name =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"NAME" ~doc:"table1, table2, figure3, figure4, ablation, updates, views or space.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce one table or figure of the paper.")
+    Term.(
+      const experiment $ experiment_name $ rows_arg $ value_range_arg $ seed_arg
+      $ scale_arg)
+
+(* -- main ---------------------------------------------------------------------- *)
+
+let () =
+  let doc = "constrained dynamic physical database design (ICDE'08 reproduction)" in
+  let info = Cmd.info "cddpd" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ generate_cmd; recommend_cmd; simulate_cmd; experiment_cmd ]))

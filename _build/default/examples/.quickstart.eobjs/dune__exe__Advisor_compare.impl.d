@@ -1,0 +1,1 @@
+examples/advisor_compare.ml: Cddpd_core Cddpd_experiments Cddpd_util Cddpd_workload Float List Printf

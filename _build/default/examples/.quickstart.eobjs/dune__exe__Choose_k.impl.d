@@ -1,0 +1,1 @@
+examples/choose_k.ml: Array Cddpd_core Cddpd_experiments Cddpd_util Cddpd_workload List Printf String

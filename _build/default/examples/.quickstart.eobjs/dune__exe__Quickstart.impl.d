@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cddpd_catalog Cddpd_core Cddpd_engine Cddpd_workload Format List

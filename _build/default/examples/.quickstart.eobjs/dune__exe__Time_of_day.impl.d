@@ -1,0 +1,1 @@
+examples/time_of_day.ml: Cddpd_catalog Cddpd_core Cddpd_experiments Cddpd_util Cddpd_workload List Printf String

@@ -1,0 +1,1 @@
+examples/trace_drift.ml: Array Cddpd_catalog Cddpd_core Cddpd_engine Cddpd_experiments Cddpd_util Cddpd_workload List Printf String

@@ -1,0 +1,70 @@
+(* Time-of-day tuning: the paper's motivating scenario for choosing k.
+
+   "If we are aware of time-of-day phenomena that cause the workload to
+   change at lunchtime and in the evening, we can choose a value of k equal
+   to or a bit larger than the number of anticipated fluctuations."
+
+   A 24-hour trace: interactive lookups in working hours (mix A), a
+   reporting burst at lunch (mix C), interactive again in the afternoon,
+   and batch analytics in the evening (mix D).  That is 3 anticipated
+   fluctuations, so we ask for k = 3 and compare against under- and
+   over-budgeted alternatives.
+
+   Run with: dune exec examples/time_of_day.exe *)
+
+module Design = Cddpd_catalog.Design
+module Spec = Cddpd_workload.Spec
+module Advisor = Cddpd_core.Advisor
+module Solution = Cddpd_core.Solution
+module Setup = Cddpd_experiments.Setup
+module Text_table = Cddpd_util.Text_table
+
+let () =
+  let config = { Setup.default_config with Setup.rows = 30_000; value_range = 6_000 } in
+  let db = Setup.make_database config in
+
+  (* One segment per hour, 100 queries each:
+     00-08 quiet batch (D), 08-12 interactive (A), 12-13 lunch reports (C),
+     13-18 interactive (A), 18-24 evening batch (D). *)
+  let hours = "DDDDDDDD" ^ "AAAA" ^ "C" ^ "AAAAA" ^ "DDDDDD" in
+  let spec = Spec.of_letters ~queries_per_segment:100 hours in
+  let steps = Spec.generate spec ~table:Setup.table_name ~value_range:6_000 ~seed:11 in
+  Printf.printf "24-hour workload, one segment per hour: %s\n\n" hours;
+
+  let recommend k =
+    Advisor.recommend_exn db
+      { (Advisor.default_request ~steps ~table:Setup.table_name) with
+        Advisor.k = Some k; method_name = Solution.Kaware }
+  in
+  let table =
+    Text_table.create
+      [
+        ("k", Text_table.Right);
+        ("cost", Text_table.Right);
+        ("changes", Text_table.Right);
+        ("schedule (hour: design)", Text_table.Left);
+      ]
+  in
+  List.iter
+    (fun k ->
+      let r = recommend k in
+      let schedule =
+        Solution.runs r.Advisor.problem r.Advisor.solution
+        |> List.map (fun (start, len, design) ->
+               Printf.sprintf "%02d-%02dh %s" start (start + len) (Design.name design))
+        |> String.concat ", "
+      in
+      Text_table.add_row table
+        [
+          string_of_int k;
+          Printf.sprintf "%.0f" r.Advisor.solution.Solution.cost;
+          string_of_int r.Advisor.solution.Solution.changes;
+          schedule;
+        ])
+    [ 0; 1; 3; 6; 24 ];
+  Text_table.print table;
+  print_newline ();
+  print_endline
+    "k=3 (the anticipated fluctuation count) captures the day's structure;";
+  print_endline
+    "k=24 overfits every hourly wobble, k=0 is a static design."

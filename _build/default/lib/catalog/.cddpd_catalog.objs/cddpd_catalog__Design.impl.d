@@ -1,0 +1,1 @@
+lib/catalog/design.ml: Format List Printf Stdlib String Structure

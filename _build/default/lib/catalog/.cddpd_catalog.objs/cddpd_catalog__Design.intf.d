@@ -1,0 +1,1 @@
+lib/catalog/design.mli: Format Index_def Structure View_def

@@ -1,0 +1,1 @@
+lib/catalog/index_def.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/catalog/schema.ml: Array Cddpd_storage Format List Printf String

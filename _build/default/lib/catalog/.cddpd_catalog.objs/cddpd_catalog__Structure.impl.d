@@ -1,0 +1,1 @@
+lib/catalog/structure.ml: Format Index_def View_def

@@ -1,0 +1,1 @@
+lib/catalog/structure.mli: Format Index_def View_def

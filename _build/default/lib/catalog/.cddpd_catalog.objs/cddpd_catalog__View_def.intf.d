@@ -1,0 +1,1 @@
+lib/catalog/view_def.mli: Format

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Array Candidates Cddpd_catalog Cddpd_engine Cddpd_sql Config_space Optimizer Printf Problem Solution

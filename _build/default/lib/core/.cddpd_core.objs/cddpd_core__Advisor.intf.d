@@ -1,0 +1,1 @@
+lib/core/advisor.mli: Cddpd_catalog Cddpd_engine Cddpd_sql Optimizer Problem Solution

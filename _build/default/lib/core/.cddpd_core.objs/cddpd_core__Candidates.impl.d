@@ -1,0 +1,1 @@
+lib/core/candidates.ml: Array Cddpd_catalog Cddpd_sql Hashtbl List Option String

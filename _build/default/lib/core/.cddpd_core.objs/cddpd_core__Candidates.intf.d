@@ -1,0 +1,1 @@
+lib/core/candidates.mli: Cddpd_catalog Cddpd_sql

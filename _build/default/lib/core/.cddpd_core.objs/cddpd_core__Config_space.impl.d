@@ -1,0 +1,1 @@
+lib/core/config_space.ml: Array Cddpd_catalog Format List Printf

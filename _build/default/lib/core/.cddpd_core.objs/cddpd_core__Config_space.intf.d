@@ -1,0 +1,1 @@
+lib/core/config_space.mli: Cddpd_catalog Format

@@ -1,0 +1,1 @@
+lib/core/greedy_seq.ml: Array Cddpd_graph List Problem

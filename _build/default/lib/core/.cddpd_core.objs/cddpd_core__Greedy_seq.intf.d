@@ -1,0 +1,1 @@
+lib/core/greedy_seq.mli: Problem

@@ -1,0 +1,1 @@
+lib/core/k_advisor.ml: Cddpd_graph List Optimizer Problem Solution

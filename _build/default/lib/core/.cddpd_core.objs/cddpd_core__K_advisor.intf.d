@@ -1,0 +1,1 @@
+lib/core/k_advisor.mli: Problem

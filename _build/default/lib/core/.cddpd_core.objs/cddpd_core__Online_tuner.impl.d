@@ -1,0 +1,1 @@
+lib/core/online_tuner.ml: Array Problem

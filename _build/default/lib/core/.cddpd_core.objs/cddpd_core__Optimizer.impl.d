@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Cddpd_graph Cddpd_util Greedy_seq Merging Printf Problem Result Solution

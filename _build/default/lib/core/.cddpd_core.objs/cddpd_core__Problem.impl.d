@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Cddpd_engine Cddpd_graph Cddpd_sql Config_space List

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Cddpd_catalog Cddpd_engine Cddpd_graph Cddpd_sql Config_space

@@ -1,0 +1,1 @@
+lib/core/simulator.ml: Array Cddpd_catalog Cddpd_engine List

@@ -1,0 +1,1 @@
+lib/core/simulator.mli: Cddpd_catalog Cddpd_engine Cddpd_sql

@@ -1,0 +1,1 @@
+lib/core/solution.ml: Array Config_space Format List Problem

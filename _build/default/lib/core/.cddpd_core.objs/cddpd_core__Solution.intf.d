@@ -1,0 +1,1 @@
+lib/core/solution.mli: Cddpd_catalog Format Problem

@@ -1,0 +1,82 @@
+module Database = Cddpd_engine.Database
+module Cost_model = Cddpd_engine.Cost_model
+module Design = Cddpd_catalog.Design
+
+type request = {
+  steps : Cddpd_sql.Ast.statement array array;
+  table : string;
+  candidates : Cddpd_catalog.Structure.t list option;
+  composite_pairs : int;
+  max_structures_per_config : int option;
+  space_bound_bytes : int option;
+  initial : Design.t;
+  count_initial_change : bool;
+  k : int option;
+  method_name : Solution.method_name;
+}
+
+let default_request ~steps ~table =
+  {
+    steps;
+    table;
+    candidates = None;
+    composite_pairs = 2;
+    max_structures_per_config = Some 1;
+    space_bound_bytes = None;
+    initial = Design.empty;
+    count_initial_change = false;
+    k = None;
+    method_name = Solution.Unconstrained;
+  }
+
+type recommendation = {
+  problem : Problem.t;
+  solution : Solution.t;
+  schedule : Design.t array;
+}
+
+let build_space db request =
+  let schema =
+    match Database.schema db request.table with
+    | Some schema -> schema
+    | None -> invalid_arg (Printf.sprintf "Advisor: unknown table %s" request.table)
+  in
+  let candidates =
+    match request.candidates with
+    | Some candidates -> candidates
+    | None ->
+        let flat = Array.concat (Array.to_list request.steps) in
+        Candidates.structures_from_statements schema
+          ~composite_pairs:request.composite_pairs flat
+  in
+  let params = Database.params db in
+  let size_of structure =
+    Cost_model.structure_size_bytes params
+      ~stats:(Database.table_stats db (Cddpd_catalog.Structure.table structure))
+      structure
+  in
+  Config_space.enumerate ~candidates ?max_structures:request.max_structures_per_config
+    ?space_bound_bytes:request.space_bound_bytes ~size_of ()
+
+let build_problem db request =
+  let space = build_space db request in
+  Problem.build ~params:(Database.params db)
+    ~stats_of:(fun table -> Database.table_stats db table)
+    ~steps:request.steps ~space ~initial:request.initial
+    ~count_initial_change:request.count_initial_change ()
+
+let recommend db request =
+  let problem = build_problem db request in
+  match
+    Optimizer.solve problem ~method_name:request.method_name ?k:request.k ()
+  with
+  | Ok solution ->
+      Ok { problem; solution; schedule = Solution.schedule problem solution }
+  | Error e -> Error e
+
+let recommend_exn db request =
+  match recommend db request with
+  | Ok recommendation -> recommendation
+  | Error Optimizer.Infeasible -> failwith "Advisor: infeasible change budget"
+  | Error (Optimizer.Ranking_gave_up n) ->
+      failwith (Printf.sprintf "Advisor: ranking gave up after %d paths" n)

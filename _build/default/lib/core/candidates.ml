@@ -1,0 +1,94 @@
+module Ast = Cddpd_sql.Ast
+module Schema = Cddpd_catalog.Schema
+module Index_def = Cddpd_catalog.Index_def
+module View_def = Cddpd_catalog.View_def
+module Structure = Cddpd_catalog.Structure
+
+let is_indexable table column =
+  match Schema.column_type table column with
+  | Some Schema.Int_type -> true
+  | Some Schema.Text_type | None -> false
+
+let predicate_column pred =
+  match pred with
+  | Ast.Cmp { column; _ } | Ast.Between { column; _ } -> column
+
+let tally table bump statement =
+  let consider statement_table where =
+    if String.equal statement_table table.Schema.name then
+      List.iter
+        (fun pred ->
+          let column = predicate_column pred in
+          if is_indexable table column then bump column)
+        where
+  in
+  match statement with
+  | Ast.Insert _ -> ()
+  | Ast.Select select -> consider select.Ast.table select.Ast.where
+  | Ast.Select_agg { table = statement_table; where; _ } -> consider statement_table where
+  | Ast.Delete { table = statement_table; where } -> consider statement_table where
+  | Ast.Update { table = statement_table; where; _ } -> consider statement_table where
+
+let column_frequencies table statements =
+  let counts = Hashtbl.create 8 in
+  let bump column =
+    Hashtbl.replace counts column (1 + Option.value ~default:0 (Hashtbl.find_opt counts column))
+  in
+  Array.iter (tally table bump) statements;
+  Hashtbl.fold (fun column count acc -> (column, count) :: acc) counts []
+  |> List.sort (fun (c1, n1) (c2, n2) ->
+         let c = compare n2 n1 in
+         if c <> 0 then c else String.compare c1 c2)
+
+let from_statements table ?(composite_pairs = 0) statements =
+  let frequencies = column_frequencies table statements in
+  let singles =
+    List.map
+      (fun (column, _) -> Index_def.make ~table:table.Schema.name ~columns:[ column ])
+      frequencies
+  in
+  (* Composite candidates: pair the predicate columns two by two in
+     frequency order.  A composite I(x,y) serves x-queries by covering
+     seek and y-queries by covering leaf scan, which is exactly why the
+     paper's space includes I(a,b) and I(c,d); pairing by frequency
+     recovers those on mix-style workloads. *)
+  let rec pair_up remaining taken =
+    if taken >= composite_pairs then []
+    else
+      match remaining with
+      | (x, _) :: (y, _) :: rest ->
+          Index_def.make ~table:table.Schema.name ~columns:[ x; y ]
+          :: pair_up rest (taken + 1)
+      | [ _ ] | [] -> []
+  in
+  let composites = pair_up frequencies 0 in
+  let all = singles @ composites in
+  (* Deduplicate while keeping order. *)
+  let rec dedup seen acc items =
+    match items with
+    | [] -> List.rev acc
+    | i :: rest ->
+        if List.exists (Index_def.equal i) seen then dedup seen acc rest
+        else dedup (i :: seen) (i :: acc) rest
+  in
+  dedup [] [] all
+
+let view_candidates table statements =
+  let seen = Hashtbl.create 4 in
+  Array.iter
+    (fun statement ->
+      match statement with
+      | Ast.Select_agg { table = statement_table; group_by; _ }
+        when String.equal statement_table table.Schema.name
+             && is_indexable table group_by ->
+          Hashtbl.replace seen group_by ()
+      | Ast.Select_agg _ | Ast.Select _ | Ast.Insert _ | Ast.Delete _ | Ast.Update _ ->
+          ())
+    statements;
+  Hashtbl.fold (fun group_by () acc -> group_by :: acc) seen []
+  |> List.sort String.compare
+  |> List.map (fun group_by -> View_def.make ~table:table.Schema.name ~group_by)
+
+let structures_from_statements table ?composite_pairs statements =
+  List.map Structure.index (from_statements table ?composite_pairs statements)
+  @ List.map Structure.view (view_candidates table statements)

@@ -1,0 +1,40 @@
+(** Candidate index generation from a workload.
+
+    The paper deliberately leaves candidate generation to prior work
+    (Chaudhuri/Narasayya-style tools); this module implements the classic
+    syntactic approach those tools start from: a single-column index for
+    every column appearing in a sargable predicate, plus composite indexes
+    for the highest-frequency column pairs (which, on the paper's
+    workloads, recovers I(a,b) and I(c,d)).  Only integer columns are
+    considered (the engine's index key restriction). *)
+
+val from_statements :
+  Cddpd_catalog.Schema.table ->
+  ?composite_pairs:int ->
+  Cddpd_sql.Ast.statement array ->
+  Cddpd_catalog.Index_def.t list
+(** [from_statements table ~composite_pairs stmts] returns candidates for
+    [table], most-frequently-useful first: one single-column index per
+    predicate column, then up to [composite_pairs] (default 0) two-column
+    indexes pairing each of the most frequent predicate columns with the
+    column most often co-selected with it (queries that filter on one
+    column and project the other benefit from the covering composite). *)
+
+val column_frequencies :
+  Cddpd_catalog.Schema.table -> Cddpd_sql.Ast.statement array -> (string * int) list
+(** Predicate-column occurrence counts, most frequent first (ties broken
+    by name). *)
+
+val view_candidates :
+  Cddpd_catalog.Schema.table ->
+  Cddpd_sql.Ast.statement array ->
+  Cddpd_catalog.View_def.t list
+(** One materialized-view candidate per grouping column observed in the
+    workload's aggregate queries (integer columns only). *)
+
+val structures_from_statements :
+  Cddpd_catalog.Schema.table ->
+  ?composite_pairs:int ->
+  Cddpd_sql.Ast.statement array ->
+  Cddpd_catalog.Structure.t list
+(** Index candidates ({!from_statements}) followed by view candidates. *)

@@ -1,0 +1,94 @@
+module Design = Cddpd_catalog.Design
+module Structure = Cddpd_catalog.Structure
+
+type t = { designs : Design.t array }
+
+let dedup designs =
+  let rec go seen acc designs =
+    match designs with
+    | [] -> List.rev acc
+    | d :: rest ->
+        if List.exists (Design.equal d) seen then go seen acc rest
+        else go (d :: seen) (d :: acc) rest
+  in
+  go [] [] designs
+
+let of_designs designs =
+  if designs = [] then invalid_arg "Config_space.of_designs: empty";
+  { designs = Array.of_list (dedup designs) }
+
+let single_structure candidates =
+  of_designs
+    (Design.empty :: List.map (fun s -> Design.add_structure s Design.empty) candidates)
+
+let single_index candidates = single_structure (List.map Structure.index candidates)
+
+let enumerate ~candidates ?max_structures ?space_bound_bytes ~size_of () =
+  let n = List.length candidates in
+  (match max_structures with
+  | None when n > 20 ->
+      invalid_arg "Config_space.enumerate: too many candidates without max_structures"
+  | _ -> ());
+  let cap = match max_structures with None -> n | Some c -> c in
+  let fits design =
+    match space_bound_bytes with
+    | None -> true
+    | Some bound ->
+        Design.fold (fun structure acc -> acc + size_of structure) design 0 <= bound
+  in
+  (* Depth-first subset enumeration, pruning on cardinality. *)
+  let out = ref [] in
+  let rec go design count candidates =
+    match candidates with
+    | [] -> if fits design then out := design :: !out
+    | c :: rest ->
+        go design count rest;
+        if count < cap then go (Design.add_structure c design) (count + 1) rest
+  in
+  go Design.empty 0 candidates;
+  (* Ensure the empty design survives even if space_bound excludes others. *)
+  let designs = dedup (Design.empty :: List.rev !out) in
+  { designs = Array.of_list designs }
+
+let size t = Array.length t.designs
+
+let design t i =
+  if i < 0 || i >= Array.length t.designs then
+    invalid_arg "Config_space.design: id out of range";
+  t.designs.(i)
+
+let designs t = Array.copy t.designs
+
+let id_of t d =
+  let n = Array.length t.designs in
+  let rec go i =
+    if i >= n then None else if Design.equal t.designs.(i) d then Some i else go (i + 1)
+  in
+  go 0
+
+let id_of_exn t d =
+  match id_of t d with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Config_space.id_of_exn: design %s not in space" (Design.name d))
+
+let restrict t ids =
+  let rec go seen acc ids =
+    match ids with
+    | [] -> List.rev acc
+    | id :: rest ->
+        if id < 0 || id >= Array.length t.designs then
+          invalid_arg "Config_space.restrict: id out of range"
+        else if List.mem id seen then go seen acc rest
+        else go (id :: seen) (id :: acc) rest
+  in
+  let kept = go [] [] ids in
+  if kept = [] then invalid_arg "Config_space.restrict: empty selection";
+  let mapping = Array.of_list kept in
+  ({ designs = Array.map (fun id -> t.designs.(id)) mapping }, mapping)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d configurations:@," (size t);
+  Array.iteri (fun i d -> Format.fprintf ppf "  %d: %a@," i Design.pp d) t.designs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,28 @@
+module Kaware = Cddpd_graph.Kaware
+
+let reduced_config_ids problem =
+  let n_configs = Problem.n_configs problem in
+  let best_for_step row =
+    let best = ref 0 in
+    for c = 1 to n_configs - 1 do
+      if row.(c) < row.(!best) then best := c
+    done;
+    !best
+  in
+  let winners = Array.to_list (Array.map best_for_step problem.Problem.exec) in
+  let rec dedup seen acc ids =
+    match ids with
+    | [] -> List.rev acc
+    | id :: rest ->
+        if List.mem id seen then dedup seen acc rest
+        else dedup (id :: seen) (id :: acc) rest
+  in
+  dedup [] [] (problem.Problem.initial :: winners)
+
+let solve problem ~k =
+  let sub, mapping = Problem.restrict problem (reduced_config_ids problem) in
+  match
+    Kaware.solve (Problem.to_graph sub) ~k ~initial:(Problem.initial_for_counting sub)
+  with
+  | None -> None
+  | Some (cost, sub_path) -> Some (cost, Array.map (fun j -> mapping.(j)) sub_path)

@@ -1,0 +1,19 @@
+(** GREEDY-SEQ-style candidate reduction (Section 4.1).
+
+    The exact solvers are exponential in the number of candidate indexes
+    because they consider every configuration.  Following Agrawal et al.'s
+    GREEDY-SEQ, this module first picks, for every step, the configuration
+    with the cheapest EXEC for that step; the union of those per-step
+    winners (plus the initial configuration) forms a reduced configuration
+    set of size O(n), on which the k-aware graph is solved exactly.
+
+    The result is optimal {e within the reduced space} but not globally. *)
+
+val reduced_config_ids : Problem.t -> int list
+(** The initial config plus each step's cheapest config, deduplicated. *)
+
+val solve : Problem.t -> k:int -> (float * int array) option
+(** Solve the k-aware problem on the reduced space and translate the path
+    back to original config ids.  [None] only if the reduced instance is
+    infeasible (cannot happen for [k >= 1], nor for [k = 0] unless the
+    initial change is counted and excluded). *)

@@ -1,0 +1,56 @@
+module Kaware = Cddpd_graph.Kaware
+
+type point = { k : int; cost : float; captured : float }
+
+type recommendation = {
+  suggested_k : int;
+  capture_target : float;
+  unconstrained_changes : int;
+  profile : point list;
+}
+
+let raw_profile problem =
+  let graph = Problem.to_graph problem in
+  let initial = Problem.initial_for_counting problem in
+  let unconstrained = Optimizer.unconstrained problem in
+  let l = unconstrained.Solution.changes in
+  let costs =
+    List.init (l + 1) (fun k ->
+        match Kaware.solve graph ~k ~initial with
+        | Some (cost, _) -> (k, cost)
+        | None ->
+            (* Only k = 0 under the counted-initial convention can be
+               infeasible... and even then staying on the initial config is
+               a path, so this cannot happen. *)
+            assert false)
+  in
+  (l, unconstrained.Solution.cost, costs)
+
+let profile problem =
+  let _, best_cost, costs = raw_profile problem in
+  let static_cost = match costs with (_, c) :: _ -> c | [] -> assert false in
+  let total_benefit = static_cost -. best_cost in
+  List.map
+    (fun (k, cost) ->
+      let captured =
+        if total_benefit <= 0.0 then 1.0 else (static_cost -. cost) /. total_benefit
+      in
+      { k; cost; captured })
+    costs
+
+let suggest ?(capture_target = 0.9) problem =
+  if capture_target < 0.0 || capture_target > 1.0 then
+    invalid_arg "K_advisor.suggest: capture_target outside [0, 1]";
+  let points = profile problem in
+  let l = List.length points - 1 in
+  let suggested_k =
+    match List.find_opt (fun p -> p.captured >= capture_target) points with
+    | Some p -> p.k
+    | None -> l
+  in
+  {
+    suggested_k;
+    capture_target;
+    unconstrained_changes = l;
+    profile = points;
+  }

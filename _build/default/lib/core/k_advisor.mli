@@ -1,0 +1,38 @@
+(** Choosing the change budget k — the paper's first open question.
+
+    "How should k be chosen?"  The paper offers the domain-knowledge
+    heuristic (count the anticipated fluctuations; see
+    [Cddpd_workload.Segmenter.suggest_k]) and leaves the general case
+    open.  This module implements the natural cost-curve answer: solve the
+    k-aware problem for every k from 0 to the unconstrained change count l
+    (the curve is nonincreasing and flat beyond l) and pick the elbow —
+    the smallest k that already captures a target share of the total
+    benefit of going from a static design (k = 0) to the unconstrained
+    optimum.
+
+    Small budgets buy large steps of the curve when the workload has a few
+    major trends; the remaining budget only chases minor fluctuations —
+    exactly the overfitting the paper wants to avoid. *)
+
+type point = {
+  k : int;
+  cost : float;  (** optimal sequence cost with at most k changes *)
+  captured : float;
+      (** share of the static-to-unconstrained benefit captured, in
+          [\[0, 1\]]; 1.0 when the instance has no benefit to capture *)
+}
+
+type recommendation = {
+  suggested_k : int;
+  capture_target : float;
+  unconstrained_changes : int;  (** l *)
+  profile : point list;  (** k = 0 .. l, ascending *)
+}
+
+val profile : Problem.t -> point list
+(** The full cost curve for k = 0 .. l. *)
+
+val suggest : ?capture_target:float -> Problem.t -> recommendation
+(** [suggest ?capture_target problem] picks the smallest k whose captured
+    benefit reaches [capture_target] (default 0.9).  Raises
+    [Invalid_argument] if the target is outside [\[0, 1\]]. *)

@@ -1,0 +1,114 @@
+type run = { config : int; start : int; len : int }
+
+(* exec cost of steps [start, start+len) under config c, via prefix sums *)
+let make_run_exec problem =
+  let n_steps = Problem.n_steps problem in
+  let n_configs = Problem.n_configs problem in
+  let prefix = Array.make_matrix n_configs (n_steps + 1) 0.0 in
+  for c = 0 to n_configs - 1 do
+    for s = 0 to n_steps - 1 do
+      prefix.(c).(s + 1) <- prefix.(c).(s) +. problem.Problem.exec.(s).(c)
+    done
+  done;
+  fun c ~start ~len -> prefix.(c).(start + len) -. prefix.(c).(start)
+
+let runs_of_path path =
+  let n = Array.length path in
+  let rec go start acc =
+    if start >= n then List.rev acc
+    else begin
+      let config = path.(start) in
+      let stop = ref start in
+      while !stop < n && path.(!stop) = config do
+        incr stop
+      done;
+      go !stop ({ config; start; len = !stop - start } :: acc)
+    end
+  in
+  Array.of_list (go 0 [])
+
+let path_of_runs n runs =
+  let path = Array.make n 0 in
+  Array.iter
+    (fun run ->
+      for s = run.start to run.start + run.len - 1 do
+        path.(s) <- run.config
+      done)
+    runs;
+  path
+
+let changes_of_runs problem runs =
+  let boundary = Array.length runs - 1 in
+  match Problem.initial_for_counting problem with
+  | Some init when Array.length runs > 0 && runs.(0).config <> init -> boundary + 1
+  | Some _ | None -> boundary
+
+(* Coalesce adjacent runs with equal configs. *)
+let coalesce runs =
+  let rec go acc runs =
+    match (acc, runs) with
+    | _, [] -> List.rev acc
+    | prev :: acc', run :: rest when prev.config = run.config ->
+        go ({ prev with len = prev.len + run.len } :: acc') rest
+    | _, run :: rest -> go (run :: acc) rest
+  in
+  Array.of_list (go [] (Array.to_list runs))
+
+let refine problem ~k path =
+  if k < 0 then invalid_arg "Merging.refine: negative k";
+  if Array.length path <> Problem.n_steps problem then
+    invalid_arg "Merging.refine: wrong path length";
+  let run_exec = make_run_exec problem in
+  let trans = problem.Problem.trans in
+  let initial = problem.Problem.initial in
+  let n_configs = Problem.n_configs problem in
+  let merge_step runs =
+    (* Find the adjacent pair (r, r+1) and replacement config c' with the
+       smallest penalty. *)
+    let n_runs = Array.length runs in
+    let best = ref None in
+    for r = 0 to n_runs - 2 do
+      let left = runs.(r) and right = runs.(r + 1) in
+      let cprev = if r = 0 then initial else runs.(r - 1).config in
+      let cnext = if r + 2 < n_runs then Some runs.(r + 2).config else None in
+      let trans_next c = match cnext with Some next -> trans.(c).(next) | None -> 0.0 in
+      let old_cost =
+        trans.(cprev).(left.config)
+        +. run_exec left.config ~start:left.start ~len:left.len
+        +. trans.(left.config).(right.config)
+        +. run_exec right.config ~start:right.start ~len:right.len
+        +. trans_next right.config
+      in
+      for c = 0 to n_configs - 1 do
+        let new_cost =
+          trans.(cprev).(c)
+          +. run_exec c ~start:left.start ~len:(left.len + right.len)
+          +. trans_next c
+        in
+        let penalty = new_cost -. old_cost in
+        match !best with
+        | Some (best_penalty, _, _) when best_penalty <= penalty -> ()
+        | Some _ | None -> best := Some (penalty, r, c)
+      done
+    done;
+    match !best with
+    | None -> runs (* single run: nothing to merge *)
+    | Some (_, r, c) ->
+        let merged =
+          { config = c; start = runs.(r).start; len = runs.(r).len + runs.(r + 1).len }
+        in
+        let rebuilt =
+          Array.concat
+            [ Array.sub runs 0 r; [| merged |]; Array.sub runs (r + 2) (Array.length runs - r - 2) ]
+        in
+        coalesce rebuilt
+  in
+  let rec loop runs =
+    if changes_of_runs problem runs <= k then runs
+    else if Array.length runs <= 1 then
+      (* Only reachable when the initial change is counted and k = 0: the
+         sole feasible schedule stays on the initial configuration. *)
+      [| { config = initial; start = 0; len = Problem.n_steps problem } |]
+    else loop (merge_step runs)
+  in
+  path_of_runs (Problem.n_steps problem) (loop (runs_of_path path))

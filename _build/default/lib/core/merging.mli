@@ -1,0 +1,29 @@
+(** Sequential design merging (Section 4.2 of the paper).
+
+    Starting from any solution, repeatedly pick the adjacent pair of
+    distinct-configuration runs whose replacement by a single configuration
+    has the smallest penalty
+
+    {v
+    p = [TRANS(Cprev,C') + EXEC(Si u Si+1, C') + TRANS(C',Cnext)]
+      - [TRANS(Cprev,Ci) + EXEC(Si,Ci) + TRANS(Ci,Ci+1)
+         + EXEC(Si+1,Ci+1) + TRANS(Ci+1,Cnext)]
+    v}
+
+    until the schedule satisfies the change budget.  Each merge removes at
+    least one change (two when C' coalesces with a neighbouring run).
+
+    The paper states the step over consecutive statement pairs; this
+    implementation merges adjacent maximal {e runs} of equal
+    configurations, which is the same operation at the granularity the
+    unconstrained optimum actually exhibits and is the only reading under
+    which every step is guaranteed to reduce the change count (see
+    DESIGN.md). *)
+
+val refine : Problem.t -> k:int -> int array -> int array
+(** [refine problem ~k path] merges runs of [path] until at most [k]
+    changes remain, and returns the refined path.  If [k] is smaller than
+    any reachable change count (only possible when the instance counts the
+    initial change and [k = 0]), the initial configuration is used
+    throughout.  Raises [Invalid_argument] on a wrong-length path or
+    negative [k]. *)

@@ -1,0 +1,43 @@
+type params = { window : int; horizon : int; threshold : float }
+
+let default_params = { window = 2; horizon = 4; threshold = 1.0 }
+
+let run ?(params = default_params) problem =
+  if params.window <= 0 || params.horizon <= 0 then
+    invalid_arg "Online_tuner.run: window and horizon must be positive";
+  let n_steps = Problem.n_steps problem in
+  let n_configs = Problem.n_configs problem in
+  let exec = problem.Problem.exec in
+  let trans = problem.Problem.trans in
+  let path = Array.make n_steps problem.Problem.initial in
+  let current = ref problem.Problem.initial in
+  for s = 0 to n_steps - 1 do
+    path.(s) <- !current;
+    (* Evaluate the window [s - window + 1 .. s] after executing step s. *)
+    let window_start = max 0 (s - params.window + 1) in
+    let window_cost c =
+      let acc = ref 0.0 in
+      for i = window_start to s do
+        acc := !acc +. exec.(i).(c)
+      done;
+      !acc
+    in
+    let current_cost = window_cost !current in
+    let best = ref !current in
+    let best_cost = ref current_cost in
+    for c = 0 to n_configs - 1 do
+      let cost = window_cost c in
+      if cost < !best_cost then begin
+        best := c;
+        best_cost := cost
+      end
+    done;
+    if !best <> !current then begin
+      let window_len = float_of_int (s - window_start + 1) in
+      let benefit =
+        (current_cost -. !best_cost) *. float_of_int params.horizon /. window_len
+      in
+      if benefit > params.threshold *. trans.(!current).(!best) then current := !best
+    end
+  done;
+  path

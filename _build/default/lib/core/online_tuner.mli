@@ -1,0 +1,31 @@
+(** A reactive online tuner, the related-work baseline.
+
+    The paper contrasts its offline constrained designs with on-line
+    approaches (Bruno/Chaudhuri, COLT): mechanisms that observe the
+    workload as it runs and switch designs when the recent past justifies
+    the transition cost.  This module implements that policy at step
+    granularity so examples and ablation benches can compare the three
+    regimes (static, online-reactive, offline-constrained) on equal
+    footing.
+
+    Policy: after executing each step, estimate every configuration's EXEC
+    over the last [window] steps; switch to the best configuration [b] if
+
+    {v (cost(current) - cost(b)) * horizon / window > threshold * TRANS(current, b) v}
+
+    i.e. if the recent benefit, extrapolated [horizon] steps forward, pays
+    for the transition. *)
+
+type params = {
+  window : int;  (** how many recent steps to evaluate over (default 2) *)
+  horizon : int;  (** extrapolation horizon in steps (default 4) *)
+  threshold : float;  (** required benefit/cost ratio (default 1.0) *)
+}
+
+val default_params : params
+
+val run : ?params:params -> Problem.t -> int array
+(** The configuration the tuner would have used for each step.  The tuner
+    only sees steps it has already executed: the config for step [s]
+    depends on steps [0 .. s-1] only, and step 0 runs under the initial
+    configuration. *)

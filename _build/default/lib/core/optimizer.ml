@@ -1,0 +1,74 @@
+module Staged_dag = Cddpd_graph.Staged_dag
+module Kaware = Cddpd_graph.Kaware
+module Ranking = Cddpd_graph.Ranking
+module Timer = Cddpd_util.Timer
+
+type error = Infeasible | Ranking_gave_up of int
+
+let finish problem method_name elapsed path =
+  {
+    Solution.path;
+    cost = Problem.path_cost problem path;
+    changes = Problem.path_changes problem path;
+    method_name;
+    elapsed;
+  }
+
+let require_k method_name k =
+  match k with
+  | Some k when k >= 0 -> k
+  | Some _ -> invalid_arg "Optimizer.solve: negative k"
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Optimizer.solve: method %s requires k"
+           (Solution.method_to_string method_name))
+
+let hybrid_uses_merging ~l ~k = k > l / 2
+
+let solve problem ~method_name ?k ?(max_paths = 1_000_000) () =
+  let graph = Problem.to_graph problem in
+  let initial = Problem.initial_for_counting problem in
+  let run () =
+    match method_name with
+    | Solution.Unconstrained ->
+        let _, path = Staged_dag.shortest_path graph in
+        Ok path
+    | Solution.Kaware -> (
+        let k = require_k method_name k in
+        match Kaware.solve graph ~k ~initial with
+        | Some (_, path) -> Ok path
+        | None -> Error Infeasible)
+    | Solution.Greedy_seq -> (
+        let k = require_k method_name k in
+        match Greedy_seq.solve problem ~k with
+        | Some (_, path) -> Ok path
+        | None -> Error Infeasible)
+    | Solution.Merging ->
+        let k = require_k method_name k in
+        let _, unconstrained_path = Staged_dag.shortest_path graph in
+        Ok (Merging.refine problem ~k unconstrained_path)
+    | Solution.Ranking -> (
+        let k = require_k method_name k in
+        match Ranking.solve_constrained graph ~k ~initial ~max_paths () with
+        | `Found (_, path, _) -> Ok path
+        | `Gave_up n -> Error (Ranking_gave_up n))
+    | Solution.Hybrid -> (
+        let k = require_k method_name k in
+        let _, unconstrained_path = Staged_dag.shortest_path graph in
+        let l = Staged_dag.path_changes graph ~initial unconstrained_path in
+        if l <= k then Ok unconstrained_path
+        else if hybrid_uses_merging ~l ~k then
+          Ok (Merging.refine problem ~k unconstrained_path)
+        else
+          match Kaware.solve graph ~k ~initial with
+          | Some (_, path) -> Ok path
+          | None -> Error Infeasible)
+  in
+  let result, elapsed = Timer.time run in
+  Result.map (finish problem method_name elapsed) result
+
+let unconstrained problem =
+  match solve problem ~method_name:Solution.Unconstrained () with
+  | Ok solution -> solution
+  | Error (Infeasible | Ranking_gave_up _) ->
+      assert false (* the unconstrained problem always has a solution *)

@@ -1,0 +1,30 @@
+(** Unified entry point to every solver in the paper.
+
+    All solvers return a {!Solution.t} whose [cost] and [changes] are
+    recomputed from the instance, so heuristic solvers cannot misreport. *)
+
+type error =
+  | Infeasible  (** no schedule satisfies the change budget *)
+  | Ranking_gave_up of int
+      (** ranking examined this many paths without finding one within the
+          budget (the paper's worst case) *)
+
+val solve :
+  Problem.t ->
+  method_name:Solution.method_name ->
+  ?k:int ->
+  ?max_paths:int ->
+  unit ->
+  (Solution.t, error) result
+(** Run one solver.  [k] is required by every method except
+    [Unconstrained] (raises [Invalid_argument] when missing).
+    [max_paths] bounds the [Ranking] enumeration (default 1_000_000).
+    Elapsed wall-clock time is recorded in the solution. *)
+
+val unconstrained : Problem.t -> Solution.t
+(** Convenience: the sequence-graph optimum. *)
+
+val hybrid_uses_merging : l:int -> k:int -> bool
+(** The hybrid rule (Section 6.4's conclusion): with [l] changes in the
+    unconstrained optimum, use merging when [k > l / 2] (few merge steps
+    needed), the k-aware graph otherwise. *)

@@ -1,0 +1,123 @@
+module Ast = Cddpd_sql.Ast
+module Cost_model = Cddpd_engine.Cost_model
+module Staged_dag = Cddpd_graph.Staged_dag
+
+type t = {
+  steps : Ast.statement array array;
+  space : Config_space.t;
+  initial : int;
+  exec : float array array;
+  trans : float array array;
+  count_initial_change : bool;
+}
+
+let n_steps t = Array.length t.steps
+
+let n_configs t = Config_space.size t.space
+
+let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = false) () =
+  if Array.length steps = 0 then invalid_arg "Problem.build: no steps";
+  let initial_id = Config_space.id_of_exn space initial in
+  let n_configs = Config_space.size space in
+  let table_of statement =
+    match statement with
+    | Ast.Select { table; _ }
+    | Ast.Select_agg { table; _ }
+    | Ast.Insert { table; _ }
+    | Ast.Delete { table; _ }
+    | Ast.Update { table; _ } ->
+        table
+  in
+  let exec =
+    Array.map
+      (fun step ->
+        Array.init n_configs (fun c ->
+            let design = Config_space.design space c in
+            Array.fold_left
+              (fun acc statement ->
+                acc
+                +. Cost_model.statement_cost params
+                     (stats_of (table_of statement))
+                     design statement)
+              0.0 step))
+      steps
+  in
+  let trans =
+    Array.init n_configs (fun i ->
+        Array.init n_configs (fun j ->
+            if i = j then 0.0
+            else
+              Cost_model.transition_cost params ~stats_of
+                ~from_design:(Config_space.design space i)
+                ~to_design:(Config_space.design space j)))
+  in
+  { steps; space; initial = initial_id; exec; trans; count_initial_change }
+
+let of_matrices ~steps ~space ~initial ~exec ~trans ?(count_initial_change = false) () =
+  let n_steps = Array.length steps in
+  let n_configs = Config_space.size space in
+  if n_steps = 0 then invalid_arg "Problem.of_matrices: no steps";
+  if initial < 0 || initial >= n_configs then
+    invalid_arg "Problem.of_matrices: initial out of range";
+  if Array.length exec <> n_steps then
+    invalid_arg "Problem.of_matrices: exec has wrong number of rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n_configs then
+        invalid_arg "Problem.of_matrices: exec row has wrong width";
+      Array.iter
+        (fun c -> if c < 0.0 then invalid_arg "Problem.of_matrices: negative exec cost")
+        row)
+    exec;
+  if Array.length trans <> n_configs then
+    invalid_arg "Problem.of_matrices: trans has wrong number of rows";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n_configs then
+        invalid_arg "Problem.of_matrices: trans row has wrong width";
+      Array.iteri
+        (fun j c ->
+          if c < 0.0 then invalid_arg "Problem.of_matrices: negative trans cost";
+          if i = j && c <> 0.0 then
+            invalid_arg "Problem.of_matrices: non-zero self-transition")
+        row)
+    trans;
+  { steps; space; initial; exec; trans; count_initial_change }
+
+let to_graph t =
+  Staged_dag.make ~n_stages:(n_steps t) ~n_nodes:(n_configs t)
+    ~node_cost:(fun s j -> t.exec.(s).(j))
+    ~edge_cost:(fun _s i j -> t.trans.(i).(j))
+    ~source_cost:(fun j -> t.trans.(t.initial).(j))
+    ()
+
+let initial_for_counting t = if t.count_initial_change then Some t.initial else None
+
+let path_cost t path = Staged_dag.path_cost (to_graph t) path
+
+let path_changes t path =
+  Staged_dag.path_changes (to_graph t) ~initial:(initial_for_counting t) path
+
+let restrict t ids =
+  let with_initial = if List.mem t.initial ids then ids else t.initial :: ids in
+  let sub_space, mapping = Config_space.restrict t.space with_initial in
+  let n = Array.length mapping in
+  let exec =
+    Array.map (fun row -> Array.init n (fun j -> row.(mapping.(j)))) t.exec
+  in
+  let trans =
+    Array.init n (fun i -> Array.init n (fun j -> t.trans.(mapping.(i)).(mapping.(j))))
+  in
+  let initial =
+    let rec find i = if mapping.(i) = t.initial then i else find (i + 1) in
+    find 0
+  in
+  ( {
+      steps = t.steps;
+      space = sub_space;
+      initial;
+      exec;
+      trans;
+      count_initial_change = t.count_initial_change;
+    },
+    mapping )

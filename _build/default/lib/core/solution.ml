@@ -1,0 +1,40 @@
+type method_name = Unconstrained | Kaware | Greedy_seq | Merging | Ranking | Hybrid
+
+type t = {
+  path : int array;
+  cost : float;
+  changes : int;
+  method_name : method_name;
+  elapsed : float;
+}
+
+let method_to_string m =
+  match m with
+  | Unconstrained -> "unconstrained"
+  | Kaware -> "k-aware"
+  | Greedy_seq -> "greedy-seq"
+  | Merging -> "merging"
+  | Ranking -> "ranking"
+  | Hybrid -> "hybrid"
+
+let schedule problem t =
+  Array.map (Config_space.design problem.Problem.space) t.path
+
+let runs problem t =
+  let n = Array.length t.path in
+  let rec go start acc =
+    if start >= n then List.rev acc
+    else begin
+      let config = t.path.(start) in
+      let stop = ref start in
+      while !stop < n && t.path.(!stop) = config do
+        incr stop
+      done;
+      go !stop ((start, !stop - start, Config_space.design problem.Problem.space config) :: acc)
+    end
+  in
+  go 0 []
+
+let pp ppf t =
+  Format.fprintf ppf "%s: cost=%.2f changes=%d elapsed=%.4fs"
+    (method_to_string t.method_name) t.cost t.changes t.elapsed

@@ -1,0 +1,27 @@
+(** Solver outputs: a design schedule with its cost and change count. *)
+
+type method_name =
+  | Unconstrained  (** sequence-graph shortest path (Agrawal et al.) *)
+  | Kaware  (** optimal constrained: k-aware sequence graph (Section 3) *)
+  | Greedy_seq  (** candidate reduction + k-aware graph (Section 4.1) *)
+  | Merging  (** sequential design merging (Section 4.2) *)
+  | Ranking  (** shortest-path ranking (Section 5) *)
+  | Hybrid  (** k-aware for small k, merging for large k (Section 6.4) *)
+
+type t = {
+  path : int array;  (** config id per step *)
+  cost : float;  (** sequence execution cost (Definition 1's objective) *)
+  changes : int;  (** design changes under the instance's counting rule *)
+  method_name : method_name;
+  elapsed : float;  (** solver wall-clock seconds *)
+}
+
+val method_to_string : method_name -> string
+
+val schedule : Problem.t -> t -> Cddpd_catalog.Design.t array
+(** The designs along the path, one per step. *)
+
+val runs : Problem.t -> t -> (int * int * Cddpd_catalog.Design.t) list
+(** Maximal runs of equal designs: (first step, length, design). *)
+
+val pp : Format.formatter -> t -> unit

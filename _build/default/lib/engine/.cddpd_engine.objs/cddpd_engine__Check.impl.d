@@ -1,0 +1,1 @@
+lib/engine/check.ml: Array Cddpd_catalog Cddpd_sql List Printf Result String

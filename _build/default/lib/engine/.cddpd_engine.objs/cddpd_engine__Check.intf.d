@@ -1,0 +1,1 @@
+lib/engine/check.mli: Cddpd_catalog Cddpd_sql

@@ -1,0 +1,1 @@
+lib/engine/cost_model.ml: Cddpd_catalog Cddpd_sql Cddpd_storage Float Histogram List Plan String Table_stats

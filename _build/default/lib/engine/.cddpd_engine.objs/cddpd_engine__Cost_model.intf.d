@@ -1,0 +1,1 @@
+lib/engine/cost_model.mli: Cddpd_catalog Cddpd_sql Plan Table_stats

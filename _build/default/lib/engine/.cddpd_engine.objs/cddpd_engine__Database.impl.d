@@ -1,0 +1,1 @@
+lib/engine/database.ml: Array Bytes Cddpd_catalog Cddpd_sql Cddpd_storage Check Cost_model Hashtbl Histogram Index Int64 List Mat_view Option Plan Printf String Table_stats

@@ -1,0 +1,1 @@
+lib/engine/database.mli: Cddpd_catalog Cddpd_sql Cddpd_storage Cost_model Plan Table_stats

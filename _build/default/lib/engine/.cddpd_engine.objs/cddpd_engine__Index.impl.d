@@ -1,0 +1,1 @@
+lib/engine/index.ml: Array Cddpd_catalog Cddpd_sql Cddpd_storage List Plan Printf

@@ -1,0 +1,1 @@
+lib/engine/index.mli: Cddpd_catalog Cddpd_storage Plan

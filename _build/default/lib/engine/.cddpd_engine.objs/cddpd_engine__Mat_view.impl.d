@@ -1,0 +1,1 @@
+lib/engine/mat_view.ml: Array Cddpd_catalog Cddpd_storage Hashtbl List Printf

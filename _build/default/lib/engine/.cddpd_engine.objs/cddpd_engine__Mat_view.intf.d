@@ -1,0 +1,1 @@
+lib/engine/mat_view.mli: Cddpd_catalog Cddpd_storage

@@ -1,0 +1,1 @@
+lib/engine/plan.ml: Cddpd_catalog Cddpd_sql Format List Printf String

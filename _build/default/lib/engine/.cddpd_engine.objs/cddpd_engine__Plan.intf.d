@@ -1,0 +1,1 @@
+lib/engine/plan.mli: Cddpd_catalog Cddpd_sql Format

@@ -1,0 +1,1 @@
+lib/engine/table_stats.ml: Cddpd_sql Cddpd_storage Histogram List

@@ -1,0 +1,1 @@
+lib/engine/table_stats.mli: Cddpd_sql Histogram

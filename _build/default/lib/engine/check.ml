@@ -1,0 +1,91 @@
+module Ast = Cddpd_sql.Ast
+module Schema = Cddpd_catalog.Schema
+
+let ( let* ) = Result.bind
+
+let find_table tables name =
+  match List.find_opt (fun (t : Schema.table) -> String.equal t.name name) tables with
+  | Some t -> Ok t
+  | None -> Error (Printf.sprintf "unknown table %s" name)
+
+let check_column_value table column value =
+  match Schema.column_type table column with
+  | None -> Error (Printf.sprintf "unknown column %s in table %s" column table.Schema.name)
+  | Some ty ->
+      if Schema.value_matches ty value then Ok ()
+      else Error (Printf.sprintf "literal type mismatch on column %s" column)
+
+let check_predicate table pred =
+  match pred with
+  | Ast.Cmp { column; value; _ } -> check_column_value table column value
+  | Ast.Between { column; low; high } ->
+      let* () = check_column_value table column low in
+      check_column_value table column high
+
+let rec check_all f items =
+  match items with
+  | [] -> Ok ()
+  | item :: rest ->
+      let* () = f item in
+      check_all f rest
+
+let statement tables stmt =
+  match stmt with
+  | Ast.Select { projection; table; where } ->
+      let* t = find_table tables table in
+      let* () =
+        match projection with
+        | Ast.Star -> Ok ()
+        | Ast.Columns [] -> Error "empty projection list"
+        | Ast.Columns cs ->
+            check_all
+              (fun c ->
+                if Schema.mem_column t c then Ok ()
+                else Error (Printf.sprintf "unknown column %s in table %s" c table))
+              cs
+      in
+      check_all (check_predicate t) where
+  | Ast.Select_agg { table; group_by; aggregate; where } ->
+      let* t = find_table tables table in
+      let* () =
+        if Schema.mem_column t group_by then Ok ()
+        else Error (Printf.sprintf "unknown column %s in table %s" group_by table)
+      in
+      let* () =
+        match aggregate with
+        | Ast.Count_star -> Ok ()
+        | Ast.Sum column -> (
+            match Schema.column_type t column with
+            | Some Schema.Int_type -> Ok ()
+            | Some Schema.Text_type ->
+                Error (Printf.sprintf "SUM over text column %s" column)
+            | None -> Error (Printf.sprintf "unknown column %s in table %s" column table))
+      in
+      check_all (check_predicate t) where
+  | Ast.Insert { table; values } ->
+      let* t = find_table tables table in
+      if List.length values <> Schema.arity t then
+        Error
+          (Printf.sprintf "INSERT arity %d does not match table %s arity %d"
+             (List.length values) table (Schema.arity t))
+      else
+        Schema.validate_tuple t (Array.of_list values)
+  | Ast.Delete { table; where } ->
+      let* t = find_table tables table in
+      check_all (check_predicate t) where
+  | Ast.Update { table; assignments; where } ->
+      let* t = find_table tables table in
+      let* () =
+        match assignments with
+        | [] -> Error "UPDATE with no assignments"
+        | _ :: _ ->
+            check_all
+              (fun (column, value) -> check_column_value t column value)
+              assignments
+      in
+      check_all (check_predicate t) where
+
+let statement_exn tables stmt =
+  match statement tables stmt with
+  | Ok () -> ()
+  | Error message -> invalid_arg ("Check.statement: " ^ message)

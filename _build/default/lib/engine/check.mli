@@ -1,0 +1,12 @@
+(** Semantic validation of statements against a schema. *)
+
+val statement :
+  Cddpd_catalog.Schema.table list ->
+  Cddpd_sql.Ast.statement ->
+  (unit, string) result
+(** Verify that the referenced table exists, every referenced column
+    exists, literal types match the column types, and INSERT arity matches
+    the table. *)
+
+val statement_exn : Cddpd_catalog.Schema.table list -> Cddpd_sql.Ast.statement -> unit
+(** Like {!statement}; raises [Invalid_argument] with the message. *)

@@ -1,0 +1,416 @@
+module Ast = Cddpd_sql.Ast
+module Index_def = Cddpd_catalog.Index_def
+module View_def = Cddpd_catalog.View_def
+module Structure = Cddpd_catalog.Structure
+module Design = Cddpd_catalog.Design
+module Tuple = Cddpd_storage.Tuple
+module Page = Cddpd_storage.Page
+
+type params = {
+  page_io : float;
+  row_cpu : float;
+  rid_fetch : float;
+  sort_cpu : float;
+  drop_cost : float;
+  build_write_ratio : float;
+  leaf_fill : float;
+}
+
+let default_params =
+  {
+    page_io = 1.0;
+    row_cpu = 0.001;
+    rid_fetch = 1.0;
+    sort_cpu = 0.0002;
+    drop_cost = 1.0;
+    build_write_ratio = 1.0;
+    leaf_fill = 0.9;
+  }
+
+(* -- index shape --------------------------------------------------------- *)
+
+(* Mirrors Btree's layout: header 7 bytes, rid stored as two extra key
+   components. *)
+let btree_header = 7
+
+let index_leaf_entry_bytes index = (List.length (Index_def.columns index) + 2) * 8
+
+let leaf_entries_per_page index = (Page.size - btree_header) / index_leaf_entry_bytes index
+
+let internal_fanout index =
+  ((Page.size - btree_header - 4) / (index_leaf_entry_bytes index + 4)) + 1
+
+let ceil_div a b = (a + b - 1) / b
+
+let index_leaf_pages params ~rows index =
+  if rows = 0 then 1
+  else
+    let per_page =
+      max 1 (int_of_float (float_of_int (leaf_entries_per_page index) *. params.leaf_fill))
+    in
+    ceil_div rows per_page
+
+let index_height params ~rows index =
+  let fanout = max 2 (internal_fanout index) in
+  let rec levels pages acc = if pages <= 1 then acc else levels (ceil_div pages fanout) (acc + 1) in
+  levels (index_leaf_pages params ~rows index) 1
+
+let index_size_pages params ~rows index =
+  let fanout = max 2 (internal_fanout index) in
+  let rec total pages acc =
+    if pages <= 1 then acc + (if acc = 0 then 1 else pages)
+    else total (ceil_div pages fanout) (acc + pages)
+  in
+  total (index_leaf_pages params ~rows index) 0
+
+let index_size_bytes params ~rows index = index_size_pages params ~rows index * Page.size
+
+(* -- view shape ------------------------------------------------------------ *)
+
+(* Estimated number of distinct group values, from the column histogram. *)
+let view_rows stats view =
+  match Table_stats.histogram stats (View_def.group_by view) with
+  | Some h -> max 1 (Histogram.n_distinct h)
+  | None -> max 1 (Table_stats.row_count stats / 10)
+
+(* View row: group + count + one sum per histogrammed column; stored as an
+   all-int tuple in a slotted heap page plus a 3-component lookup tree. *)
+let view_row_bytes stats =
+  let n_sums = Table_stats.n_histograms stats in
+  2 + (9 * (2 + n_sums)) + 4 (* slot entry *)
+
+let view_heap_pages stats view =
+  let per_page = max 1 ((Page.size - 4) / view_row_bytes stats) in
+  ceil_div (view_rows stats view) per_page
+
+(* The lookup tree has 3-component keys: reuse the index estimators via a
+   synthetic 1-column definition (1 logical column + rid = 3 components). *)
+let view_tree_shape_index view =
+  Index_def.make ~table:(View_def.table view) ~columns:[ View_def.group_by view ]
+
+let view_size_pages params ~stats view =
+  view_heap_pages stats view
+  + index_size_pages params ~rows:(view_rows stats view) (view_tree_shape_index view)
+
+let view_size_bytes params ~stats view = view_size_pages params ~stats view * Page.size
+
+let view_height params ~stats view =
+  index_height params ~rows:(view_rows stats view) (view_tree_shape_index view)
+
+let structure_size_bytes params ~stats structure =
+  match structure with
+  | Structure.Index index ->
+      index_size_bytes params ~rows:(Table_stats.row_count stats) index
+  | Structure.View view -> view_size_bytes params ~stats view
+
+let design_size_bytes params ~stats_of design =
+  Design.fold
+    (fun structure acc ->
+      acc + structure_size_bytes params ~stats:(stats_of (Structure.table structure)) structure)
+    design 0
+
+(* -- plan selection ------------------------------------------------------- *)
+
+let int_value v = match v with Tuple.Int i -> Some i | Tuple.Text _ -> None
+
+let full_scan_cost params stats =
+  let pages = float_of_int (max 1 (Table_stats.page_count stats)) in
+  let rows = float_of_int (Table_stats.row_count stats) in
+  (params.page_io *. pages) +. (params.row_cpu *. rows)
+
+(* A range bound on the column right after the equality prefix, if the
+   query has exactly one usable comparison on it. *)
+let range_on_column select column =
+  let bounds =
+    List.filter_map
+      (fun pred ->
+        match pred with
+        | Ast.Cmp { op = Ast.Eq; _ } -> None
+        | Ast.Cmp { column = c; op; value } when String.equal c column -> (
+            match int_value value with
+            | Some v -> Some (`Cmp (op, v))
+            | None -> None)
+        | Ast.Between { column = c; low; high } when String.equal c column -> (
+            match (int_value low, int_value high) with
+            | Some lo, Some hi -> Some (`Between (lo, hi))
+            | _ -> None)
+        | Ast.Cmp _ | Ast.Between _ -> None)
+      select.Ast.where
+  in
+  match bounds with
+  | [ `Cmp (op, v) ] -> (
+      match op with
+      | Ast.Lt | Ast.Le -> Some (None, Some { Plan.op; value = v })
+      | Ast.Gt | Ast.Ge -> Some (Some { Plan.op; value = v }, None)
+      | Ast.Eq -> None)
+  | [ `Between (lo, hi) ] ->
+      Some (Some { Plan.op = Ast.Ge; value = lo }, Some { Plan.op = Ast.Le; value = hi })
+  | [] | _ :: _ :: _ -> None
+
+(* The predicates an index seek with prefix [eq_cols] and optional range on
+   [range_col] covers, for selectivity purposes. *)
+let seek_selectivity stats select eq_cols range_col =
+  let covered pred =
+    match pred with
+    | Ast.Cmp { column; op = Ast.Eq; _ } -> List.mem column eq_cols
+    | Ast.Cmp { column; _ } | Ast.Between { column; _ } -> (
+        match range_col with Some c -> String.equal c column | None -> false)
+  in
+  List.fold_left
+    (fun acc pred ->
+      if covered pred then acc *. Table_stats.predicate_selectivity stats pred else acc)
+    1.0 select.Ast.where
+
+(* Whether the index key contains every column the select references, so
+   the query can be answered without touching the heap. *)
+let index_covers select index =
+  match select.Ast.projection with
+  | Ast.Star -> false (* [*] references every table column *)
+  | Ast.Columns _ ->
+      let key = Index_def.columns index in
+      List.for_all (fun c -> List.mem c key) (Ast.referenced_columns (Ast.Select select))
+
+(* Covering leaf scan: read the whole (narrow) leaf level instead of the
+   heap.  Applicable whenever the index covers the query; chosen by the
+   planner when no seek beats it. *)
+let index_only_scan_plan params stats select index =
+  if not (index_covers select index) then None
+  else
+    let rows = Table_stats.row_count stats in
+    let leaf_pages = float_of_int (index_leaf_pages params ~rows index) in
+    let cost = (params.page_io *. leaf_pages) +. (params.row_cpu *. float_of_int rows) in
+    Some
+      {
+        Plan.path = Plan.Index_only_scan { index };
+        estimated_rows = Table_stats.estimate_rows stats select.Ast.where;
+        estimated_cost = cost;
+      }
+
+(* Try to use [index] for [select]; None if the index gives no sargable
+   prefix. *)
+let index_seek_plan params stats select index =
+  let eq = Ast.eq_columns select in
+  let rec match_prefix columns acc =
+    match columns with
+    | [] -> (List.rev acc, None)
+    | col :: rest -> (
+        match List.assoc_opt col eq with
+        | Some value -> (
+            match int_value value with
+            | Some v -> match_prefix rest ((col, v) :: acc)
+            | None -> (List.rev acc, Some col))
+        | None -> (List.rev acc, Some col))
+  in
+  let prefix, next_col = match_prefix (Index_def.columns index) [] in
+  let range =
+    match next_col with
+    | Some col -> range_on_column select col
+    | None -> None
+  in
+  match (prefix, range) with
+  | [], None -> None
+  | _ ->
+      let eq_cols = List.map fst prefix in
+      let range_col = match range with Some _ -> next_col | None -> None in
+      let sel = seek_selectivity stats select eq_cols range_col in
+      let rows = float_of_int (Table_stats.row_count stats) in
+      let matched = sel *. rows in
+      let per_page = float_of_int (max 1 (leaf_entries_per_page index)) in
+      let leaf_pages_touched = Float.max 1.0 (Float.ceil (matched /. per_page)) in
+      let height = float_of_int (index_height params ~rows:(Table_stats.row_count stats) index) in
+      let all_rows_sel = Table_stats.conjunction_selectivity stats select.Ast.where in
+      (* A covering seek never touches the heap; a covering seek also
+         requires every residual predicate column to be in the key, which
+         [index_covers] implies. *)
+      let covering = index_covers select index in
+      let fetch = if covering then 0.0 else params.rid_fetch *. matched in
+      let cost =
+        (params.page_io *. (height +. leaf_pages_touched))
+        +. fetch
+        +. (params.row_cpu *. matched)
+      in
+      Some
+        {
+          Plan.path =
+            Plan.Index_seek { index; eq_prefix = List.map snd prefix; range; covering };
+          estimated_rows = all_rows_sel *. rows;
+          estimated_cost = cost;
+        }
+
+let choose_plan params stats design select =
+  let scan =
+    {
+      Plan.path = Plan.Full_scan;
+      estimated_rows = Table_stats.estimate_rows stats select.Ast.where;
+      estimated_cost = full_scan_cost params stats;
+    }
+  in
+  let consider candidate best =
+    match candidate with
+    | Some plan when plan.Plan.estimated_cost < best.Plan.estimated_cost -> plan
+    | Some _ | None -> best
+  in
+  Design.fold_indexes
+    (fun index best ->
+      if not (String.equal (Index_def.table index) select.Ast.table) then best
+      else
+        best
+        |> consider (index_seek_plan params stats select index)
+        |> consider (index_only_scan_plan params stats select index))
+    design scan
+
+let select_cost params stats design select =
+  (choose_plan params stats design select).Plan.estimated_cost
+
+(* -- aggregate queries ------------------------------------------------------ *)
+
+(* A view answers the aggregate query iff it groups by the same column and
+   every predicate is an equality on that column (the probe key). *)
+let view_answers ~group_by ~where view =
+  String.equal (View_def.group_by view) group_by
+  && List.for_all
+       (fun pred ->
+         match pred with
+         | Ast.Cmp { column; op = Ast.Eq; _ } -> String.equal column group_by
+         | Ast.Cmp _ | Ast.Between _ -> false)
+       where
+
+let group_eq_value ~group_by ~where =
+  List.find_map
+    (fun pred ->
+      match pred with
+      | Ast.Cmp { column; op = Ast.Eq; value = Tuple.Int v }
+        when String.equal column group_by ->
+          Some v
+      | Ast.Cmp _ | Ast.Between _ -> None)
+    where
+
+let choose_agg_plan params stats design ~table ~group_by ~where =
+  (* Baseline: scan the heap and aggregate on the fly. *)
+  let groups =
+    match Table_stats.histogram stats group_by with
+    | Some h -> float_of_int (max 1 (Histogram.n_distinct h))
+    | None -> Float.max 1.0 (float_of_int (Table_stats.row_count stats) /. 10.)
+  in
+  let scan =
+    {
+      Plan.path = Plan.Full_scan;
+      estimated_rows = groups;
+      estimated_cost =
+        full_scan_cost params stats
+        +. (params.row_cpu *. float_of_int (Table_stats.row_count stats));
+    }
+  in
+  Design.fold_views
+    (fun view best ->
+      if
+        String.equal (View_def.table view) table
+        && view_answers ~group_by ~where view
+      then begin
+        let group_value = group_eq_value ~group_by ~where in
+        let cost =
+          match group_value with
+          | Some _ ->
+              (* Probe: tree descent plus one heap fetch. *)
+              params.page_io *. float_of_int (view_height params ~stats view + 1)
+          | None ->
+              (* Scan every view row via the tree leaves and heap pages. *)
+              params.page_io *. float_of_int (view_size_pages params ~stats view)
+              +. (params.row_cpu *. groups)
+        in
+        let estimated_rows = match group_value with Some _ -> 1.0 | None -> groups in
+        if cost < best.Plan.estimated_cost then
+          { Plan.path = Plan.View_probe { view; group_value }; estimated_rows;
+            estimated_cost = cost }
+        else best
+      end
+      else best)
+    design scan
+
+(* Per affected base row: each index pays a root-to-leaf update; each view
+   pays a lookup plus a row rewrite. *)
+let index_maintenance_cost params stats design table =
+  let index_part =
+    Design.fold_indexes
+      (fun index acc ->
+        if String.equal (Index_def.table index) table then
+          acc
+          +. (params.page_io
+             *. float_of_int
+                  (index_height params ~rows:(Table_stats.row_count stats) index + 1))
+        else acc)
+      design 0.0
+  in
+  Design.fold_views
+    (fun view acc ->
+      if String.equal (View_def.table view) table then
+        acc +. (params.page_io *. float_of_int (view_height params ~stats view + 3))
+      else acc)
+    design index_part
+
+(* DELETE/UPDATE find their victims like a SELECT * (never covered, so the
+   plan always yields heap rows), then pay per-row write and index
+   maintenance. *)
+let dml_cost params stats design ~table ~where ~writes_per_row =
+  let find_select = { Ast.projection = Ast.Star; table; where } in
+  let find = select_cost params stats design find_select in
+  let affected = Table_stats.estimate_rows stats where in
+  let maintenance = index_maintenance_cost params stats design table in
+  find +. (affected *. ((writes_per_row *. params.page_io) +. maintenance))
+
+let statement_cost params stats design statement =
+  match statement with
+  | Ast.Select select -> select_cost params stats design select
+  | Ast.Select_agg { table; group_by; where; _ } ->
+      (choose_agg_plan params stats design ~table ~group_by ~where).Plan.estimated_cost
+  | Ast.Insert { table; _ } ->
+      params.page_io +. index_maintenance_cost params stats design table
+  | Ast.Delete { table; where } ->
+      dml_cost params stats design ~table ~where ~writes_per_row:1.0
+  | Ast.Update { table; where; _ } ->
+      (* Delete the old version, insert the new one: two heap writes and
+         double index maintenance per affected row. *)
+      2.0 *. dml_cost params stats design ~table ~where ~writes_per_row:1.0
+
+(* -- transitions ---------------------------------------------------------- *)
+
+let build_cost params stats index =
+  let rows = Table_stats.row_count stats in
+  let scan = float_of_int (max 1 (Table_stats.page_count stats)) *. params.page_io in
+  let sort =
+    if rows <= 1 then 0.0
+    else params.sort_cpu *. float_of_int rows *. (log (float_of_int rows) /. log 2.0)
+  in
+  let write =
+    params.build_write_ratio *. params.page_io
+    *. float_of_int (index_size_pages params ~rows index)
+  in
+  scan +. sort +. write
+
+(* Building a view: scan the base table, aggregate (cpu), write the view
+   pages. *)
+let view_build_cost params stats view =
+  let scan = float_of_int (max 1 (Table_stats.page_count stats)) *. params.page_io in
+  let cpu = params.row_cpu *. float_of_int (Table_stats.row_count stats) in
+  let write =
+    params.build_write_ratio *. params.page_io
+    *. float_of_int (view_size_pages params ~stats view)
+  in
+  scan +. cpu +. write
+
+let structure_build_cost params stats structure =
+  match structure with
+  | Structure.Index index -> build_cost params stats index
+  | Structure.View view -> view_build_cost params stats view
+
+let transition_cost params ~stats_of ~from_design ~to_design =
+  let built = Design.diff to_design from_design in
+  let dropped = Design.diff from_design to_design in
+  let build_total =
+    Design.fold
+      (fun structure acc ->
+        acc
+        +. structure_build_cost params (stats_of (Structure.table structure)) structure)
+      built 0.0
+  in
+  build_total +. (params.drop_cost *. float_of_int (Design.cardinality dropped))

@@ -1,0 +1,79 @@
+(** The database façade: storage, catalog, statistics, planning and
+    execution in one handle.
+
+    This plays the role SQL Server played in the paper's experiments: it
+    holds the data, materialises whatever physical design the advisor (or
+    the simulator) asks for, executes statements with measured I/O, and
+    exposes the what-if cost model through its statistics. *)
+
+type t
+
+val create :
+  ?pool_capacity:int ->
+  ?params:Cost_model.params ->
+  Cddpd_catalog.Schema.table list ->
+  t
+(** A fresh database with the given schema.  [pool_capacity] is the buffer
+    pool size in pages (default 256). *)
+
+val params : t -> Cost_model.params
+
+val schema : t -> string -> Cddpd_catalog.Schema.table option
+
+val tables : t -> Cddpd_catalog.Schema.table list
+
+val load : t -> table:string -> Cddpd_storage.Tuple.t array -> unit
+(** Bulk-append tuples, maintaining any existing indexes, then refresh the
+    table's statistics.  Raises [Invalid_argument] on schema mismatch. *)
+
+val row_count : t -> string -> int
+
+val analyze : t -> unit
+(** (Re)collect statistics for every table. *)
+
+val table_stats : t -> string -> Table_stats.t
+(** Statistics for the table, computing them if stale.  Raises
+    [Invalid_argument] on an unknown table. *)
+
+(** {1 Physical design} *)
+
+val current_design : t -> Cddpd_catalog.Design.t
+
+val build_index : t -> Cddpd_catalog.Index_def.t -> unit
+(** Materialise an index (no-op if already present). *)
+
+val drop_index : t -> Cddpd_catalog.Index_def.t -> unit
+(** Remove an index (no-op if absent). *)
+
+val migrate_to : t -> Cddpd_catalog.Design.t -> unit
+(** Build and drop indexes so the materialised design equals the target —
+    the physical realisation of a TRANS step. *)
+
+(** {1 Execution} *)
+
+type exec_result = {
+  rows : Cddpd_storage.Tuple.t list;  (** result rows, in access order *)
+  affected : int;  (** rows inserted / deleted / updated *)
+  plan : Plan.t option;
+      (** the chosen plan (selects and the find phase of DELETE/UPDATE) *)
+  logical_io : int;  (** buffer pool page accesses *)
+  physical_io : int;  (** disk page reads *)
+}
+
+val execute : t -> Cddpd_sql.Ast.statement -> exec_result
+(** Validate, plan, and run one statement.  Raises [Invalid_argument] on
+    semantic errors. *)
+
+val execute_sql : t -> string -> exec_result
+(** Parse then {!execute}.  Raises [Cddpd_sql.Parser.Parse_error] or
+    [Invalid_argument]. *)
+
+(** {1 Measurement} *)
+
+val io_counters : t -> int * int
+(** Cumulative (logical, physical) I/O since creation or the last reset. *)
+
+val reset_io_counters : t -> unit
+
+val drop_buffer_cache : t -> unit
+(** Force the next accesses to hit the simulated disk (cold cache). *)

@@ -1,0 +1,136 @@
+module Btree = Cddpd_storage.Btree
+module Heap_file = Cddpd_storage.Heap_file
+module Tuple = Cddpd_storage.Tuple
+module Schema = Cddpd_catalog.Schema
+module Index_def = Cddpd_catalog.Index_def
+
+type t = {
+  def : Index_def.t;
+  tree : Btree.t;
+  positions : int array; (* tuple positions of the key columns *)
+}
+
+let def t = t.def
+
+let key_positions schema index =
+  List.map
+    (fun column ->
+      match Schema.column_type schema column with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Index.build: column %s not in table %s" column
+               schema.Schema.name)
+      | Some Schema.Text_type ->
+          invalid_arg
+            (Printf.sprintf "Index.build: column %s is text; only integer keys supported"
+               column)
+      | Some Schema.Int_type -> Schema.column_index_exn schema column)
+    (Index_def.columns index)
+  |> Array.of_list
+
+let physical_key positions tuple (rid : Heap_file.rid) =
+  let n = Array.length positions in
+  let key = Array.make (n + 2) 0 in
+  for i = 0 to n - 1 do
+    key.(i) <- Tuple.int_exn tuple.(positions.(i))
+  done;
+  key.(n) <- rid.Heap_file.page;
+  key.(n + 1) <- rid.Heap_file.slot;
+  key
+
+let build pool schema heap index =
+  let positions = key_positions schema index in
+  let entries = ref [] in
+  let count = ref 0 in
+  Heap_file.iter heap (fun rid tuple ->
+      entries := physical_key positions tuple rid :: !entries;
+      incr count);
+  let keys = Array.of_list !entries in
+  let key_len = Array.length positions + 2 in
+  let compare_keys a b =
+    let rec go i =
+      if i = key_len then 0
+      else
+        let c = compare (a.(i) : int) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  Array.sort compare_keys keys;
+  { def = index; tree = Btree.bulk_load pool ~key_len keys; positions }
+
+let insert_entry t tuple rid = Btree.insert t.tree (physical_key t.positions tuple rid)
+
+let delete_entry t tuple rid = Btree.delete t.tree (physical_key t.positions tuple rid)
+
+let columns t = Index_def.columns t.def
+
+let probe_bounds t ~eq_prefix ~range =
+  let n = Array.length t.positions in
+  let plen = List.length eq_prefix in
+  if plen > n then invalid_arg "Index.probe: prefix longer than the key";
+  let key_len = n + 2 in
+  let lo = Array.make key_len min_int in
+  let hi = Array.make key_len max_int in
+  List.iteri
+    (fun i v ->
+      lo.(i) <- v;
+      hi.(i) <- v)
+    eq_prefix;
+  (match range with
+  | None -> ()
+  | Some (low_bound, high_bound) ->
+      if plen >= n then invalid_arg "Index.probe: range bound beyond the key";
+      (match low_bound with
+      | None -> ()
+      | Some { Plan.op; value } -> (
+          match op with
+          | Cddpd_sql.Ast.Gt -> lo.(plen) <- value + 1
+          | Cddpd_sql.Ast.Ge -> lo.(plen) <- value
+          | Cddpd_sql.Ast.Eq | Cddpd_sql.Ast.Lt | Cddpd_sql.Ast.Le ->
+              invalid_arg "Index.probe: not a lower bound"));
+      (match high_bound with
+      | None -> ()
+      | Some { Plan.op; value } -> (
+          match op with
+          | Cddpd_sql.Ast.Lt -> hi.(plen) <- value - 1
+          | Cddpd_sql.Ast.Le -> hi.(plen) <- value
+          | Cddpd_sql.Ast.Eq | Cddpd_sql.Ast.Gt | Cddpd_sql.Ast.Ge ->
+              invalid_arg "Index.probe: not an upper bound")));
+  (lo, hi)
+
+let probe t ~eq_prefix ~range =
+  let n = Array.length t.positions in
+  let lo, hi = probe_bounds t ~eq_prefix ~range in
+  let rids = ref [] in
+  Btree.iter_range t.tree ~lo ~hi (fun key ->
+      rids := { Heap_file.page = key.(n); slot = key.(n + 1) } :: !rids);
+  List.rev !rids
+
+let probe_entries t ~eq_prefix ~range =
+  let n = Array.length t.positions in
+  let lo, hi = probe_bounds t ~eq_prefix ~range in
+  let entries = ref [] in
+  Btree.iter_range t.tree ~lo ~hi (fun key ->
+      entries := Array.sub key 0 n :: !entries);
+  List.rev !entries
+
+let scan_entries t f =
+  let n = Array.length t.positions in
+  Btree.iter_all t.tree (fun key -> f (Array.sub key 0 n))
+
+let probe_slices t ~eq_prefix ~range f =
+  let lo, hi = probe_bounds t ~eq_prefix ~range in
+  Btree.iter_range_slices t.tree ~lo ~hi f
+
+let scan_slices t f =
+  let key_len = Array.length t.positions + 2 in
+  let lo = Array.make key_len min_int in
+  let hi = Array.make key_len max_int in
+  Btree.iter_range_slices t.tree ~lo ~hi f
+
+let height t = Btree.height t.tree
+
+let n_pages t = Btree.n_pages t.tree
+
+let n_entries t = Btree.n_entries t.tree

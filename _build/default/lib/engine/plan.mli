@@ -1,0 +1,43 @@
+(** Physical access plans for select statements. *)
+
+type range_bound = {
+  op : Cddpd_sql.Ast.cmp; (** never [Eq] *)
+  value : int;
+}
+
+type access_path =
+  | Full_scan
+      (** Scan every heap page, filter, project. *)
+  | Index_seek of {
+      index : Cddpd_catalog.Index_def.t;
+      eq_prefix : int list;
+          (** Constants bound by equality to the index's leading columns. *)
+      range : (range_bound option * range_bound option) option;
+          (** Optional lower/upper bound on the next index column. *)
+      covering : bool;
+          (** Every column the query references is in the index key, so no
+              heap fetches are needed. *)
+    }
+  | Index_only_scan of { index : Cddpd_catalog.Index_def.t }
+      (** Scan the index leaf level instead of the (wider) heap; applicable
+          when the index covers the query but no prefix is sargable.  This
+          is what makes a composite index like I(a,b) useful for queries on
+          b alone. *)
+  | View_probe of {
+      view : Cddpd_catalog.View_def.t;
+      group_value : int option;
+          (** [Some v]: fetch one group's row; [None]: scan all groups *)
+    }
+      (** Answer an aggregate query from a materialized view instead of the
+          base table (only for [Select_agg] statements whose predicates are
+          all on the grouping column). *)
+
+type t = {
+  path : access_path;
+  estimated_rows : float; (** rows expected to satisfy all predicates *)
+  estimated_cost : float; (** cost-model units (page I/O equivalents) *)
+}
+
+val pp_access_path : Format.formatter -> access_path -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+(** Per-table statistics used for cardinality estimation.
+
+    Row count, heap page count, and one histogram per integer column.
+    Predicates on text columns fall back to a default selectivity. *)
+
+type t
+
+val make :
+  row_count:int ->
+  page_count:int ->
+  histograms:(string * Histogram.t) list ->
+  t
+(** Assemble statistics (normally done by [Database.analyze]). *)
+
+val row_count : t -> int
+
+val page_count : t -> int
+
+val histogram : t -> string -> Histogram.t option
+(** The column's histogram, if one was collected. *)
+
+val n_histograms : t -> int
+(** Number of columns with histograms (the table's integer columns). *)
+
+val default_selectivity : float
+(** Fallback selectivity (0.1) used when no histogram is available. *)
+
+val predicate_selectivity : t -> Cddpd_sql.Ast.predicate -> float
+(** Estimated fraction of rows satisfying the predicate. *)
+
+val conjunction_selectivity : t -> Cddpd_sql.Ast.predicate list -> float
+(** Product of per-predicate selectivities (independence assumption). *)
+
+val estimate_rows : t -> Cddpd_sql.Ast.predicate list -> float
+(** [conjunction_selectivity * row_count]. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Cddpd_core Cddpd_util List Printf Session

@@ -1,0 +1,1 @@
+lib/experiments/figure3.ml: Cddpd_catalog Cddpd_core Cddpd_engine Cddpd_util List Printf Session Table2

@@ -1,0 +1,1 @@
+lib/experiments/figure4.ml: Array Cddpd_core Cddpd_util List Printf Session Unix

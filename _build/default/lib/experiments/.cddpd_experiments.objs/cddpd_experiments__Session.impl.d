@@ -1,0 +1,1 @@
+lib/experiments/session.ml: Cddpd_core Cddpd_engine Cddpd_sql Setup

@@ -1,0 +1,1 @@
+lib/experiments/setup.ml: Cddpd_catalog Cddpd_core Cddpd_engine Cddpd_workload

@@ -1,0 +1,1 @@
+lib/experiments/setup.mli: Cddpd_catalog Cddpd_core Cddpd_engine Cddpd_sql Cddpd_workload

@@ -1,0 +1,1 @@
+lib/experiments/space_bound.ml: Array Cddpd_catalog Cddpd_core Cddpd_engine Cddpd_util List Option Printf Session Setup

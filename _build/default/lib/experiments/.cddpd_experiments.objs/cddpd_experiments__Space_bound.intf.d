@@ -1,0 +1,1 @@
+lib/experiments/space_bound.mli: Session

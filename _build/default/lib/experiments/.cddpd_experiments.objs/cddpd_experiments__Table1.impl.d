@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Cddpd_util Cddpd_workload Float Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Array Cddpd_catalog Cddpd_core Cddpd_util Cddpd_workload Float Format List Printf Session Setup String

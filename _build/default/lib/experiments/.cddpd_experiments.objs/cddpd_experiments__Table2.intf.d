@@ -1,0 +1,1 @@
+lib/experiments/table2.mli: Cddpd_catalog Cddpd_core Session

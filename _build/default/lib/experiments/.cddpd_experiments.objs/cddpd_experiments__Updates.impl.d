@@ -1,0 +1,1 @@
+lib/experiments/updates.ml: Array Cddpd_catalog Cddpd_core Cddpd_engine Cddpd_util Cddpd_workload List Printf Session Setup

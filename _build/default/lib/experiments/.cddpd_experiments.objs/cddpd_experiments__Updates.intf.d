@@ -1,0 +1,1 @@
+lib/experiments/updates.mli: Session

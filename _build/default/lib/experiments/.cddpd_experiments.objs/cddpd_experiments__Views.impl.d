@@ -1,0 +1,1 @@
+lib/experiments/views.ml: Array Cddpd_catalog Cddpd_core Cddpd_engine Cddpd_util Cddpd_workload Float List Printf Session Setup

@@ -1,0 +1,122 @@
+module Solution = Cddpd_core.Solution
+module Optimizer = Cddpd_core.Optimizer
+module Problem = Cddpd_core.Problem
+module Online_tuner = Cddpd_core.Online_tuner
+module Text_table = Cddpd_util.Text_table
+
+type entry = {
+  method_label : string;
+  k : int option;
+  cost : float;
+  changes : int;
+  elapsed : float;
+  optimality_gap : float;
+}
+
+type result = { entries : entry list; unconstrained_cost : float }
+
+let constrained_methods =
+  [ Solution.Kaware; Solution.Greedy_seq; Solution.Merging; Solution.Ranking; Solution.Hybrid ]
+
+let run ?(ks = [ 0; 2; 6; 10 ]) (session : Session.t) =
+  let problem = session.Session.problem_w1 in
+  let unconstrained = Optimizer.unconstrained problem in
+  let entries = ref [] in
+  let add entry = entries := entry :: !entries in
+  add
+    {
+      method_label = "unconstrained";
+      k = None;
+      cost = unconstrained.Solution.cost;
+      changes = unconstrained.Solution.changes;
+      elapsed = unconstrained.Solution.elapsed;
+      optimality_gap = 0.0;
+    };
+  List.iter
+    (fun k ->
+      let optimal_cost =
+        match Optimizer.solve problem ~method_name:Solution.Kaware ~k () with
+        | Ok s -> s.Solution.cost
+        | Error (Optimizer.Infeasible | Optimizer.Ranking_gave_up _) -> infinity
+      in
+      List.iter
+        (fun method_name ->
+          match
+            Optimizer.solve problem ~method_name ~k ~max_paths:200_000 ()
+          with
+          | Ok s ->
+              add
+                {
+                  method_label = Solution.method_to_string method_name;
+                  k = Some k;
+                  cost = s.Solution.cost;
+                  changes = s.Solution.changes;
+                  elapsed = s.Solution.elapsed;
+                  optimality_gap = (s.Solution.cost -. optimal_cost) /. optimal_cost;
+                }
+          | Error Optimizer.Infeasible ->
+              add
+                {
+                  method_label = Solution.method_to_string method_name;
+                  k = Some k;
+                  cost = infinity;
+                  changes = 0;
+                  elapsed = 0.0;
+                  optimality_gap = infinity;
+                }
+          | Error (Optimizer.Ranking_gave_up n) ->
+              add
+                {
+                  method_label =
+                    Printf.sprintf "%s (gave up after %d paths)"
+                      (Solution.method_to_string method_name) n;
+                  k = Some k;
+                  cost = infinity;
+                  changes = 0;
+                  elapsed = 0.0;
+                  optimality_gap = infinity;
+                })
+        constrained_methods)
+    ks;
+  (* The reactive online baseline has no k; report it once. *)
+  let online_path = Online_tuner.run problem in
+  add
+    {
+      method_label = "online tuner (reactive)";
+      k = None;
+      cost = Problem.path_cost problem online_path;
+      changes = Problem.path_changes problem online_path;
+      elapsed = 0.0;
+      optimality_gap =
+        (Problem.path_cost problem online_path -. unconstrained.Solution.cost)
+        /. unconstrained.Solution.cost;
+    };
+  { entries = List.rev !entries; unconstrained_cost = unconstrained.Solution.cost }
+
+let print result =
+  print_endline "Ablation: all solvers on the W1 instance";
+  let table =
+    Text_table.create
+      [
+        ("method", Text_table.Left);
+        ("k", Text_table.Right);
+        ("cost", Text_table.Right);
+        ("changes", Text_table.Right);
+        ("gap vs optimal", Text_table.Right);
+        ("time (ms)", Text_table.Right);
+      ]
+  in
+  List.iter
+    (fun e ->
+      Text_table.add_row table
+        [
+          e.method_label;
+          (match e.k with None -> "-" | Some k -> string_of_int k);
+          (if e.cost = infinity then "infeasible" else Printf.sprintf "%.0f" e.cost);
+          string_of_int e.changes;
+          (if e.optimality_gap = infinity then "-"
+           else Printf.sprintf "%+.2f%%" (e.optimality_gap *. 100.));
+          Printf.sprintf "%.3f" (e.elapsed *. 1e3);
+        ])
+    result.entries;
+  Text_table.print table

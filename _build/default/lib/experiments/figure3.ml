@@ -1,0 +1,88 @@
+module Design = Cddpd_catalog.Design
+module Database = Cddpd_engine.Database
+module Solution = Cddpd_core.Solution
+module Simulator = Cddpd_core.Simulator
+module Text_table = Cddpd_util.Text_table
+
+type measurement = {
+  workload : string;
+  unconstrained_io : int;
+  constrained_io : int;
+  relative_unconstrained : float;
+  relative_constrained : float;
+}
+
+type result = { measurements : measurement list; baseline_io : int }
+
+let replay (session : Session.t) steps schedule =
+  let db = session.Session.db in
+  (* Leave the previous run's design behind so each replay starts from the
+     paper's empty initial configuration. *)
+  Database.migrate_to db Design.empty;
+  let report = Simulator.run db ~steps ~schedule in
+  report.Simulator.total_logical_io
+
+let run (session : Session.t) =
+  let table2 = Table2.run session in
+  let schedule_unconstrained = table2.Table2.schedule_unconstrained in
+  let schedule_k2 = table2.Table2.schedule_k2 in
+  let workloads =
+    [
+      ("W1", session.Session.steps_w1);
+      ("W2", session.Session.steps_w2);
+      ("W3", session.Session.steps_w3);
+    ]
+  in
+  let raw =
+    List.map
+      (fun (name, steps) ->
+        let unconstrained_io = replay session steps schedule_unconstrained in
+        let constrained_io = replay session steps schedule_k2 in
+        (name, unconstrained_io, constrained_io))
+      workloads
+  in
+  let baseline_io =
+    match raw with
+    | ("W1", io, _) :: _ -> io
+    | _ -> failwith "Figure3: W1 missing"
+  in
+  let measurements =
+    List.map
+      (fun (workload, unconstrained_io, constrained_io) ->
+        {
+          workload;
+          unconstrained_io;
+          constrained_io;
+          relative_unconstrained =
+            float_of_int unconstrained_io /. float_of_int baseline_io;
+          relative_constrained = float_of_int constrained_io /. float_of_int baseline_io;
+        })
+      raw
+  in
+  { measurements; baseline_io }
+
+let print result =
+  print_endline
+    "Figure 3: Execution cost relative to W1 under the unconstrained design";
+  let table =
+    Text_table.create
+      [
+        ("workload", Text_table.Left);
+        ("unconstrained design", Text_table.Right);
+        ("constrained design (k=2)", Text_table.Right);
+        ("page accesses (unc)", Text_table.Right);
+        ("page accesses (k=2)", Text_table.Right);
+      ]
+  in
+  List.iter
+    (fun m ->
+      Text_table.add_row table
+        [
+          m.workload;
+          Printf.sprintf "%.0f%%" (m.relative_unconstrained *. 100.);
+          Printf.sprintf "%.0f%%" (m.relative_constrained *. 100.);
+          string_of_int m.unconstrained_io;
+          string_of_int m.constrained_io;
+        ])
+    result.measurements;
+  Text_table.print table

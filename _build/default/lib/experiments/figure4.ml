@@ -1,0 +1,86 @@
+module Solution = Cddpd_core.Solution
+module Optimizer = Cddpd_core.Optimizer
+module Text_table = Cddpd_util.Text_table
+
+type point = {
+  k : int;
+  kaware_relative : float;
+  merging_relative : float;
+  kaware_seconds : float;
+  merging_seconds : float;
+}
+
+type result = {
+  points : point list;
+  unconstrained_seconds : float;
+  repeats : int;
+}
+
+(* Solver runtimes at this instance size are microseconds; time a batch and
+   take the per-solve mean, then the median over several batches. *)
+let time_batched ~repeats f =
+  let batch = 16 in
+  let samples =
+    Array.init repeats (fun _ ->
+        let start = Unix.gettimeofday () in
+        for _ = 1 to batch do
+          ignore (f ())
+        done;
+        (Unix.gettimeofday () -. start) /. float_of_int batch)
+  in
+  Cddpd_util.Stats.percentile samples 50.0
+
+let default_ks = [ 2; 4; 6; 8; 10; 12; 14; 16; 18 ]
+
+let run ?(ks = default_ks) ?(repeats = 32) (session : Session.t) =
+  let problem = session.Session.problem_w1 in
+  let solve method_name k () =
+    Optimizer.solve problem ~method_name ?k ()
+  in
+  let unconstrained_seconds =
+    time_batched ~repeats (solve Solution.Unconstrained None)
+  in
+  let points =
+    List.map
+      (fun k ->
+        let kaware_seconds = time_batched ~repeats (solve Solution.Kaware (Some k)) in
+        let merging_seconds = time_batched ~repeats (solve Solution.Merging (Some k)) in
+        {
+          k;
+          kaware_seconds;
+          merging_seconds;
+          kaware_relative = kaware_seconds /. unconstrained_seconds;
+          merging_relative = merging_seconds /. unconstrained_seconds;
+        })
+      ks
+  in
+  { points; unconstrained_seconds; repeats }
+
+let print result =
+  print_endline
+    "Figure 4: Constrained-optimizer runtime relative to the unconstrained optimizer";
+  let table =
+    Text_table.create
+      [
+        ("k", Text_table.Right);
+        ("k-aware graph", Text_table.Right);
+        ("merging", Text_table.Right);
+        ("k-aware (us)", Text_table.Right);
+        ("merging (us)", Text_table.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      Text_table.add_row table
+        [
+          string_of_int p.k;
+          Printf.sprintf "%.0f%%" (p.kaware_relative *. 100.);
+          Printf.sprintf "%.0f%%" (p.merging_relative *. 100.);
+          Printf.sprintf "%.1f" (p.kaware_seconds *. 1e6);
+          Printf.sprintf "%.1f" (p.merging_seconds *. 1e6);
+        ])
+    result.points;
+  Text_table.print table;
+  Printf.printf "unconstrained solve: %.1f us (median of %d batches)\n"
+    (result.unconstrained_seconds *. 1e6)
+    result.repeats

@@ -1,0 +1,30 @@
+(** Figure 4 — optimizer runtimes relative to the unconstrained optimizer.
+
+    Times the optimal k-aware solver and the sequential-merging heuristic
+    for a range of change budgets k, reporting each as a percentage of the
+    unconstrained (plain sequence graph) solve time.
+
+    Expected shape: the k-aware curve grows roughly linearly in k (its
+    graph has k+1 layers); the merging curve {e decreases} with k (fewer
+    merge steps are needed), motivating the paper's hybrid suggestion. *)
+
+type point = {
+  k : int;
+  kaware_relative : float;  (** k-aware time / unconstrained time *)
+  merging_relative : float;
+  kaware_seconds : float;
+  merging_seconds : float;
+}
+
+type result = {
+  points : point list;
+  unconstrained_seconds : float;
+  repeats : int;  (** timing repetitions per point *)
+}
+
+val run : ?ks:int list -> ?repeats:int -> Session.t -> result
+(** Defaults: k in 2, 4, ..., 18 (the paper's x-axis) and 32 repeats per
+    timing (solver runtimes are microseconds at this instance size, so
+    each sample is itself a mean over a batch). *)
+
+val print : result -> unit

@@ -1,0 +1,21 @@
+type t = {
+  config : Setup.config;
+  db : Cddpd_engine.Database.t;
+  steps_w1 : Cddpd_sql.Ast.statement array array;
+  steps_w2 : Cddpd_sql.Ast.statement array array;
+  steps_w3 : Cddpd_sql.Ast.statement array array;
+  problem_w1 : Cddpd_core.Problem.t;
+}
+
+let create config =
+  let db = Setup.make_database config in
+  let steps_of name = Setup.workload_steps config (Setup.workload config name) in
+  let steps_w1 = steps_of "W1" in
+  {
+    config;
+    db;
+    steps_w1;
+    steps_w2 = steps_of "W2";
+    steps_w3 = steps_of "W3";
+    problem_w1 = Setup.build_problem db ~steps:steps_w1;
+  }

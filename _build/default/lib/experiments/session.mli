@@ -1,0 +1,17 @@
+(** A loaded experimental session, shared across experiments so the test
+    database is built once. *)
+
+type t = {
+  config : Setup.config;
+  db : Cddpd_engine.Database.t;
+  steps_w1 : Cddpd_sql.Ast.statement array array;
+  steps_w2 : Cddpd_sql.Ast.statement array array;
+  steps_w3 : Cddpd_sql.Ast.statement array array;
+  problem_w1 : Cddpd_core.Problem.t;
+      (** the instance the advisors are run on (designs are always
+          recommended from W1, as in the paper) *)
+}
+
+val create : Setup.config -> t
+(** Load the database and generate the three workloads.  This is the
+    expensive part of every experiment (seconds at default scale). *)

@@ -1,0 +1,60 @@
+module Mix = Cddpd_workload.Mix
+module Rng = Cddpd_util.Rng
+module Text_table = Cddpd_util.Text_table
+
+type result = {
+  mixes : (string * (string * float) list) list;
+  observed : (string * (string * float) list) list;
+  max_deviation : float;
+}
+
+let columns = [ "a"; "b"; "c"; "d" ]
+
+let observe mix ~sample_size ~seed =
+  let rng = Rng.create seed in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to sample_size do
+    let column = Mix.sample_column mix rng in
+    Hashtbl.replace counts column
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts column))
+  done;
+  List.map
+    (fun c ->
+      ( c,
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts c))
+        /. float_of_int sample_size ))
+    columns
+
+let run ?(sample_size = 20_000) ?(seed = 7) () =
+  let mixes = [ Mix.mix_a; Mix.mix_b; Mix.mix_c; Mix.mix_d ] in
+  let specified = List.map (fun m -> (Mix.name m, Mix.weights m)) mixes in
+  let observed =
+    List.map (fun m -> (Mix.name m, observe m ~sample_size ~seed)) mixes
+  in
+  let max_deviation =
+    List.fold_left2
+      (fun acc (_, spec) (_, obs) ->
+        List.fold_left2
+          (fun acc (_, w) (_, f) -> Float.max acc (Float.abs (w -. f)))
+          acc spec obs)
+      0.0 specified observed
+  in
+  { mixes = specified; observed; max_deviation }
+
+let print result =
+  print_endline "Table 1: Workload Query Mixes (specified / observed)";
+  let table =
+    Text_table.create
+      (( "Query Mix", Text_table.Left )
+      :: List.map (fun c -> (c, Text_table.Right)) columns)
+  in
+  List.iter2
+    (fun (name, spec) (_, obs) ->
+      Text_table.add_row table
+        (name
+        :: List.map2
+             (fun (_, w) (_, f) -> Printf.sprintf "%2.0f%% / %4.1f%%" (w *. 100.) (f *. 100.))
+             spec obs))
+    result.mixes result.observed;
+  Text_table.print table;
+  Printf.printf "max |observed - specified| = %.2f%%\n" (result.max_deviation *. 100.)

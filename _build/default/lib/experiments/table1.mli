@@ -1,0 +1,16 @@
+(** Table 1 — the workload query mixes.
+
+    Prints the mix definition table and, as a sanity check, the column
+    frequencies actually observed in a generated sample of each mix. *)
+
+type result = {
+  mixes : (string * (string * float) list) list;  (** mix name -> weights *)
+  observed : (string * (string * float) list) list;
+      (** mix name -> observed frequencies over the sample *)
+  max_deviation : float;  (** largest |observed - specified| *)
+}
+
+val run : ?sample_size:int -> ?seed:int -> unit -> result
+(** Default sample: 20_000 queries per mix. *)
+
+val print : result -> unit

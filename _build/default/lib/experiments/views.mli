@@ -1,0 +1,24 @@
+(** Materialized-view experiment (an extension beyond the paper's figures).
+
+    The paper's Definition 1 allows any design structures — "indexes or
+    materialized views" — but its experiments use indexes only.  This
+    experiment interleaves a reporting phase (GROUP BY aggregates) between
+    two point-query phases and runs the constrained advisor over a
+    candidate space containing both indexes and a materialized view: the
+    k = 2 schedule should hold an index through the point-query phases and
+    switch to the view for the reporting phase. *)
+
+type result = {
+  schedule : (int * int * string) list;  (** runs: start, length, design *)
+  constrained_cost : float;
+  unconstrained_cost : float;
+  view_steps : int;  (** steps scheduled with a materialized view *)
+  replay_io_constrained : int;
+  replay_io_static_index : int;
+      (** the same workload replayed under the best static index, for
+          contrast *)
+}
+
+val run : Session.t -> result
+
+val print : result -> unit

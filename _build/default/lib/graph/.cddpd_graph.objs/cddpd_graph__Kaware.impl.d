@@ -1,0 +1,1 @@
+lib/graph/kaware.ml: Array Staged_dag

@@ -1,0 +1,1 @@
+lib/graph/kaware.mli: Staged_dag

@@ -1,0 +1,1 @@
+lib/graph/ranking.ml: Array Cddpd_util List Seq Staged_dag

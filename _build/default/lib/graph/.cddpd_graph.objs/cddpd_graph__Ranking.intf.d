@@ -1,0 +1,1 @@
+lib/graph/ranking.mli: Seq Staged_dag

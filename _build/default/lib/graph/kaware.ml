@@ -1,0 +1,75 @@
+let solve (g : Staged_dag.t) ~k ~initial =
+  let n = g.Staged_dag.n_nodes in
+  let stages = g.Staged_dag.n_stages in
+  (match initial with
+  | Some j when j < 0 || j >= n -> invalid_arg "Kaware.solve: initial out of range"
+  | Some _ | None -> ());
+  if k < 0 then None
+  else begin
+    let layers = k + 1 in
+    (* dist.(l).(j): best cost reaching node j of the current stage having
+       used l changes; pred.(s).(l).(j) = (prev_layer, prev_node). *)
+    let dist = Array.make_matrix layers n infinity in
+    let pred = Array.init stages (fun _ -> Array.make_matrix layers n (-1, -1)) in
+    for j = 0 to n - 1 do
+      let l =
+        match initial with
+        | Some init when j <> init -> 1
+        | Some _ | None -> 0
+      in
+      if l < layers then begin
+        let cost = g.Staged_dag.source_cost j +. g.Staged_dag.node_cost 0 j in
+        if cost < dist.(l).(j) then dist.(l).(j) <- cost
+      end
+    done;
+    let next = Array.make_matrix layers n infinity in
+    for s = 1 to stages - 1 do
+      for l = 0 to layers - 1 do
+        Array.fill next.(l) 0 n infinity
+      done;
+      for j = 0 to n - 1 do
+        let node = g.Staged_dag.node_cost s j in
+        for i = 0 to n - 1 do
+          let edge = g.Staged_dag.edge_cost (s - 1) i j in
+          let delta = if i = j then 0 else 1 in
+          for l = 0 to layers - 1 - delta do
+            if dist.(l).(i) < infinity then begin
+              let candidate = dist.(l).(i) +. edge +. node in
+              let l' = l + delta in
+              if candidate < next.(l').(j) then begin
+                next.(l').(j) <- candidate;
+                pred.(s).(l').(j) <- (l, i)
+              end
+            end
+          done
+        done
+      done;
+      for l = 0 to layers - 1 do
+        Array.blit next.(l) 0 dist.(l) 0 n
+      done
+    done;
+    let best = ref None in
+    for l = 0 to layers - 1 do
+      for j = 0 to n - 1 do
+        if dist.(l).(j) < infinity then begin
+          let total = dist.(l).(j) +. g.Staged_dag.sink_cost j in
+          match !best with
+          | Some (cost, _, _) when cost <= total -> ()
+          | Some _ | None -> best := Some (total, l, j)
+        end
+      done
+    done;
+    match !best with
+    | None -> None
+    | Some (cost, l, j) ->
+        let path = Array.make stages 0 in
+        let rec rebuild s l j =
+          path.(s) <- j;
+          if s > 0 then begin
+            let prev_l, prev_j = pred.(s).(l).(j) in
+            rebuild (s - 1) prev_l prev_j
+          end
+        in
+        rebuild (stages - 1) l j;
+        Some (cost, path)
+  end

@@ -1,0 +1,17 @@
+(** k-aware sequence graphs (Section 3 of the paper).
+
+    The staged DAG is replicated into [k+1] layers; a path occupies layer
+    [l] after [l] node changes, so paths through the layered graph are
+    exactly the paths of the base graph with at most [k] changes.  The
+    layered graph is never materialised: the dynamic program below indexes
+    states by (stage, layer, node), giving the paper's O(k n 2^2m) bound
+    for [2^m] configurations per stage. *)
+
+val solve :
+  Staged_dag.t -> k:int -> initial:int option -> (float * int array) option
+(** [solve g ~k ~initial] is the minimum-cost source-to-sink path with at
+    most [k] node changes (counted as in {!Staged_dag.path_changes}:
+    [initial = Some j] makes a stage-0 node other than [j] consume a
+    change).  [None] if no such path exists (possible only when [k = 0]
+    conflicts with infinite costs, or [k < 0]).  Raises
+    [Invalid_argument] if [initial] is out of range. *)

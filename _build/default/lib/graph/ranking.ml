@@ -1,0 +1,89 @@
+module Pqueue = Cddpd_util.Pqueue
+
+(* Exact cost-to-go: h.(s).(j) = cheapest completion from node j of stage s
+   (excluding node j's own cost, including the sink edge). *)
+let cost_to_go (g : Staged_dag.t) =
+  let n = g.Staged_dag.n_nodes in
+  let stages = g.Staged_dag.n_stages in
+  let h = Array.make_matrix stages n 0.0 in
+  for j = 0 to n - 1 do
+    h.(stages - 1).(j) <- g.Staged_dag.sink_cost j
+  done;
+  for s = stages - 2 downto 0 do
+    for j = 0 to n - 1 do
+      let best = ref infinity in
+      for j' = 0 to n - 1 do
+        let candidate =
+          g.Staged_dag.edge_cost s j j' +. g.Staged_dag.node_cost (s + 1) j'
+          +. h.(s + 1).(j')
+        in
+        if candidate < !best then best := candidate
+      done;
+      h.(s).(j) <- !best
+    done
+  done;
+  h
+
+type partial = {
+  stage : int; (* stage of the last chosen node *)
+  node : int;
+  g_cost : float; (* actual cost up to and including (stage, node) *)
+  rev_path : int list;
+}
+
+let enumerate (g : Staged_dag.t) =
+  let n = g.Staged_dag.n_nodes in
+  let stages = g.Staged_dag.n_stages in
+  let h = cost_to_go g in
+  let initial_queue = ref Pqueue.empty in
+  for j = 0 to n - 1 do
+    let g_cost = g.Staged_dag.source_cost j +. g.Staged_dag.node_cost 0 j in
+    initial_queue :=
+      Pqueue.insert !initial_queue
+        (g_cost +. h.(0).(j))
+        { stage = 0; node = j; g_cost; rev_path = [ j ] }
+  done;
+  (* Best-first expansion.  With an exact heuristic, the f-value of a popped
+     state equals the true cost of the best completion of its prefix, so
+     completed paths pop in nondecreasing cost order. *)
+  let rec next queue () =
+    match Pqueue.pop_min queue with
+    | None -> Seq.Nil
+    | Some (f, partial, queue) ->
+        if partial.stage = stages - 1 then
+          let path = Array.of_list (List.rev partial.rev_path) in
+          Seq.Cons ((f, path), next queue)
+        else begin
+          let queue = ref queue in
+          for j' = 0 to n - 1 do
+            let g_cost =
+              partial.g_cost
+              +. g.Staged_dag.edge_cost partial.stage partial.node j'
+              +. g.Staged_dag.node_cost (partial.stage + 1) j'
+            in
+            queue :=
+              Pqueue.insert !queue
+                (g_cost +. h.(partial.stage + 1).(j'))
+                {
+                  stage = partial.stage + 1;
+                  node = j';
+                  g_cost;
+                  rev_path = j' :: partial.rev_path;
+                }
+          done;
+          next !queue ()
+        end
+  in
+  next !initial_queue
+
+let solve_constrained g ~k ~initial ?(max_paths = 1_000_000) () =
+  let rec scan seq rank =
+    if rank > max_paths then `Gave_up max_paths
+    else
+      match seq () with
+      | Seq.Nil -> `Gave_up (rank - 1)
+      | Seq.Cons ((cost, path), rest) ->
+          if Staged_dag.path_changes g ~initial path <= k then `Found (cost, path, rank)
+          else scan rest (rank + 1)
+  in
+  scan (enumerate g) 1

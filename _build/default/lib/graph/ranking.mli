@@ -1,0 +1,26 @@
+(** Shortest-path ranking (Section 5 of the paper).
+
+    Enumerates the source-to-sink paths of a staged DAG in ascending cost
+    order.  The implementation is best-first search with the exact
+    cost-to-go as heuristic (computed by a backward pass), which emits
+    paths in exactly nondecreasing total-cost order — the behaviour the
+    paper requires from the path-deletion algorithm it cites.
+
+    The paper's constrained optimizer stops at the first ranked path with
+    at most [k] changes; {!solve_constrained} packages that stopping
+    rule. *)
+
+val enumerate : Staged_dag.t -> (float * int array) Seq.t
+(** All source-to-sink paths, lazily, in nondecreasing cost order. *)
+
+val solve_constrained :
+  Staged_dag.t ->
+  k:int ->
+  initial:int option ->
+  ?max_paths:int ->
+  unit ->
+  [ `Found of float * int array * int | `Gave_up of int ]
+(** Rank paths until one has at most [k] changes.  [`Found (cost, path,
+    rank)] reports the 1-based rank of the accepted path.  [`Gave_up n]
+    means [max_paths] (default 1_000_000) paths were examined without
+    success — the worst case the paper warns about. *)

@@ -1,0 +1,80 @@
+type t = {
+  n_stages : int;
+  n_nodes : int;
+  node_cost : int -> int -> float;
+  edge_cost : int -> int -> int -> float;
+  source_cost : int -> float;
+  sink_cost : int -> float;
+}
+
+let zero _ = 0.0
+
+let make ~n_stages ~n_nodes ~node_cost ~edge_cost ?(source_cost = zero)
+    ?(sink_cost = zero) () =
+  if n_stages <= 0 then invalid_arg "Staged_dag.make: n_stages <= 0";
+  if n_nodes <= 0 then invalid_arg "Staged_dag.make: n_nodes <= 0";
+  { n_stages; n_nodes; node_cost; edge_cost; source_cost; sink_cost }
+
+let check_path t path =
+  if Array.length path <> t.n_stages then
+    invalid_arg "Staged_dag: path length differs from n_stages";
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= t.n_nodes then invalid_arg "Staged_dag: path node out of range")
+    path
+
+let path_cost t path =
+  check_path t path;
+  let acc = ref (t.source_cost path.(0) +. t.node_cost 0 path.(0)) in
+  for s = 1 to t.n_stages - 1 do
+    acc := !acc +. t.edge_cost (s - 1) path.(s - 1) path.(s) +. t.node_cost s path.(s)
+  done;
+  !acc +. t.sink_cost path.(t.n_stages - 1)
+
+let path_changes t ~initial path =
+  check_path t path;
+  let changes = ref 0 in
+  (match initial with
+  | Some j -> if path.(0) <> j then incr changes
+  | None -> ());
+  for s = 1 to t.n_stages - 1 do
+    if path.(s) <> path.(s - 1) then incr changes
+  done;
+  !changes
+
+let shortest_path t =
+  let n = t.n_nodes in
+  (* dist.(j): best cost of reaching node j of the current stage;
+     pred.(s).(j): predecessor of (s, j) on that best path. *)
+  let dist = Array.init n (fun j -> t.source_cost j +. t.node_cost 0 j) in
+  let pred = Array.make_matrix t.n_stages n (-1) in
+  let next = Array.make n infinity in
+  for s = 1 to t.n_stages - 1 do
+    Array.fill next 0 n infinity;
+    for j = 0 to n - 1 do
+      let node = t.node_cost s j in
+      for i = 0 to n - 1 do
+        let candidate = dist.(i) +. t.edge_cost (s - 1) i j +. node in
+        if candidate < next.(j) then begin
+          next.(j) <- candidate;
+          pred.(s).(j) <- i
+        end
+      done
+    done;
+    Array.blit next 0 dist 0 n
+  done;
+  let best = ref 0 in
+  let best_cost = ref infinity in
+  for j = 0 to n - 1 do
+    let total = dist.(j) +. t.sink_cost j in
+    if total < !best_cost then begin
+      best_cost := total;
+      best := j
+    end
+  done;
+  let path = Array.make t.n_stages 0 in
+  path.(t.n_stages - 1) <- !best;
+  for s = t.n_stages - 1 downto 1 do
+    path.(s - 1) <- pred.(s).(path.(s))
+  done;
+  (!best_cost, path)

@@ -1,0 +1,48 @@
+(** Staged DAGs — the "sequence graphs" of Agrawal, Chu and Narasayya.
+
+    A staged DAG has [n_stages] columns of [n_nodes] nodes each, a source
+    before stage 0 and a sink after the last stage.  Every node of stage
+    [s] has an edge to every node of stage [s+1].  Node and edge costs are
+    supplied as functions, so graphs are never materialised: a sequence
+    graph for [n] statements over [2^m] configurations is represented in
+    O(1) space.
+
+    In the physical-design instantiation, a node [(s, j)] is "execute
+    statement [s] under configuration [j]" with node cost [EXEC(S_s,C_j)],
+    and edge costs are [TRANS(C_i, C_j)]. *)
+
+type t = private {
+  n_stages : int;
+  n_nodes : int;
+  node_cost : int -> int -> float;  (** [node_cost stage node] *)
+  edge_cost : int -> int -> int -> float;
+      (** [edge_cost stage src dst]: edge from [(stage, src)] to
+          [(stage+1, dst)]; [stage] ranges over [0 .. n_stages-2] *)
+  source_cost : int -> float;  (** source to [(0, node)] *)
+  sink_cost : int -> float;  (** [(n_stages-1, node)] to sink *)
+}
+
+val make :
+  n_stages:int ->
+  n_nodes:int ->
+  node_cost:(int -> int -> float) ->
+  edge_cost:(int -> int -> int -> float) ->
+  ?source_cost:(int -> float) ->
+  ?sink_cost:(int -> float) ->
+  unit ->
+  t
+(** Build a graph description.  [source_cost] and [sink_cost] default to
+    zero.  Raises [Invalid_argument] if [n_stages] or [n_nodes] is not
+    positive. *)
+
+val path_cost : t -> int array -> float
+(** Total cost of a source-to-sink path visiting the given node per stage.
+    Raises [Invalid_argument] on a wrong-length path. *)
+
+val path_changes : t -> initial:int option -> int array -> int
+(** Number of stage boundaries where the node changes; with [initial =
+    Some j], a stage-0 node different from [j] also counts. *)
+
+val shortest_path : t -> float * int array
+(** The minimum-cost source-to-sink path, by dynamic programming over
+    stages in O(n_stages * n_nodes^2) time. *)

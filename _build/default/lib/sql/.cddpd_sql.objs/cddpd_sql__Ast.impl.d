@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Cddpd_storage List

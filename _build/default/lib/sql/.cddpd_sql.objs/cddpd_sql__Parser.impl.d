@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Cddpd_storage Lexer List Printf String

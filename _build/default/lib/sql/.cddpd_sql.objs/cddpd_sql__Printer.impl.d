@@ -1,0 +1,1 @@
+lib/sql/printer.ml: Ast Cddpd_storage Format List Printf String

@@ -1,0 +1,171 @@
+type token =
+  | Kw_select
+  | Kw_from
+  | Kw_where
+  | Kw_and
+  | Kw_between
+  | Kw_insert
+  | Kw_into
+  | Kw_values
+  | Kw_delete
+  | Kw_update
+  | Kw_set
+  | Kw_group
+  | Kw_by
+  | Kw_count
+  | Kw_sum
+  | Ident of string
+  | Int_lit of int
+  | Str_lit of string
+  | Comma
+  | Lparen
+  | Rparen
+  | Star
+  | Op_eq
+  | Op_lt
+  | Op_le
+  | Op_gt
+  | Op_ge
+  | Semicolon
+  | Eof
+
+exception Lex_error of { position : int; message : string }
+
+let error position message = raise (Lex_error { position; message })
+
+let keyword_of_string s =
+  match String.lowercase_ascii s with
+  | "select" -> Some Kw_select
+  | "from" -> Some Kw_from
+  | "where" -> Some Kw_where
+  | "and" -> Some Kw_and
+  | "between" -> Some Kw_between
+  | "insert" -> Some Kw_insert
+  | "into" -> Some Kw_into
+  | "values" -> Some Kw_values
+  | "delete" -> Some Kw_delete
+  | "update" -> Some Kw_update
+  | "set" -> Some Kw_set
+  | "group" -> Some Kw_group
+  | "by" -> Some Kw_by
+  | "count" -> Some Kw_count
+  | "sum" -> Some Kw_sum
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let lex_ident () =
+    let start = !pos in
+    while !pos < n && is_ident_char input.[!pos] do
+      advance ()
+    done;
+    let word = String.sub input start (!pos - start) in
+    match keyword_of_string word with
+    | Some kw -> emit kw
+    | None -> emit (Ident (String.lowercase_ascii word))
+  in
+  let lex_int () =
+    let start = !pos in
+    if !pos < n && input.[!pos] = '-' then advance ();
+    while !pos < n && is_digit input.[!pos] do
+      advance ()
+    done;
+    let text = String.sub input start (!pos - start) in
+    match int_of_string_opt text with
+    | Some v -> emit (Int_lit v)
+    | None -> error start (Printf.sprintf "invalid integer literal %S" text)
+  in
+  let lex_string () =
+    let start = !pos in
+    advance () (* opening quote *);
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error start "unterminated string literal"
+      else
+        match input.[!pos] with
+        | '\'' ->
+            advance ();
+            if !pos < n && input.[!pos] = '\'' then begin
+              Buffer.add_char buf '\'';
+              advance ();
+              go ()
+            end
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    emit (Str_lit (Buffer.contents buf))
+  in
+  while !pos < n do
+    match peek () with
+    | None -> ()
+    | Some c -> (
+        match c with
+        | ' ' | '\t' | '\n' | '\r' -> advance ()
+        | ',' -> advance (); emit Comma
+        | '(' -> advance (); emit Lparen
+        | ')' -> advance (); emit Rparen
+        | '*' -> advance (); emit Star
+        | ';' -> advance (); emit Semicolon
+        | '=' -> advance (); emit Op_eq
+        | '<' ->
+            advance ();
+            if peek () = Some '=' then begin advance (); emit Op_le end
+            else emit Op_lt
+        | '>' ->
+            advance ();
+            if peek () = Some '=' then begin advance (); emit Op_ge end
+            else emit Op_gt
+        | '\'' -> lex_string ()
+        | '-' -> lex_int ()
+        | c when is_digit c -> lex_int ()
+        | c when is_ident_start c -> lex_ident ()
+        | c -> error !pos (Printf.sprintf "unexpected character %C" c))
+  done;
+  emit Eof;
+  List.rev !tokens
+
+let token_to_string token =
+  match token with
+  | Kw_select -> "SELECT"
+  | Kw_from -> "FROM"
+  | Kw_where -> "WHERE"
+  | Kw_and -> "AND"
+  | Kw_between -> "BETWEEN"
+  | Kw_insert -> "INSERT"
+  | Kw_into -> "INTO"
+  | Kw_values -> "VALUES"
+  | Kw_delete -> "DELETE"
+  | Kw_update -> "UPDATE"
+  | Kw_set -> "SET"
+  | Kw_group -> "GROUP"
+  | Kw_by -> "BY"
+  | Kw_count -> "COUNT"
+  | Kw_sum -> "SUM"
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit v -> Printf.sprintf "integer %d" v
+  | Str_lit s -> Printf.sprintf "string %S" s
+  | Comma -> "','"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Star -> "'*'"
+  | Op_eq -> "'='"
+  | Op_lt -> "'<'"
+  | Op_le -> "'<='"
+  | Op_gt -> "'>'"
+  | Op_ge -> "'>='"
+  | Semicolon -> "';'"
+  | Eof -> "end of input"

@@ -1,0 +1,42 @@
+(** Hand-rolled lexer for the SQL subset. *)
+
+type token =
+  | Kw_select
+  | Kw_from
+  | Kw_where
+  | Kw_and
+  | Kw_between
+  | Kw_insert
+  | Kw_into
+  | Kw_values
+  | Kw_delete
+  | Kw_update
+  | Kw_set
+  | Kw_group
+  | Kw_by
+  | Kw_count
+  | Kw_sum
+  | Ident of string
+  | Int_lit of int
+  | Str_lit of string
+  | Comma
+  | Lparen
+  | Rparen
+  | Star
+  | Op_eq
+  | Op_lt
+  | Op_le
+  | Op_gt
+  | Op_ge
+  | Semicolon
+  | Eof
+
+exception Lex_error of { position : int; message : string }
+
+val tokenize : string -> token list
+(** Tokenize a statement.  Keywords are case-insensitive; identifiers are
+    lowercased.  String literals are single-quoted with [''] escaping a
+    quote.  Raises {!Lex_error} on invalid input. *)
+
+val token_to_string : token -> string
+(** For error messages. *)

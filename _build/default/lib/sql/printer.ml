@@ -1,0 +1,63 @@
+module Tuple = Cddpd_storage.Tuple
+
+let escape_quotes s =
+  String.concat "''" (String.split_on_char '\'' s)
+
+let value_to_string v =
+  match v with
+  | Tuple.Int i -> string_of_int i
+  | Tuple.Text s -> Printf.sprintf "'%s'" (escape_quotes s)
+
+let cmp_to_string op =
+  match op with
+  | Ast.Eq -> "="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+
+let predicate_to_string pred =
+  match pred with
+  | Ast.Cmp { column; op; value } ->
+      Printf.sprintf "%s %s %s" column (cmp_to_string op) (value_to_string value)
+  | Ast.Between { column; low; high } ->
+      Printf.sprintf "%s BETWEEN %s AND %s" column (value_to_string low)
+        (value_to_string high)
+
+let where_to_string where =
+  match where with
+  | [] -> ""
+  | _ :: _ -> " WHERE " ^ String.concat " AND " (List.map predicate_to_string where)
+
+let to_string statement =
+  match statement with
+  | Ast.Select { projection; table; where } ->
+      let cols =
+        match projection with
+        | Ast.Star -> "*"
+        | Ast.Columns cs -> String.concat ", " cs
+      in
+      Printf.sprintf "SELECT %s FROM %s%s" cols table (where_to_string where)
+  | Ast.Select_agg { table; group_by; aggregate; where } ->
+      let agg =
+        match aggregate with
+        | Ast.Count_star -> "COUNT(*)"
+        | Ast.Sum c -> Printf.sprintf "SUM(%s)" c
+      in
+      Printf.sprintf "SELECT %s, %s FROM %s%s GROUP BY %s" group_by agg table
+        (where_to_string where) group_by
+  | Ast.Insert { table; values } ->
+      Printf.sprintf "INSERT INTO %s VALUES (%s)" table
+        (String.concat ", " (List.map value_to_string values))
+  | Ast.Delete { table; where } ->
+      Printf.sprintf "DELETE FROM %s%s" table (where_to_string where)
+  | Ast.Update { table; assignments; where } ->
+      Printf.sprintf "UPDATE %s SET %s%s" table
+        (String.concat ", "
+           (List.map
+              (fun (column, value) ->
+                Printf.sprintf "%s = %s" column (value_to_string value))
+              assignments))
+        (where_to_string where)
+
+let pp ppf statement = Format.pp_print_string ppf (to_string statement)

@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array Buffer_pool Bytes Int64 List Page

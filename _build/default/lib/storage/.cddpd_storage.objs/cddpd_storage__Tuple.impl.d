@@ -1,0 +1,1 @@
+lib/storage/tuple.ml: Array Bytes Format Int64 String

@@ -1,0 +1,463 @@
+(* Node layout (see mli for the high-level contract):
+     0  u8   kind: 0 = leaf, 1 = internal
+     1  u16  n: number of keys
+     3  i32  leaf: next-leaf page id (-1 at the end); internal: unused (-1)
+     7  payload
+   Leaf payload: n keys, each key_len * 8 bytes.
+   Internal payload: child0 (i32) followed by n entries of key + child (i32).
+   Invariant: for an internal node with keys k_1..k_n and children c_0..c_n,
+   subtree c_i holds exactly the keys in [k_i, k_{i+1}) with k_0 = -inf and
+   k_{n+1} = +inf. *)
+
+type t = {
+  pool : Buffer_pool.t;
+  key_len : int;
+  mutable root : int;
+  mutable height : int;
+  mutable entries : int;
+  mutable pages : int;
+}
+
+let header = 7
+let kind_leaf = 0
+let kind_internal = 1
+
+let key_bytes t = t.key_len * 8
+
+let leaf_capacity t = (Page.size - header) / key_bytes t
+
+let internal_capacity t =
+  (* children: 4 bytes each; one more child than keys. *)
+  (Page.size - header - 4) / (key_bytes t + 4)
+
+let node_kind page = Page.get_u8 page 0
+let node_n page = Page.get_u16 page 1
+let set_node_n page n = Page.set_u16 page 1 n
+let next_leaf page = Page.get_i32 page 3
+let set_next_leaf page v = Page.set_i32 page 3 v
+
+let init_node page ~kind =
+  Page.set_u8 page 0 kind;
+  set_node_n page 0;
+  set_next_leaf page (-1)
+
+(* -- key accessors ------------------------------------------------------ *)
+
+let leaf_key_pos t i = header + (i * key_bytes t)
+
+let read_key t page pos =
+  Array.init t.key_len (fun j -> Page.get_i64 page (pos + (j * 8)))
+
+let write_key t page pos key =
+  for j = 0 to t.key_len - 1 do
+    Page.set_i64 page (pos + (j * 8)) key.(j)
+  done
+
+let leaf_key t page i = read_key t page (leaf_key_pos t i)
+
+(* Internal node: child i at child_pos i, key i (1-based separators stored
+   0-based) at int_key_pos i. *)
+let child_pos t i = header + if i = 0 then 0 else 4 + ((i - 1) * (key_bytes t + 4)) + key_bytes t
+let int_key_pos t i = header + 4 + (i * (key_bytes t + 4))
+
+let child t page i = Page.get_i32 page (child_pos t i)
+let set_child t page i v = Page.set_i32 page (child_pos t i) v
+let int_key t page i = read_key t page (int_key_pos t i)
+let set_int_key t page i key = write_key t page (int_key_pos t i) key
+
+let compare_key t a b =
+  let rec go i =
+    if i = t.key_len then 0
+    else
+      let c = compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* First index in [0, n) whose key is >= [key]; n if none. *)
+let lower_bound t ~get page key =
+  let n = node_n page in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if compare_key t (get t page mid) key < 0 then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+(* Child to descend into for [key]: number of separators <= key. *)
+let descend_index t page key =
+  let n = node_n page in
+  let rec go lo hi =
+    (* first separator index with sep > key; that index = child index *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if compare_key t (int_key t page mid) key <= 0 then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+(* -- construction -------------------------------------------------------- *)
+
+let check_key_len key_len =
+  if key_len < 1 || key_len > 16 then invalid_arg "Btree: key_len must be in [1, 16]"
+
+let alloc_node t ~kind =
+  let handle = Buffer_pool.allocate t.pool in
+  init_node (Buffer_pool.page handle) ~kind;
+  Buffer_pool.mark_dirty handle;
+  t.pages <- t.pages + 1;
+  handle
+
+let create pool ~key_len =
+  check_key_len key_len;
+  let t = { pool; key_len; root = -1; height = 1; entries = 0; pages = 0 } in
+  let handle = alloc_node t ~kind:kind_leaf in
+  t.root <- Buffer_pool.page_id handle;
+  Buffer_pool.unpin pool handle;
+  t
+
+let key_len t = t.key_len
+
+let n_entries t = t.entries
+
+let height t = t.height
+
+let n_pages t = t.pages
+
+let with_node t pid f =
+  let handle = Buffer_pool.fetch t.pool pid in
+  let result =
+    try f handle (Buffer_pool.page handle)
+    with exn ->
+      Buffer_pool.unpin t.pool handle;
+      raise exn
+  in
+  Buffer_pool.unpin t.pool handle;
+  result
+
+let check_key t key =
+  if Array.length key <> t.key_len then
+    invalid_arg "Btree: key has the wrong number of components"
+
+(* -- search -------------------------------------------------------------- *)
+
+let rec find_leaf t pid key =
+  with_node t pid (fun _handle page ->
+      if node_kind page = kind_leaf then pid
+      else find_leaf t (child t page (descend_index t page key)) key)
+
+let mem t key =
+  check_key t key;
+  let leaf = find_leaf t t.root key in
+  with_node t leaf (fun _handle page ->
+      let i = lower_bound t ~get:leaf_key page key in
+      i < node_n page && compare_key t (leaf_key t page i) key = 0)
+
+(* -- insertion ----------------------------------------------------------- *)
+
+(* Shift leaf keys [i, n) one slot right and write [key] at [i]. *)
+let leaf_insert_at t page i key =
+  let n = node_n page in
+  if n > i then
+    Page.move page ~src:(leaf_key_pos t i) ~dst:(leaf_key_pos t (i + 1))
+      ~len:((n - i) * key_bytes t);
+  write_key t page (leaf_key_pos t i) key;
+  set_node_n page (n + 1)
+
+(* Insert separator [key] with right child [rc] after child position [i]. *)
+let internal_insert_at t page i key rc =
+  let n = node_n page in
+  if n > i then
+    Page.move page ~src:(int_key_pos t i) ~dst:(int_key_pos t (i + 1))
+      ~len:((n - i) * (key_bytes t + 4));
+  set_int_key t page i key;
+  Page.set_i32 page (int_key_pos t i + key_bytes t) rc;
+  set_node_n page (n + 1)
+
+type split = { sep : int array; right : int }
+
+(* Insert into the subtree rooted at [pid]; return a split description if
+   the node had to split. *)
+let rec insert_rec t pid key =
+  let handle = Buffer_pool.fetch t.pool pid in
+  let page = Buffer_pool.page handle in
+  let result =
+    if node_kind page = kind_leaf then insert_leaf t handle page key
+    else begin
+      let ci = descend_index t page key in
+      match insert_rec t (child t page ci) key with
+      | None -> None
+      | Some { sep; right } ->
+          Buffer_pool.mark_dirty handle;
+          if node_n page < internal_capacity t then begin
+            let pos = lower_bound t ~get:int_key page sep in
+            internal_insert_at t page pos sep right;
+            None
+          end
+          else split_internal t handle page sep right
+    end
+  in
+  Buffer_pool.unpin t.pool handle;
+  result
+
+and insert_leaf t handle page key =
+  let i = lower_bound t ~get:leaf_key page key in
+  if i < node_n page && compare_key t (leaf_key t page i) key = 0 then None
+  else begin
+    Buffer_pool.mark_dirty handle;
+    t.entries <- t.entries + 1;
+    if node_n page < leaf_capacity t then begin
+      leaf_insert_at t page i key;
+      None
+    end
+    else begin
+      (* Split: move the upper half to a fresh right sibling, then insert
+         the key into whichever side it belongs. *)
+      let n = node_n page in
+      let mid = n / 2 in
+      let right_handle = alloc_node t ~kind:kind_leaf in
+      let right_page = Buffer_pool.page right_handle in
+      let moved = n - mid in
+      Page.set_bytes right_page ~pos:(leaf_key_pos t 0)
+        (Page.get_bytes page ~pos:(leaf_key_pos t mid) ~len:(moved * key_bytes t));
+      set_node_n right_page moved;
+      set_node_n page mid;
+      set_next_leaf right_page (next_leaf page);
+      set_next_leaf page (Buffer_pool.page_id right_handle);
+      let sep = leaf_key t right_page 0 in
+      if compare_key t key sep < 0 then
+        leaf_insert_at t page (lower_bound t ~get:leaf_key page key) key
+      else
+        leaf_insert_at t right_page (lower_bound t ~get:leaf_key right_page key) key;
+      let right = Buffer_pool.page_id right_handle in
+      Buffer_pool.unpin t.pool right_handle;
+      Some { sep = leaf_key t right_page 0; right }
+    end
+  end
+
+and split_internal t _handle page sep rc =
+  (* The node is full: conceptually insert (sep, rc), then split in the
+     middle, pushing the middle separator up.  To keep the page logic
+     simple we materialise the combined entry list, split it, and rewrite
+     both pages. *)
+  let n = node_n page in
+  let keys = Array.init n (fun i -> int_key t page i) in
+  let children = Array.init (n + 1) (fun i -> child t page i) in
+  let pos = lower_bound t ~get:int_key page sep in
+  let all_keys = Array.make (n + 1) sep in
+  let all_children = Array.make (n + 2) rc in
+  Array.blit keys 0 all_keys 0 pos;
+  Array.blit keys pos all_keys (pos + 1) (n - pos);
+  Array.blit children 0 all_children 0 (pos + 1);
+  Array.blit children (pos + 1) all_children (pos + 2) (n - pos);
+  let total = n + 1 in
+  let mid = total / 2 in
+  let up = all_keys.(mid) in
+  let right_handle = alloc_node t ~kind:kind_internal in
+  let right_page = Buffer_pool.page right_handle in
+  (* Left keeps keys [0, mid) and children [0, mid]. *)
+  set_node_n page 0;
+  set_child t page 0 all_children.(0);
+  for i = 0 to mid - 1 do
+    internal_insert_at t page i all_keys.(i) all_children.(i + 1)
+  done;
+  (* Right gets keys (mid, total) and children [mid+1, total+1). *)
+  set_child t right_page 0 all_children.(mid + 1);
+  for i = mid + 1 to total - 1 do
+    internal_insert_at t right_page (i - mid - 1) all_keys.(i) all_children.(i + 1)
+  done;
+  let right = Buffer_pool.page_id right_handle in
+  Buffer_pool.unpin t.pool right_handle;
+  Some { sep = up; right }
+
+let insert t key =
+  check_key t key;
+  match insert_rec t t.root key with
+  | None -> ()
+  | Some { sep; right } ->
+      let handle = alloc_node t ~kind:kind_internal in
+      let page = Buffer_pool.page handle in
+      set_child t page 0 t.root;
+      internal_insert_at t page 0 sep right;
+      t.root <- Buffer_pool.page_id handle;
+      t.height <- t.height + 1;
+      Buffer_pool.unpin t.pool handle
+
+(* -- deletion (no rebalancing) ------------------------------------------- *)
+
+let delete t key =
+  check_key t key;
+  let leaf = find_leaf t t.root key in
+  with_node t leaf (fun handle page ->
+      let i = lower_bound t ~get:leaf_key page key in
+      if i < node_n page && compare_key t (leaf_key t page i) key = 0 then begin
+        let n = node_n page in
+        if i < n - 1 then
+          Page.move page ~src:(leaf_key_pos t (i + 1)) ~dst:(leaf_key_pos t i)
+            ~len:((n - 1 - i) * key_bytes t);
+        set_node_n page (n - 1);
+        Buffer_pool.mark_dirty handle;
+        t.entries <- t.entries - 1;
+        true
+      end
+      else false)
+
+(* -- range iteration ------------------------------------------------------ *)
+
+let iter_range_slices t ~lo ~hi f =
+  check_key t lo;
+  check_key t hi;
+  if compare_key t lo hi <= 0 then begin
+    let leaf = find_leaf t t.root lo in
+    let rec walk pid =
+      if pid <> -1 then
+        let continue_with =
+          with_node t pid (fun _handle page ->
+              let n = node_n page in
+              let start = lower_bound t ~get:leaf_key page lo in
+              let buf = Page.to_bytes page in
+              let within_hi pos =
+                let rec go j =
+                  if j = t.key_len then true
+                  else
+                    let v = Int64.to_int (Bytes.get_int64_le buf (pos + (j * 8))) in
+                    if v < hi.(j) then true else if v > hi.(j) then false else go (j + 1)
+                in
+                go 0
+              in
+              let rec emit i =
+                if i >= n then Some (next_leaf page)
+                else begin
+                  let pos = leaf_key_pos t i in
+                  if not (within_hi pos) then None
+                  else begin
+                    f buf pos;
+                    emit (i + 1)
+                  end
+                end
+              in
+              emit start)
+        in
+        match continue_with with None -> () | Some next -> walk next
+    in
+    walk leaf
+  end
+
+let iter_range t ~lo ~hi f =
+  iter_range_slices t ~lo ~hi (fun buf pos ->
+      f (Array.init t.key_len (fun j -> Int64.to_int (Bytes.get_int64_le buf (pos + (j * 8))))))
+
+let iter_prefix t ~prefix f =
+  let plen = Array.length prefix in
+  if plen > t.key_len then invalid_arg "Btree.iter_prefix: prefix too long";
+  let lo = Array.make t.key_len min_int in
+  let hi = Array.make t.key_len max_int in
+  Array.blit prefix 0 lo 0 plen;
+  Array.blit prefix 0 hi 0 plen;
+  iter_range t ~lo ~hi f
+
+let iter_all t f =
+  let lo = Array.make t.key_len min_int in
+  let hi = Array.make t.key_len max_int in
+  iter_range t ~lo ~hi f
+
+(* -- bulk loading --------------------------------------------------------- *)
+
+let bulk_load pool ~key_len keys =
+  check_key_len key_len;
+  let t = { pool; key_len; root = -1; height = 1; entries = 0; pages = 0 } in
+  let n = Array.length keys in
+  Array.iter
+    (fun key ->
+      if Array.length key <> key_len then
+        invalid_arg "Btree.bulk_load: key has the wrong number of components")
+    keys;
+  for i = 1 to n - 1 do
+    if compare_key t keys.(i - 1) keys.(i) >= 0 then
+      invalid_arg "Btree.bulk_load: keys must be sorted and unique"
+  done;
+  if n = 0 then begin
+    let handle = alloc_node t ~kind:kind_leaf in
+    t.root <- Buffer_pool.page_id handle;
+    Buffer_pool.unpin pool handle;
+    t
+  end
+  else begin
+    let fill cap = max 1 (cap * 9 / 10) in
+    (* Build the leaf level; collect (first_key, pid) per leaf. *)
+    let per_leaf = fill (leaf_capacity t) in
+    let leaves = ref [] in
+    let prev_handle = ref None in
+    let i = ref 0 in
+    while !i < n do
+      let count = min per_leaf (n - !i) in
+      let handle = alloc_node t ~kind:kind_leaf in
+      let page = Buffer_pool.page handle in
+      for j = 0 to count - 1 do
+        write_key t page (leaf_key_pos t j) keys.(!i + j)
+      done;
+      set_node_n page count;
+      (match !prev_handle with
+      | Some prev ->
+          set_next_leaf (Buffer_pool.page prev) (Buffer_pool.page_id handle);
+          Buffer_pool.unpin pool prev
+      | None -> ());
+      prev_handle := Some handle;
+      leaves := (keys.(!i), Buffer_pool.page_id handle) :: !leaves;
+      i := !i + count
+    done;
+    (match !prev_handle with Some prev -> Buffer_pool.unpin pool prev | None -> ());
+    t.entries <- n;
+    (* Build internal levels bottom-up until a single node remains. *)
+    let rec build level_nodes height =
+      match level_nodes with
+      | [] -> assert false
+      | [ (_, pid) ] ->
+          t.root <- pid;
+          t.height <- height
+      | _ :: _ :: _ ->
+          let per_node = fill (internal_capacity t) in
+          let groups = ref [] in
+          let rec take acc k rest =
+            match (rest, k) with
+            | _, 0 | [], _ -> (List.rev acc, rest)
+            | x :: rest, k -> take (x :: acc) (k - 1) rest
+          in
+          let rec group rest =
+            match rest with
+            | [] -> ()
+            | _ :: _ ->
+                (* per_node keys means per_node + 1 children *)
+                let children, rest = take [] (per_node + 1) rest in
+                (* Avoid leaving a trailing group with a single child. *)
+                let children, rest =
+                  match rest with
+                  | [ _ ] ->
+                      let moved, keep =
+                        match List.rev children with
+                        | last :: keep_rev -> (last, List.rev keep_rev)
+                        | [] -> assert false
+                      in
+                      (keep, [ moved ] @ rest)
+                  | _ -> (children, rest)
+                in
+                let handle = alloc_node t ~kind:kind_internal in
+                let page = Buffer_pool.page handle in
+                (match children with
+                | [] -> assert false
+                | (first_key, first_pid) :: others ->
+                    set_child t page 0 first_pid;
+                    List.iteri
+                      (fun idx (sep, pid) -> internal_insert_at t page idx sep pid)
+                      others;
+                    groups := (first_key, Buffer_pool.page_id handle) :: !groups);
+                Buffer_pool.unpin pool handle;
+                group rest
+          in
+          group level_nodes;
+          build (List.rev !groups) (height + 1)
+    in
+    build (List.rev !leaves) 1;
+    t
+  end

@@ -1,0 +1,144 @@
+type frame = {
+  mutable pid : int; (* -1 when the frame is empty *)
+  buffer : Page.t;
+  mutable pins : int;
+  mutable dirty : bool;
+  mutable referenced : bool; (* second-chance bit *)
+}
+
+type handle = frame
+
+type t = {
+  disk : Disk.t;
+  frames : frame array;
+  table : (int, frame) Hashtbl.t;
+  mutable free : int list; (* indices of empty frames *)
+  mutable hand : int; (* clock hand *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable eviction_count : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+let create ?(capacity = 256) disk =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity <= 0";
+  let make_frame _ =
+    { pid = -1; buffer = Page.create (); pins = 0; dirty = false; referenced = false }
+  in
+  {
+    disk;
+    frames = Array.init capacity make_frame;
+    table = Hashtbl.create (capacity * 2);
+    free = List.init capacity (fun i -> i);
+    hand = 0;
+    hit_count = 0;
+    miss_count = 0;
+    eviction_count = 0;
+  }
+
+let capacity t = Array.length t.frames
+
+let write_back t frame =
+  if frame.dirty then begin
+    Disk.write_from t.disk frame.pid frame.buffer;
+    frame.dirty <- false
+  end
+
+(* Clock (second-chance) replacement: take a free frame if any; otherwise
+   sweep the hand, clearing reference bits, until an unpinned,
+   unreferenced frame is found.  Amortised O(1) per miss. *)
+let victim t =
+  match t.free with
+  | i :: rest ->
+      t.free <- rest;
+      t.frames.(i)
+  | [] ->
+      let n = Array.length t.frames in
+      (* Two full sweeps guarantee we revisit every frame after clearing
+         its reference bit; only pins can then keep a frame unavailable. *)
+      let rec sweep remaining =
+        if remaining = 0 then failwith "Buffer_pool: all frames are pinned"
+        else begin
+          let frame = t.frames.(t.hand) in
+          t.hand <- (t.hand + 1) mod n;
+          if frame.pins > 0 then sweep (remaining - 1)
+          else if frame.referenced then begin
+            frame.referenced <- false;
+            sweep (remaining - 1)
+          end
+          else frame
+        end
+      in
+      sweep (2 * n)
+
+let evict t frame =
+  if frame.pid <> -1 then begin
+    write_back t frame;
+    Hashtbl.remove t.table frame.pid;
+    frame.pid <- -1;
+    t.eviction_count <- t.eviction_count + 1
+  end
+
+let fetch t pid =
+  match Hashtbl.find_opt t.table pid with
+  | Some frame ->
+      t.hit_count <- t.hit_count + 1;
+      frame.pins <- frame.pins + 1;
+      frame.referenced <- true;
+      frame
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      let frame = victim t in
+      evict t frame;
+      Disk.read_into t.disk pid frame.buffer;
+      frame.pid <- pid;
+      frame.pins <- 1;
+      frame.dirty <- false;
+      frame.referenced <- true;
+      Hashtbl.replace t.table pid frame;
+      frame
+
+let allocate t =
+  let pid = Disk.allocate t.disk in
+  let frame = victim t in
+  evict t frame;
+  Page.zero frame.buffer;
+  frame.pid <- pid;
+  frame.pins <- 1;
+  frame.dirty <- true;
+  frame.referenced <- true;
+  Hashtbl.replace t.table pid frame;
+  frame
+
+let page frame = frame.buffer
+
+let page_id frame = frame.pid
+
+let mark_dirty frame = frame.dirty <- true
+
+let unpin _t frame =
+  if frame.pins <= 0 then invalid_arg "Buffer_pool.unpin: handle not pinned";
+  frame.pins <- frame.pins - 1
+
+let flush_all t =
+  Array.iter (fun frame -> if frame.pid <> -1 then write_back t frame) t.frames
+
+let drop_cache t =
+  Array.iteri
+    (fun i frame ->
+      if frame.pins > 0 then failwith "Buffer_pool.drop_cache: frame still pinned";
+      if frame.pid <> -1 then begin
+        write_back t frame;
+        Hashtbl.remove t.table frame.pid;
+        frame.pid <- -1;
+        t.free <- i :: t.free
+      end)
+    t.frames
+
+let stats t = { hits = t.hit_count; misses = t.miss_count; evictions = t.eviction_count }
+
+let reset_stats t =
+  t.hit_count <- 0;
+  t.miss_count <- 0;
+  t.eviction_count <- 0

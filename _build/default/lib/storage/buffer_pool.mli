@@ -1,0 +1,56 @@
+(** Buffer pool over a {!Disk} with clock (second-chance) replacement.
+
+    All heap-file and B+-tree page accesses go through the pool.  A fetched
+    page is pinned until released; unpinned frames are replaced by a clock
+    sweep (approximate LRU, amortised O(1) per miss), writing dirty pages
+    back to disk.  Hit and miss counters let the engine report logical vs.
+    physical I/O. *)
+
+type t
+
+type handle
+(** A pinned page.  The underlying buffer stays valid until {!unpin}. *)
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val create : ?capacity:int -> Disk.t -> t
+(** [create ?capacity disk] makes a pool holding at most [capacity] pages
+    (default 256).  Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : t -> int
+(** The number of frames. *)
+
+val fetch : t -> int -> handle
+(** [fetch t pid] pins page [pid], reading it from disk on a miss.  Raises
+    [Failure] if a miss finds every frame pinned. *)
+
+val allocate : t -> handle
+(** Allocate a fresh zeroed page on the disk and pin it (dirty), without a
+    disk read. *)
+
+val page : handle -> Page.t
+(** The pinned page buffer.  Mutating it requires {!mark_dirty}. *)
+
+val page_id : handle -> int
+(** The disk page id of the pinned page. *)
+
+val mark_dirty : handle -> unit
+(** Record that the page buffer was modified so eviction writes it back. *)
+
+val unpin : t -> handle -> unit
+(** Release the pin.  Raises [Invalid_argument] if the handle is not
+    pinned. *)
+
+val flush_all : t -> unit
+(** Write all dirty pages back to disk (pages stay cached). *)
+
+val drop_cache : t -> unit
+(** Flush and forget every unpinned frame: the next access to any page is a
+    disk read.  Used to measure cold-cache costs.  Raises [Failure] if a
+    frame is still pinned. *)
+
+val stats : t -> stats
+(** Cumulative hit/miss/eviction counts. *)
+
+val reset_stats : t -> unit
+(** Zero the counters. *)

@@ -1,0 +1,45 @@
+type t = {
+  mutable pages : Page.t array;
+  mutable used : int;
+  mutable read_count : int;
+  mutable write_count : int;
+}
+
+type stats = { reads : int; writes : int; allocated : int }
+
+let create () = { pages = Array.make 64 (Page.create ()); used = 0; read_count = 0; write_count = 0 }
+
+let grow t =
+  let capacity = Array.length t.pages in
+  let bigger = Array.make (capacity * 2) t.pages.(0) in
+  Array.blit t.pages 0 bigger 0 capacity;
+  t.pages <- bigger
+
+let allocate t =
+  if t.used >= Array.length t.pages then grow t;
+  let pid = t.used in
+  t.pages.(pid) <- Page.create ();
+  t.used <- t.used + 1;
+  pid
+
+let n_pages t = t.used
+
+let check t pid name =
+  if pid < 0 || pid >= t.used then
+    invalid_arg (Printf.sprintf "Disk.%s: page %d not allocated" name pid)
+
+let read_into t pid dst =
+  check t pid "read_into";
+  t.read_count <- t.read_count + 1;
+  Page.blit ~src:t.pages.(pid) ~dst
+
+let write_from t pid src =
+  check t pid "write_from";
+  t.write_count <- t.write_count + 1;
+  Page.blit ~src ~dst:t.pages.(pid)
+
+let stats t = { reads = t.read_count; writes = t.write_count; allocated = t.used }
+
+let reset_stats t =
+  t.read_count <- 0;
+  t.write_count <- 0

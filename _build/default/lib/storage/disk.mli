@@ -1,0 +1,34 @@
+(** Simulated disk: a growable array of pages with counted I/O.
+
+    The paper's experiments ran against SQL Server on real hardware; here
+    the "disk" is an in-memory page store that counts every page read and
+    write, so that execution costs can be measured deterministically in
+    page-I/O units.  All structured access should go through
+    {!Buffer_pool}; this module is the raw device. *)
+
+type t
+
+type stats = { reads : int; writes : int; allocated : int }
+
+val create : unit -> t
+(** An empty disk. *)
+
+val allocate : t -> int
+(** [allocate t] reserves a fresh zeroed page and returns its page id. *)
+
+val n_pages : t -> int
+(** Number of allocated pages. *)
+
+val read_into : t -> int -> Page.t -> unit
+(** [read_into t pid dst] copies page [pid] from the disk into [dst],
+    counting one read.  Raises [Invalid_argument] on an unallocated id. *)
+
+val write_from : t -> int -> Page.t -> unit
+(** [write_from t pid src] copies [src] onto page [pid], counting one
+    write.  Raises [Invalid_argument] on an unallocated id. *)
+
+val stats : t -> stats
+(** Cumulative I/O counters. *)
+
+val reset_stats : t -> unit
+(** Zero the I/O counters (allocation count is preserved). *)

@@ -1,0 +1,54 @@
+(** Heap files: unordered tuple storage in slotted pages.
+
+    Tuples are appended to the last page with room; a full insert allocates
+    a new page.  Deletion clears the slot but does not reclaim space (the
+    workloads in this library are read-mostly; compaction is out of
+    scope). *)
+
+type t
+
+type rid = { page : int; slot : int }
+(** Record identifier: page id plus slot number within the page. *)
+
+val pp_rid : Format.formatter -> rid -> unit
+(** Render as [page:slot]. *)
+
+val compare_rid : rid -> rid -> int
+(** Lexicographic (page, slot) order. *)
+
+val create : Buffer_pool.t -> t
+(** A fresh empty heap file. *)
+
+val insert : t -> Tuple.t -> rid
+(** Append a tuple.  Raises [Invalid_argument] if the encoded tuple cannot
+    fit in an empty page. *)
+
+val fetch : t -> rid -> Tuple.t option
+(** [fetch t rid] returns the tuple, or [None] if the slot was deleted.
+    Raises [Invalid_argument] on an out-of-range rid. *)
+
+val delete : t -> rid -> bool
+(** Clear the slot; returns whether a live tuple was there. *)
+
+val iter : t -> (rid -> Tuple.t -> unit) -> unit
+(** Full scan in storage order, skipping deleted slots. *)
+
+val iter_raw : t -> (rid -> bytes -> unit) -> unit
+(** Full scan passing the encoded record instead of decoding it — fields
+    can then be extracted lazily with {!Tuple.get_field}. *)
+
+val iter_slices : t -> (bytes -> int -> unit) -> unit
+(** Zero-copy full scan: the callback receives the page buffer and the
+    byte offset of the encoded record (extract fields with
+    {!Tuple.get_field_at}), valid only for the duration of the call — the
+    executor's scan hot path (no per-row allocation at all: even the rid
+    is omitted). *)
+
+val fold : t -> init:'a -> f:('a -> rid -> Tuple.t -> 'a) -> 'a
+(** Folding full scan. *)
+
+val n_tuples : t -> int
+(** Live tuple count. *)
+
+val n_pages : t -> int
+(** Number of pages the file occupies. *)

@@ -1,0 +1,51 @@
+(** Tuples (records) and their on-page serialization.
+
+    A tuple is an array of typed values.  The encoding is self-describing
+    (per-field tags) so heap files can store tuples without consulting the
+    catalog. *)
+
+type value = Int of int | Text of string
+
+type t = value array
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val compare_value : value -> value -> int
+(** Total order: all [Int]s sort before all [Text]s. *)
+
+val pp_value : Format.formatter -> value -> unit
+(** Render a value ([Text] is single-quoted). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render a tuple as [(v1, v2, ...)]. *)
+
+val to_string : t -> string
+(** [Format.asprintf "%a" pp]. *)
+
+val int_exn : value -> int
+(** Extract an [Int]; raises [Invalid_argument] on [Text]. *)
+
+val text_exn : value -> string
+(** Extract a [Text]; raises [Invalid_argument] on [Int]. *)
+
+val encoded_size : t -> int
+(** Number of bytes {!encode} will produce. *)
+
+val encode : t -> bytes
+(** Serialize. *)
+
+val decode : bytes -> t
+(** Deserialize; raises [Invalid_argument] on malformed input. *)
+
+val field_count : bytes -> int
+(** Number of fields of an encoded tuple without decoding it. *)
+
+val get_field : bytes -> int -> value
+(** [get_field buf i] decodes only field [i] of an encoded tuple — the
+    executor's scan fast path.  Raises [Invalid_argument] on malformed
+    input or out-of-range index. *)
+
+val get_field_at : bytes -> base:int -> int -> value
+(** Like {!get_field} for a tuple encoded at offset [base] inside a larger
+    buffer (e.g. directly inside a page) — the zero-copy scan path. *)

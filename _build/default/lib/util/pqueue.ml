@@ -1,0 +1,33 @@
+(* Leftist heap: the rank (null-path length) of the left child is always at
+   least that of the right child, so merge runs in O(log n). *)
+
+type 'a t = Leaf | Node of { rank : int; prio : float; value : 'a; left : 'a t; right : 'a t }
+
+let empty = Leaf
+
+let is_empty t = t = Leaf
+
+let rank t = match t with Leaf -> 0 | Node { rank; _ } -> rank
+
+let rec merge a b =
+  match (a, b) with
+  | Leaf, t | t, Leaf -> t
+  | Node { prio = pa; _ }, Node { prio = pb; _ } when pa > pb -> merge b a
+  | Node { prio; value; left; right; _ }, other ->
+      let merged = merge right other in
+      if rank left >= rank merged then
+        Node { rank = rank merged + 1; prio; value; left; right = merged }
+      else Node { rank = rank left + 1; prio; value; left = merged; right = left }
+
+let insert t prio value =
+  merge t (Node { rank = 1; prio; value; left = Leaf; right = Leaf })
+
+let pop_min t =
+  match t with
+  | Leaf -> None
+  | Node { prio; value; left; right; _ } -> Some (prio, value, merge left right)
+
+let rec size t =
+  match t with Leaf -> 0 | Node { left; right; _ } -> 1 + size left + size right
+
+let of_list items = List.fold_left (fun acc (prio, value) -> insert acc prio value) empty items

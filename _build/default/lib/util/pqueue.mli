@@ -1,0 +1,20 @@
+(** Minimum-priority queue with float priorities (leftist heap).
+
+    Used by the shortest-path-ranking optimizer to enumerate paths in
+    ascending cost order. *)
+
+type 'a t
+
+val empty : 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val insert : 'a t -> float -> 'a -> 'a t
+(** [insert q priority value]. *)
+
+val pop_min : 'a t -> (float * 'a * 'a t) option
+(** Remove the minimum-priority element.  Ties are broken arbitrarily. *)
+
+val of_list : (float * 'a) list -> 'a t

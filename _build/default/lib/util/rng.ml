@@ -1,0 +1,72 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  (* SplitMix64 finalizer (Steele, Lea, Flood; JDK SplittableRandom). *)
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = mix64 seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+  let bound64 = Int64.of_int bound in
+  let rec loop () =
+    let raw = Int64.logand (next_int64 t) mask in
+    let value = Int64.rem raw bound64 in
+    if Int64.sub raw value > Int64.sub (Int64.sub mask bound64) Int64.one then loop ()
+    else Int64.to_int value
+  in
+  loop ()
+
+let float t bound =
+  (* 53 random bits scaled into [0, bound). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_weighted t choices =
+  let total =
+    Array.fold_left
+      (fun acc (_, w) ->
+        if w < 0.0 then invalid_arg "Rng.pick_weighted: negative weight";
+        acc +. w)
+      0.0 choices
+  in
+  if total <= 0.0 then invalid_arg "Rng.pick_weighted: weights sum to zero";
+  let target = float t total in
+  let n = Array.length choices in
+  let rec loop i acc =
+    if i >= n - 1 then fst choices.(n - 1)
+    else
+      let acc = acc +. snd choices.(i) in
+      if target < acc then fst choices.(i) else loop (i + 1) acc
+  in
+  loop 0 0.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

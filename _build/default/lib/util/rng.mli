@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable PRNG (SplitMix64).  Every stochastic component
+    of the library (workload generation, data loading, property tests that
+    need their own stream) takes an explicit [Rng.t] so that runs are
+    reproducible from a single seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will produce the same stream
+    as [t] from this point on. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t].  The derived
+    stream is (statistically) independent of the remainder of [t]'s
+    stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] is a uniformly chosen element of [arr].  Raises
+    [Invalid_argument] on an empty array. *)
+
+val pick_weighted : t -> ('a * float) array -> 'a
+(** [pick_weighted t choices] picks an element with probability proportional
+    to its weight.  Weights must be non-negative and sum to a positive
+    value.  Raises [Invalid_argument] otherwise. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

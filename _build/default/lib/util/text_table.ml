@@ -1,0 +1,59 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create columns =
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Text_table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> max acc (String.length (List.nth cells i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let rule =
+    String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+  in
+  let render_cells cells =
+    String.concat " | "
+      (List.map2
+         (fun (cell, align) width -> pad align width cell)
+         (List.combine cells t.aligns)
+         widths)
+  in
+  let body =
+    List.map
+      (fun row ->
+        match row with Separator -> rule | Cells cells -> render_cells cells)
+      rows
+  in
+  String.concat "\n" (render_cells t.headers :: rule :: body)
+
+let print t = print_endline (render t)

@@ -1,0 +1,26 @@
+(** Plain-text table rendering for experiment output.
+
+    The benchmark harness prints paper-style tables; this module renders a
+    header plus rows with aligned columns. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : (string * align) list -> t
+(** [create columns] starts a table with the given column headers and
+    alignments. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  Raises [Invalid_argument] if the
+    number of cells differs from the number of columns. *)
+
+val add_separator : t -> unit
+(** Appends a horizontal rule between rows. *)
+
+val render : t -> string
+(** Renders the table, including a header rule, as a multi-line string. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a newline. *)

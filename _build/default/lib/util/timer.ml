@@ -1,0 +1,18 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_median ?(repeats = 3) f =
+  if repeats <= 0 then invalid_arg "Timer.time_median: repeats <= 0";
+  let samples = Array.make repeats 0.0 in
+  let result = ref None in
+  for i = 0 to repeats - 1 do
+    let r, dt = time f in
+    result := Some r;
+    samples.(i) <- dt
+  done;
+  let median = Stats.percentile samples 50.0 in
+  match !result with
+  | Some r -> (r, median)
+  | None -> assert false

@@ -1,0 +1,10 @@
+(** Wall-clock timing of closures, for the optimizer-runtime experiments. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
+(** [time_median ~repeats f] runs [f] [repeats] times (default 3) and
+    returns the last result together with the median elapsed seconds;
+    robust against one-off scheduler noise. *)

@@ -1,0 +1,1 @@
+lib/workload/data_gen.ml: Array Cddpd_storage Cddpd_util

@@ -1,0 +1,1 @@
+lib/workload/data_gen.mli: Cddpd_storage

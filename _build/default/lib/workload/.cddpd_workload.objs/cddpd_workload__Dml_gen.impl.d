@@ -1,0 +1,1 @@
+lib/workload/dml_gen.ml: Array Cddpd_sql Cddpd_storage Cddpd_util

@@ -1,0 +1,1 @@
+lib/workload/dml_gen.mli: Cddpd_sql

@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Array Cddpd_sql Cddpd_storage Cddpd_util Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/workload/mix.mli: Cddpd_sql Cddpd_util Format

@@ -1,0 +1,1 @@
+lib/workload/report_gen.mli: Cddpd_sql Cddpd_util

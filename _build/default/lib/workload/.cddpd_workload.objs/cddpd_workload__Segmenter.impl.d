@@ -1,0 +1,1 @@
+lib/workload/segmenter.ml: Array Cddpd_sql Float Hashtbl List Option String

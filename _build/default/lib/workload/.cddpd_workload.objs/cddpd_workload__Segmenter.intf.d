@@ -1,0 +1,1 @@
+lib/workload/segmenter.mli: Cddpd_sql

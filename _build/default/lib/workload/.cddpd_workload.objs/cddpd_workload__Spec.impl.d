@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Array Cddpd_util Format List Mix String

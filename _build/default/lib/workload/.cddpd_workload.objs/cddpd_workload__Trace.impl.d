@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Cddpd_sql Fun List Printf String

@@ -1,0 +1,1 @@
+lib/workload/workloads.ml: Float Printf Spec String

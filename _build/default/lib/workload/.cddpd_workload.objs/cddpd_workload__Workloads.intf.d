@@ -1,0 +1,1 @@
+lib/workload/workloads.mli: Spec

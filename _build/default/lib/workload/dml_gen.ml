@@ -1,0 +1,38 @@
+module Ast = Cddpd_sql.Ast
+module Tuple = Cddpd_storage.Tuple
+module Rng = Cddpd_util.Rng
+
+let to_update rng ~value_range statement =
+  match statement with
+  | Ast.Select { table; where = [ Ast.Cmp { column; op = Ast.Eq; value } ]; _ } ->
+      Ast.Update
+        {
+          table;
+          assignments = [ (column, Tuple.Int (Rng.int rng value_range)) ];
+          where = [ Ast.Cmp { column; op = Ast.Eq; value } ];
+        }
+  | Ast.Select _ | Ast.Select_agg _ | Ast.Insert _ | Ast.Delete _ | Ast.Update _ ->
+      statement
+
+let blend ~update_fraction ~value_range ~seed statements =
+  if update_fraction < 0.0 || update_fraction > 1.0 then
+    invalid_arg "Dml_gen.blend: fraction outside [0, 1]";
+  let rng = Rng.create seed in
+  let out = Array.copy statements in
+  for i = 0 to Array.length out - 1 do
+    match out.(i) with
+    | Ast.Select _ when Rng.float rng 1.0 < update_fraction ->
+        out.(i) <- to_update rng ~value_range out.(i)
+    | Ast.Select _ | Ast.Select_agg _ | Ast.Insert _ | Ast.Delete _ | Ast.Update _ -> ()
+  done;
+  out
+
+let update_share statements =
+  if Array.length statements = 0 then 0.0
+  else
+    let writes =
+      Array.fold_left
+        (fun acc s -> if Ast.is_read_only s then acc else acc + 1)
+        0 statements
+    in
+    float_of_int writes /. float_of_int (Array.length statements)

@@ -1,0 +1,23 @@
+(** Blending updates into query workloads.
+
+    The paper's problem definition covers "queries and updates"; its
+    experiments use queries only.  This module turns a fraction of a
+    generated query stream into UPDATE statements on the same columns, so
+    the update-cost side of the advisor (index maintenance vs. lookup
+    benefit) can be exercised — see the [updates] ablation experiment. *)
+
+val blend :
+  update_fraction:float ->
+  value_range:int ->
+  seed:int ->
+  Cddpd_sql.Ast.statement array ->
+  Cddpd_sql.Ast.statement array
+(** [blend ~update_fraction ~value_range ~seed statements] replaces each
+    point SELECT independently with probability [update_fraction] by an
+    [UPDATE t SET <col> = <fresh> WHERE <col> = <old>] on the same column
+    (so the column access distribution is preserved).  Non-SELECT
+    statements pass through.  Deterministic in [seed].  Raises
+    [Invalid_argument] if the fraction is outside [\[0, 1\]]. *)
+
+val update_share : Cddpd_sql.Ast.statement array -> float
+(** Fraction of statements that are not read-only. *)

@@ -1,0 +1,31 @@
+module Ast = Cddpd_sql.Ast
+module Tuple = Cddpd_storage.Tuple
+module Rng = Cddpd_util.Rng
+
+let sample ~table ~group_by ~sum_columns ?(probe_fraction = 0.5) ~value_range rng =
+  let aggregate =
+    match sum_columns with
+    | [] -> Ast.Count_star
+    | _ :: _ ->
+        if Rng.bool rng then Ast.Count_star
+        else Ast.Sum (Rng.pick rng (Array.of_list sum_columns))
+  in
+  let where =
+    if Rng.float rng 1.0 < probe_fraction then
+      [
+        Ast.Cmp
+          { column = group_by; op = Ast.Eq; value = Tuple.Int (Rng.int rng value_range) };
+      ]
+    else []
+  in
+  Ast.Select_agg { table; group_by; aggregate; where }
+
+let segment ~table ~group_by ~sum_columns ?probe_fraction ~n ~value_range ~seed () =
+  if n <= 0 then invalid_arg "Report_gen.segment: n <= 0";
+  let rng = Rng.create seed in
+  let first = sample ~table ~group_by ~sum_columns ?probe_fraction ~value_range rng in
+  let out = Array.make n first in
+  for i = 1 to n - 1 do
+    out.(i) <- sample ~table ~group_by ~sum_columns ?probe_fraction ~value_range rng
+  done;
+  out

@@ -1,0 +1,84 @@
+module Ast = Cddpd_sql.Ast
+
+type params = { window : int; threshold : float; min_segment : int }
+
+let default_params = { window = 250; threshold = 0.5; min_segment = 250 }
+
+let predicate_columns statement =
+  List.map
+    (fun pred ->
+      match pred with Ast.Cmp { column; _ } | Ast.Between { column; _ } -> column)
+    (Ast.where_of statement)
+
+let column_profile statements =
+  let counts = Hashtbl.create 8 in
+  let total = ref 0 in
+  Array.iter
+    (fun statement ->
+      List.iter
+        (fun column ->
+          incr total;
+          Hashtbl.replace counts column
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts column)))
+        (predicate_columns statement))
+    statements;
+  if !total = 0 then []
+  else
+    Hashtbl.fold
+      (fun column count acc ->
+        (column, float_of_int count /. float_of_int !total) :: acc)
+      counts []
+    |> List.sort (fun (c1, f1) (c2, f2) ->
+           let c = compare f2 f1 in
+           if c <> 0 then c else String.compare c1 c2)
+
+let profile_distance p1 p2 =
+  let columns =
+    List.sort_uniq String.compare (List.map fst p1 @ List.map fst p2)
+  in
+  let freq profile column = Option.value ~default:0.0 (List.assoc_opt column profile) in
+  List.fold_left
+    (fun acc column -> acc +. Float.abs (freq p1 column -. freq p2 column))
+    0.0 columns
+
+let check_params params =
+  if params.window <= 0 then invalid_arg "Segmenter: window <= 0";
+  if params.min_segment <= 0 then invalid_arg "Segmenter: min_segment <= 0";
+  if params.threshold < 0.0 then invalid_arg "Segmenter: negative threshold"
+
+let boundaries ?(params = default_params) statements =
+  check_params params;
+  let n = Array.length statements in
+  let w = params.window in
+  if n < 2 * w then []
+  else begin
+    let out = ref [] in
+    let last_boundary = ref 0 in
+    (* Slide in window-sized strides: compare the window before [i] with
+       the window after it. *)
+    let i = ref w in
+    while !i + w <= n do
+      let before = Array.sub statements (!i - w) w in
+      let after = Array.sub statements !i w in
+      let d = profile_distance (column_profile before) (column_profile after) in
+      if d > params.threshold && !i - !last_boundary >= params.min_segment then begin
+        out := !i :: !out;
+        last_boundary := !i
+      end;
+      i := !i + w
+    done;
+    List.rev !out
+  end
+
+let segment ?(params = default_params) statements =
+  let cuts = boundaries ~params statements in
+  let n = Array.length statements in
+  let rec build start cuts acc =
+    match cuts with
+    | [] -> List.rev (Array.sub statements start (n - start) :: acc)
+    | cut :: rest -> build cut rest (Array.sub statements start (cut - start) :: acc)
+  in
+  if n = 0 then [||] else Array.of_list (build 0 cuts [])
+
+let suggest_k ?(params = default_params) statements =
+  List.length (boundaries ~params statements)

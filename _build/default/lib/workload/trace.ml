@@ -1,0 +1,53 @@
+module Parser = Cddpd_sql.Parser
+module Printer = Cddpd_sql.Printer
+
+let to_lines statements = Array.to_list (Array.map Printer.to_string statements)
+
+let of_lines lines =
+  let rec go i acc lines =
+    match lines with
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || (String.length trimmed > 0 && trimmed.[0] = '#') then
+          go (i + 1) acc rest
+        else
+          (match Parser.parse trimmed with
+          | Ok statement -> go (i + 1) (statement :: acc) rest
+          | Error message -> Error (Printf.sprintf "line %d: %s" i message))
+  in
+  go 1 [] lines
+
+let save path statements =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (to_lines statements))
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec read acc =
+          match input_line ic with
+          | line -> read (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        read [])
+  with
+  | lines -> of_lines lines
+  | exception Sys_error message -> Error message
+
+let segment statements ~size =
+  if size <= 0 then invalid_arg "Trace.segment: size <= 0";
+  let n = Array.length statements in
+  let n_segments = (n + size - 1) / size in
+  Array.init n_segments (fun i ->
+      Array.sub statements (i * size) (min size (n - (i * size))))

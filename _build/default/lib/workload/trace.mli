@@ -1,0 +1,21 @@
+(** Workload traces: (de)serialization of statement sequences.
+
+    A trace file holds one SQL statement per line, with [#]-prefixed
+    comment lines and blank lines ignored — the capture format a DBA would
+    feed the advisor. *)
+
+val to_lines : Cddpd_sql.Ast.statement array -> string list
+(** One SQL string per statement. *)
+
+val of_lines : string list -> (Cddpd_sql.Ast.statement array, string) result
+(** Parse a trace; the error names the offending line number. *)
+
+val save : string -> Cddpd_sql.Ast.statement array -> unit
+(** Write a trace file. *)
+
+val load : string -> (Cddpd_sql.Ast.statement array, string) result
+(** Read a trace file; [Error] on I/O or parse problems. *)
+
+val segment : Cddpd_sql.Ast.statement array -> size:int -> Cddpd_sql.Ast.statement array array
+(** Chop a flat trace into segments of [size] statements (last segment may
+    be shorter).  Raises [Invalid_argument] if [size <= 0]. *)

@@ -1,0 +1,29 @@
+(* The 30 rows of Table 2, 500 queries per row. *)
+let letters_w1 = "AABBAABBAA" ^ "CCDDCCDDCC" ^ "AABBAABBAA"
+let letters_w2 = "ABABABABAB" ^ "CDCDCDCDCD" ^ "ABABABABAB"
+let letters_w3 = "BBAABBAABB" ^ "DDCCDDCCDD" ^ "BBAABBAABB"
+
+let major_shift_count = 2
+
+let base_segment = 500
+
+let scaled scale =
+  let n = int_of_float (Float.round (float_of_int base_segment *. scale)) in
+  if n <= 0 then invalid_arg "Workloads: scale too small";
+  n
+
+let w1 ?(scale = 1.0) () =
+  Spec.of_letters ~queries_per_segment:(scaled scale) letters_w1
+
+let w2 ?(scale = 1.0) () =
+  Spec.of_letters ~queries_per_segment:(scaled scale) letters_w2
+
+let w3 ?(scale = 1.0) () =
+  Spec.of_letters ~queries_per_segment:(scaled scale) letters_w3
+
+let by_name name ?scale () =
+  match String.uppercase_ascii name with
+  | "W1" -> w1 ?scale ()
+  | "W2" -> w2 ?scale ()
+  | "W3" -> w3 ?scale ()
+  | other -> invalid_arg (Printf.sprintf "Workloads.by_name: unknown workload %s" other)

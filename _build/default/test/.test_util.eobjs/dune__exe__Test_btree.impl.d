@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Bytes Cddpd_storage Int64 List QCheck QCheck_alcotest Set String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cddpd_catalog Cddpd_core Cddpd_engine Cddpd_sql Cddpd_storage Cddpd_util Cddpd_workload Char Float List Printf QCheck QCheck_alcotest String

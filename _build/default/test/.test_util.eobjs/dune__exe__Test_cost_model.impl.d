@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Array Cddpd_catalog Cddpd_engine Cddpd_sql Cddpd_storage Cddpd_util Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Cddpd_catalog Cddpd_engine Cddpd_sql Cddpd_storage Cddpd_util Hashtbl List Option Printf QCheck QCheck_alcotest Result

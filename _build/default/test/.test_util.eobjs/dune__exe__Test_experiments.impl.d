@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Cddpd_catalog Cddpd_core Cddpd_engine Cddpd_experiments Lazy List

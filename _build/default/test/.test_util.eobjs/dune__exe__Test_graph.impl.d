@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cddpd_graph Float List Option Printf QCheck QCheck_alcotest Seq

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Cddpd_sql Cddpd_storage List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Cddpd_storage Hashtbl List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cddpd_sql Cddpd_storage Cddpd_util Cddpd_workload Filename Fun List Printf QCheck QCheck_alcotest Result String Sys

@@ -1,0 +1,679 @@
+(* Engine tests: histograms, semantic checking, planner decisions, executor
+   correctness against a naive reference implementation, and physical
+   design migration. *)
+
+module Tuple = Cddpd_storage.Tuple
+module Schema = Cddpd_catalog.Schema
+module Index_def = Cddpd_catalog.Index_def
+module Design = Cddpd_catalog.Design
+module Ast = Cddpd_sql.Ast
+module Histogram = Cddpd_engine.Histogram
+module Table_stats = Cddpd_engine.Table_stats
+module Check = Cddpd_engine.Check
+module Plan = Cddpd_engine.Plan
+module Database = Cddpd_engine.Database
+module Rng = Cddpd_util.Rng
+
+(* -- Histogram ----------------------------------------------------------------- *)
+
+let test_histogram_empty () =
+  let h = Histogram.build [||] in
+  Alcotest.(check int) "no values" 0 (Histogram.n_values h);
+  Alcotest.(check (float 0.0)) "eq selectivity" 0.0 (Histogram.selectivity_eq h 5);
+  Alcotest.(check bool) "no min" true (Histogram.min_value h = None)
+
+let test_histogram_uniform_eq () =
+  (* 1000 values over [0,100): each value ~1% of rows. *)
+  let values = Array.init 1000 (fun i -> i mod 100) in
+  let h = Histogram.build values in
+  let sel = Histogram.selectivity_eq h 42 in
+  Alcotest.(check bool) "eq selectivity near 1%" true (sel > 0.005 && sel < 0.02);
+  Alcotest.(check int) "distinct" 100 (Histogram.n_distinct h)
+
+let test_histogram_eq_out_of_range () =
+  let h = Histogram.build (Array.init 100 (fun i -> i)) in
+  let sel = Histogram.selectivity_eq h 10_000 in
+  Alcotest.(check bool) "tiny but nonzero" true (sel > 0.0 && sel < 0.01)
+
+let test_histogram_range () =
+  let values = Array.init 1000 (fun i -> i) in
+  let h = Histogram.build values in
+  let sel = Histogram.selectivity_range h ~lo:(Some 0) ~hi:(Some 499) in
+  Alcotest.(check bool) "half the rows" true (sel > 0.45 && sel < 0.55);
+  let all = Histogram.selectivity_range h ~lo:None ~hi:None in
+  Alcotest.(check bool) "open range = all" true (all > 0.99)
+
+let test_histogram_minmax () =
+  let h = Histogram.build [| 5; 1; 9; 3 |] in
+  Alcotest.(check (option int)) "min" (Some 1) (Histogram.min_value h);
+  Alcotest.(check (option int)) "max" (Some 9) (Histogram.max_value h)
+
+let test_histogram_skew () =
+  (* 90% of rows are value 7. *)
+  let values = Array.init 1000 (fun i -> if i < 900 then 7 else i) in
+  let h = Histogram.build values in
+  let sel7 = Histogram.selectivity_eq h 7 in
+  Alcotest.(check bool) "skewed value dominates" true (sel7 > 0.5)
+
+let histogram_range_bounds_prop =
+  QCheck.Test.make ~name:"range selectivity in [0,1] and monotone" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 200) (int_bound 1000)) (int_bound 1000))
+    (fun (values, split) ->
+      let h = Histogram.build (Array.of_list values) in
+      let narrow = Histogram.selectivity_range h ~lo:(Some 0) ~hi:(Some split) in
+      let wide = Histogram.selectivity_range h ~lo:(Some 0) ~hi:(Some (split + 100)) in
+      narrow >= 0.0 && narrow <= 1.0 && wide >= narrow)
+
+(* -- schema / check -------------------------------------------------------------- *)
+
+let schema =
+  Schema.table "t"
+    [ ("a", Schema.Int_type); ("b", Schema.Int_type); ("name", Schema.Text_type) ]
+
+let test_schema_lookups () =
+  Alcotest.(check (option int)) "index of b" (Some 1) (Schema.column_index schema "b");
+  Alcotest.(check (option int)) "unknown" None (Schema.column_index schema "zz");
+  Alcotest.(check int) "arity" 3 (Schema.arity schema);
+  Alcotest.(check bool) "mem" true (Schema.mem_column schema "name")
+
+let test_schema_validate_tuple () =
+  Alcotest.(check bool) "valid" true
+    (Schema.validate_tuple schema [| Tuple.Int 1; Tuple.Int 2; Tuple.Text "x" |] = Ok ());
+  Alcotest.(check bool) "wrong arity" true
+    (Result.is_error (Schema.validate_tuple schema [| Tuple.Int 1 |]));
+  Alcotest.(check bool) "wrong type" true
+    (Result.is_error
+       (Schema.validate_tuple schema [| Tuple.Text "x"; Tuple.Int 2; Tuple.Text "y" |]))
+
+let test_check_statement () =
+  let ok sql = Check.statement [ schema ] (Cddpd_sql.Parser.parse_exn sql) in
+  Alcotest.(check bool) "valid select" true (ok "SELECT a FROM t WHERE b = 1" = Ok ());
+  Alcotest.(check bool) "unknown table" true (Result.is_error (ok "SELECT a FROM nope"));
+  Alcotest.(check bool) "unknown column" true
+    (Result.is_error (ok "SELECT zz FROM t"));
+  Alcotest.(check bool) "unknown predicate column" true
+    (Result.is_error (ok "SELECT a FROM t WHERE zz = 1"));
+  Alcotest.(check bool) "type mismatch" true
+    (Result.is_error (ok "SELECT a FROM t WHERE a = 'text'"));
+  Alcotest.(check bool) "text ok" true (ok "SELECT a FROM t WHERE name = 'x'" = Ok ());
+  Alcotest.(check bool) "insert ok" true (ok "INSERT INTO t VALUES (1, 2, 'x')" = Ok ());
+  Alcotest.(check bool) "insert arity" true
+    (Result.is_error (ok "INSERT INTO t VALUES (1, 2)"));
+  Alcotest.(check bool) "insert type" true
+    (Result.is_error (ok "INSERT INTO t VALUES (1, 'x', 'y')"))
+
+(* -- database fixtures ------------------------------------------------------------ *)
+
+let paper_schema =
+  Schema.table "t"
+    [
+      ("a", Schema.Int_type);
+      ("b", Schema.Int_type);
+      ("c", Schema.Int_type);
+      ("d", Schema.Int_type);
+    ]
+
+let make_db ?(rows = 3000) ?(value_range = 50) () =
+  let db = Database.create ~pool_capacity:1024 [ paper_schema ] in
+  let rng = Rng.create 7 in
+  let data =
+    Array.init rows (fun _ ->
+        Array.init 4 (fun _ -> Tuple.Int (Rng.int rng value_range)))
+  in
+  Database.load db ~table:"t" data;
+  (db, data)
+
+let index columns = Index_def.make ~table:"t" ~columns
+
+let rows_sorted result = List.sort compare result.Database.rows
+
+(* Reference implementation: filter + project in plain OCaml. *)
+let reference_select data (select : Ast.select) =
+  let pos c = Schema.column_index_exn paper_schema c in
+  let matches tuple =
+    List.for_all
+      (fun pred ->
+        match pred with
+        | Ast.Cmp { column; op; value } -> (
+            let v = tuple.(pos column) in
+            let c = Tuple.compare_value v value in
+            match op with
+            | Ast.Eq -> c = 0
+            | Ast.Lt -> c < 0
+            | Ast.Le -> c <= 0
+            | Ast.Gt -> c > 0
+            | Ast.Ge -> c >= 0)
+        | Ast.Between { column; low; high } ->
+            Tuple.compare_value tuple.(pos column) low >= 0
+            && Tuple.compare_value tuple.(pos column) high <= 0)
+      select.Ast.where
+  in
+  let project tuple =
+    match select.Ast.projection with
+    | Ast.Star -> tuple
+    | Ast.Columns cs -> Array.of_list (List.map (fun c -> tuple.(pos c)) cs)
+  in
+  Array.to_list data |> List.filter matches |> List.map project |> List.sort compare
+
+let check_query db data sql =
+  let statement = Cddpd_sql.Parser.parse_exn sql in
+  let select =
+    match statement with
+    | Ast.Select s -> s
+    | Ast.Select_agg _ | Ast.Insert _ | Ast.Delete _ | Ast.Update _ ->
+        Alcotest.fail "not select"
+  in
+  let result = Database.execute db statement in
+  let expected = reference_select data select in
+  Alcotest.(check int)
+    (Printf.sprintf "row count for %s" sql)
+    (List.length expected) (List.length result.Database.rows);
+  if rows_sorted result <> expected then Alcotest.failf "rows differ for %s" sql
+
+(* -- planner decisions -------------------------------------------------------------- *)
+
+let plan_of db sql =
+  let result = Database.execute_sql db sql in
+  match result.Database.plan with
+  | Some plan -> plan.Plan.path
+  | None -> Alcotest.fail "expected a plan"
+
+let test_plan_no_index_scans () =
+  let db, _ = make_db () in
+  match plan_of db "SELECT a FROM t WHERE a = 5" with
+  | Plan.Full_scan -> ()
+  | Plan.Index_seek _ | Plan.Index_only_scan _ | Plan.View_probe _ ->
+      Alcotest.fail "no index available"
+
+let test_plan_seek_with_index () =
+  let db, _ = make_db () in
+  Database.build_index db (index [ "a" ]);
+  match plan_of db "SELECT a FROM t WHERE a = 5" with
+  | Plan.Index_seek { covering; _ } ->
+      Alcotest.(check bool) "covering" true covering
+  | Plan.Full_scan | Plan.Index_only_scan _ | Plan.View_probe _ ->
+      Alcotest.fail "expected a covering seek"
+
+let test_plan_noncovering_seek () =
+  (* Needs selective data: with few matching rows the rid fetches are
+     cheaper than a scan. *)
+  let db, _ = make_db ~value_range:5000 () in
+  Database.build_index db (index [ "a" ]);
+  match plan_of db "SELECT b FROM t WHERE a = 5" with
+  | Plan.Index_seek { covering; _ } ->
+      Alcotest.(check bool) "not covering" false covering
+  | Plan.Full_scan | Plan.Index_only_scan _ | Plan.View_probe _ ->
+      Alcotest.fail "expected a seek"
+
+let test_plan_index_only_scan () =
+  (* I(a,b) answers b-queries via a leaf scan — the key mechanism behind the
+     paper's design choices. *)
+  let db, _ = make_db () in
+  Database.build_index db (index [ "a"; "b" ]);
+  match plan_of db "SELECT b FROM t WHERE b = 5" with
+  | Plan.Index_only_scan { index } ->
+      Alcotest.(check string) "uses I(a,b)" "I(a,b)" (Index_def.name index)
+  | Plan.Full_scan | Plan.Index_seek _ | Plan.View_probe _ ->
+      Alcotest.fail "expected an index-only scan"
+
+let test_plan_star_never_covered () =
+  let db, _ = make_db ~value_range:5000 () in
+  Database.build_index db (index [ "a"; "b" ]);
+  match plan_of db "SELECT * FROM t WHERE a = 5" with
+  | Plan.Index_seek { covering; _ } -> Alcotest.(check bool) "not covering" false covering
+  | Plan.Full_scan | Plan.Index_only_scan _ | Plan.View_probe _ ->
+      Alcotest.fail "expected a seek"
+
+let test_plan_composite_prefix_and_range () =
+  let db, _ = make_db () in
+  Database.build_index db (index [ "a"; "b" ]);
+  match plan_of db "SELECT a, b FROM t WHERE a = 5 AND b BETWEEN 3 AND 9" with
+  | Plan.Index_seek { eq_prefix = [ 5 ]; range = Some (Some _, Some _); covering = true; _ }
+    -> ()
+  | _ -> Alcotest.fail "expected covering seek with prefix and range"
+
+let test_plan_prefers_seek_over_scan () =
+  let db, _ = make_db () in
+  Database.build_index db (index [ "b" ]);
+  Database.build_index db (index [ "a"; "b" ]);
+  (* b-queries: the dedicated I(b) seek should beat the I(a,b) leaf scan. *)
+  match plan_of db "SELECT b FROM t WHERE b = 5" with
+  | Plan.Index_seek { index; _ } ->
+      Alcotest.(check string) "uses I(b)" "I(b)" (Index_def.name index)
+  | Plan.Full_scan | Plan.Index_only_scan _ | Plan.View_probe _ ->
+      Alcotest.fail "expected seek on I(b)"
+
+(* -- executor correctness -------------------------------------------------------------- *)
+
+let queries_to_check =
+  [
+    "SELECT a FROM t WHERE a = 5";
+    "SELECT b FROM t WHERE b = 7";
+    "SELECT a, b FROM t WHERE a = 3";
+    "SELECT * FROM t WHERE c = 11";
+    "SELECT d FROM t WHERE d > 45";
+    "SELECT a FROM t WHERE a = 9 AND b = 9";
+    "SELECT a, b FROM t WHERE a = 2 AND b BETWEEN 10 AND 30";
+    "SELECT c FROM t WHERE c BETWEEN 0 AND 5";
+    "SELECT a FROM t WHERE a = 12345";
+    "SELECT a FROM t";
+  ]
+
+let run_queries_under_design design_columns () =
+  let db, data = make_db () in
+  List.iter (fun cols -> Database.build_index db (index cols)) design_columns;
+  List.iter (check_query db data) queries_to_check
+
+let test_exec_no_indexes () = run_queries_under_design [] ()
+
+let test_exec_single_indexes () = run_queries_under_design [ [ "a" ]; [ "b" ] ] ()
+
+let test_exec_composite_indexes () =
+  run_queries_under_design [ [ "a"; "b" ]; [ "c"; "d" ] ] ()
+
+let test_exec_all_indexes () =
+  run_queries_under_design [ [ "a" ]; [ "b" ]; [ "c" ]; [ "d" ]; [ "a"; "b" ]; [ "c"; "d" ] ] ()
+
+(* Property: every query answered identically under random designs. *)
+let exec_design_independent_prop =
+  QCheck.Test.make ~name:"results independent of physical design" ~count:30
+    QCheck.(
+      pair
+        (QCheck.make
+           QCheck.Gen.(
+             map3
+               (fun col v proj -> (col, v, proj))
+               (oneofl [ "a"; "b"; "c"; "d" ])
+               (int_bound 60)
+               (oneofl [ `Same; `Other; `Star ])))
+        (QCheck.make
+           QCheck.Gen.(
+             oneofl
+               [ []; [ [ "a" ] ]; [ [ "a"; "b" ] ]; [ [ "c"; "d" ]; [ "b" ] ];
+                 [ [ "a" ]; [ "b" ]; [ "c" ]; [ "d" ] ] ])))
+    (fun ((col, v, proj), design) ->
+      let db, data = make_db ~rows:800 () in
+      let projection =
+        match proj with
+        | `Same -> col
+        | `Other -> if col = "a" then "b" else "a"
+        | `Star -> "*"
+      in
+      let sql = Printf.sprintf "SELECT %s FROM t WHERE %s = %d" projection col v in
+      let before = Database.execute_sql db sql in
+      List.iter (fun cols -> Database.build_index db (index cols)) design;
+      let after = Database.execute_sql db sql in
+      ignore data;
+      rows_sorted before = rows_sorted after)
+
+let test_exec_insert_updates_indexes () =
+  let db, _ = make_db ~rows:500 () in
+  Database.build_index db (index [ "a" ]);
+  let before = Database.execute_sql db "SELECT a FROM t WHERE a = 49" in
+  ignore (Database.execute_sql db "INSERT INTO t VALUES (49, 1, 2, 3)");
+  let after = Database.execute_sql db "SELECT a FROM t WHERE a = 49" in
+  Alcotest.(check int) "one more row"
+    (List.length before.Database.rows + 1)
+    (List.length after.Database.rows);
+  (* Still answered by the index. *)
+  (match after.Database.plan with
+  | Some { Plan.path = Plan.Index_seek _; _ } -> ()
+  | _ -> Alcotest.fail "expected index seek");
+  Alcotest.(check int) "row_count bumped" 501 (Database.row_count db "t")
+
+let test_exec_io_measured () =
+  let db, _ = make_db () in
+  let scan = Database.execute_sql db "SELECT a FROM t WHERE a = 5" in
+  Database.build_index db (index [ "a" ]);
+  let seek = Database.execute_sql db "SELECT a FROM t WHERE a = 5" in
+  Alcotest.(check bool) "seek needs far less I/O" true
+    (seek.Database.logical_io * 5 < scan.Database.logical_io);
+  Alcotest.(check bool) "scan touches all pages" true (scan.Database.logical_io > 10)
+
+let test_exec_semantic_error_raises () =
+  let db, _ = make_db () in
+  Alcotest.(check bool) "bad column rejected" true
+    (match Database.execute_sql db "SELECT zz FROM t" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* -- DML: DELETE / UPDATE -------------------------------------------------------------- *)
+
+let count_rows db sql = List.length (Database.execute_sql db sql).Database.rows
+
+let test_delete_basic () =
+  let db, data = make_db ~rows:1000 () in
+  let target = 7 in
+  let expected =
+    Array.to_list data
+    |> List.filter (fun r -> r.(0) = Tuple.Int target)
+    |> List.length
+  in
+  let result = Database.execute_sql db (Printf.sprintf "DELETE FROM t WHERE a = %d" target) in
+  Alcotest.(check int) "affected count" expected result.Database.affected;
+  Alcotest.(check int) "rows gone" 0
+    (count_rows db (Printf.sprintf "SELECT a FROM t WHERE a = %d" target));
+  Alcotest.(check int) "row_count updated" (1000 - expected) (Database.row_count db "t")
+
+let test_delete_uses_index_and_maintains_it () =
+  let db, _ = make_db ~rows:2000 ~value_range:500 () in
+  Database.build_index db (index [ "a" ]);
+  Database.build_index db (index [ "a"; "b" ]);
+  let before = count_rows db "SELECT a FROM t WHERE a = 42" in
+  Alcotest.(check bool) "something to delete" true (before > 0);
+  let result = Database.execute_sql db "DELETE FROM t WHERE a = 42" in
+  (* The find phase goes through an index (selective predicate). *)
+  (match result.Database.plan with
+  | Some { Plan.path = Plan.Index_seek _; _ } -> ()
+  | Some { Plan.path = _; _ } | None -> Alcotest.fail "expected an index-driven delete");
+  (* All access paths agree the rows are gone (indexes were maintained). *)
+  Alcotest.(check int) "seek finds none" 0 (count_rows db "SELECT a FROM t WHERE a = 42");
+  Database.migrate_to db Cddpd_catalog.Design.empty;
+  Alcotest.(check int) "scan finds none" 0 (count_rows db "SELECT a FROM t WHERE a = 42")
+
+let test_delete_everything () =
+  let db, _ = make_db ~rows:300 () in
+  let result = Database.execute_sql db "DELETE FROM t" in
+  Alcotest.(check int) "all rows" 300 result.Database.affected;
+  Alcotest.(check int) "empty table" 0 (Database.row_count db "t")
+
+let test_update_basic () =
+  let db, data = make_db ~rows:1000 () in
+  let expected =
+    Array.to_list data |> List.filter (fun r -> r.(1) = Tuple.Int 9) |> List.length
+  in
+  let result = Database.execute_sql db "UPDATE t SET a = 777777 WHERE b = 9" in
+  Alcotest.(check int) "affected" expected result.Database.affected;
+  Alcotest.(check int) "rows rewritten" expected
+    (count_rows db "SELECT a FROM t WHERE a = 777777");
+  Alcotest.(check int) "row count preserved" 1000 (Database.row_count db "t")
+
+let test_update_maintains_indexes () =
+  let db, _ = make_db ~rows:2000 ~value_range:500 () in
+  Database.build_index db (index [ "a" ]);
+  let moved = count_rows db "SELECT a FROM t WHERE a = 13" in
+  ignore (Database.execute_sql db "UPDATE t SET a = 499999 WHERE a = 13");
+  (* The index must reflect both the removal and the new key. *)
+  Alcotest.(check int) "old key gone" 0 (count_rows db "SELECT a FROM t WHERE a = 13");
+  Alcotest.(check int) "new key findable" moved
+    (count_rows db "SELECT a FROM t WHERE a = 499999");
+  let result = Database.execute_sql db "SELECT a FROM t WHERE a = 499999" in
+  match result.Database.plan with
+  | Some { Plan.path = Plan.Index_seek _; _ } -> ()
+  | Some { Plan.path = _; _ } | None -> Alcotest.fail "expected an index seek"
+
+let test_update_then_reference_agrees () =
+  (* Full workload equivalence after a batch of mixed DML. *)
+  let db, _ = make_db ~rows:1500 () in
+  Database.build_index db (index [ "c"; "d" ]);
+  ignore (Database.execute_sql db "UPDATE t SET d = 1 WHERE c = 5");
+  ignore (Database.execute_sql db "DELETE FROM t WHERE c = 6");
+  ignore (Database.execute_sql db "INSERT INTO t VALUES (1, 2, 6, 4)");
+  (* Compare indexed vs scan answers for the touched region. *)
+  let with_index = count_rows db "SELECT c, d FROM t WHERE c BETWEEN 4 AND 7" in
+  Database.migrate_to db Cddpd_catalog.Design.empty;
+  let without_index = count_rows db "SELECT c, d FROM t WHERE c BETWEEN 4 AND 7" in
+  Alcotest.(check int) "index and heap agree after DML" without_index with_index
+
+(* -- materialized views ----------------------------------------------------------------- *)
+
+module View_def = Cddpd_catalog.View_def
+module Structure = Cddpd_catalog.Structure
+
+let view group_by = View_def.make ~table:"t" ~group_by
+
+(* Reference aggregation over the raw data. *)
+let reference_groups data ~group_pos ~agg =
+  let groups = Hashtbl.create 64 in
+  Array.iter
+    (fun row ->
+      let g = Tuple.int_exn row.(group_pos) in
+      let delta = match agg with `Count -> 1 | `Sum pos -> Tuple.int_exn row.(pos) in
+      Hashtbl.replace groups g (delta + Option.value ~default:0 (Hashtbl.find_opt groups g)))
+    data;
+  Hashtbl.fold (fun g v acc -> (g, v) :: acc) groups [] |> List.sort compare
+
+let rows_as_pairs result =
+  List.map
+    (fun row ->
+      match row with
+      | [| Tuple.Int g; Tuple.Int v |] -> (g, v)
+      | _ -> Alcotest.fail "unexpected aggregate row shape")
+    result.Database.rows
+  |> List.sort compare
+
+let test_view_count_matches_scan () =
+  let db, data = make_db ~rows:2000 ~value_range:50 () in
+  let sql = "SELECT a, COUNT(*) FROM t GROUP BY a" in
+  let scan_result = Database.execute_sql db sql in
+  (match scan_result.Database.plan with
+  | Some { Plan.path = Plan.Full_scan; _ } -> ()
+  | _ -> Alcotest.fail "expected scan aggregation without a view");
+  Database.migrate_to db (Design.empty |> Design.add_view (view "a"));
+  let view_result = Database.execute_sql db sql in
+  (match view_result.Database.plan with
+  | Some { Plan.path = Plan.View_probe { group_value = None; _ }; _ } -> ()
+  | _ -> Alcotest.fail "expected a view scan");
+  Alcotest.(check bool) "same answers" true
+    (rows_as_pairs scan_result = rows_as_pairs view_result);
+  Alcotest.(check bool) "matches reference" true
+    (rows_as_pairs view_result = reference_groups data ~group_pos:0 ~agg:`Count);
+  Alcotest.(check bool) "view is cheaper" true
+    (view_result.Database.logical_io < scan_result.Database.logical_io)
+
+let test_view_sum_and_probe () =
+  let db, data = make_db ~rows:2000 ~value_range:50 () in
+  Database.migrate_to db (Design.empty |> Design.add_view (view "c"));
+  let result = Database.execute_sql db "SELECT c, SUM(b) FROM t WHERE c = 7 GROUP BY c" in
+  (match result.Database.plan with
+  | Some { Plan.path = Plan.View_probe { group_value = Some 7; _ }; _ } -> ()
+  | _ -> Alcotest.fail "expected a view probe");
+  let expected =
+    reference_groups data ~group_pos:2 ~agg:(`Sum 1)
+    |> List.filter (fun (g, _) -> g = 7)
+  in
+  Alcotest.(check bool) "probe matches reference" true (rows_as_pairs result = expected)
+
+let test_view_not_used_for_filtered_aggregates () =
+  (* A predicate on a non-group column disqualifies the view. *)
+  let db, _ = make_db ~rows:1000 () in
+  Database.migrate_to db (Design.empty |> Design.add_view (view "a"));
+  let result = Database.execute_sql db "SELECT a, COUNT(*) FROM t WHERE b = 3 GROUP BY a" in
+  match result.Database.plan with
+  | Some { Plan.path = Plan.Full_scan; _ } -> ()
+  | _ -> Alcotest.fail "expected scan aggregation"
+
+let test_view_maintained_under_dml () =
+  let db, _ = make_db ~rows:1500 ~value_range:40 () in
+  Database.migrate_to db (Design.empty |> Design.add_view (view "a"));
+  ignore (Database.execute_sql db "INSERT INTO t VALUES (7, 1, 1, 1)");
+  ignore (Database.execute_sql db "INSERT INTO t VALUES (7, 1, 1, 1)");
+  ignore (Database.execute_sql db "DELETE FROM t WHERE a = 8");
+  ignore (Database.execute_sql db "UPDATE t SET a = 9 WHERE a = 10");
+  let sql = "SELECT a, COUNT(*) FROM t GROUP BY a" in
+  let via_view = Database.execute_sql db sql in
+  (match via_view.Database.plan with
+  | Some { Plan.path = Plan.View_probe _; _ } -> ()
+  | _ -> Alcotest.fail "expected the view");
+  Database.migrate_to db Design.empty;
+  let via_scan = Database.execute_sql db sql in
+  Alcotest.(check bool) "view stayed consistent through DML" true
+    (rows_as_pairs via_view = rows_as_pairs via_scan)
+
+let test_view_on_text_column_rejected () =
+  let db =
+    Database.create
+      [ Schema.table "s" [ ("x", Schema.Int_type); ("n", Schema.Text_type) ] ]
+  in
+  Database.load db ~table:"s" [| [| Tuple.Int 1; Tuple.Text "a" |] |];
+  Alcotest.(check bool) "text group rejected" true
+    (match
+       Database.migrate_to db
+         (Design.empty |> Design.add_view (View_def.make ~table:"s" ~group_by:"n"))
+     with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_view_in_design_name () =
+  let d = Design.empty |> Design.add (index [ "a" ]) |> Design.add_view (view "c") in
+  Alcotest.(check string) "design name" "{I(a), MV(c)}" (Design.name d);
+  Alcotest.(check int) "cardinality" 2 (Design.cardinality d);
+  Alcotest.(check int) "one index" 1 (List.length (Design.indexes d));
+  Alcotest.(check int) "one view" 1 (List.length (Design.views d))
+
+(* Model-based property: a view maintained through random DML always equals
+   fresh aggregation of the surviving rows. *)
+let view_maintenance_prop =
+  QCheck.Test.make ~name:"view stays consistent under random insert/delete" ~count:40
+    QCheck.(list (pair (int_bound 8) bool))
+    (fun ops ->
+      let db = Database.create ~pool_capacity:512 [ paper_schema ] in
+      Database.load db ~table:"t"
+        (Array.init 2048 (fun i ->
+             [| Tuple.Int (i mod 8); Tuple.Int i; Tuple.Int 0; Tuple.Int 0 |]));
+      Database.migrate_to db (Design.empty |> Design.add_view (view "a"));
+      List.iter
+        (fun (g, is_insert) ->
+          if is_insert then
+            ignore (Database.execute_sql db (Printf.sprintf "INSERT INTO t VALUES (%d, 1, 2, 3)" g))
+          else
+            ignore (Database.execute_sql db (Printf.sprintf "DELETE FROM t WHERE a = %d" g)))
+        ops;
+      let sql = "SELECT a, SUM(b) FROM t GROUP BY a" in
+      let via_view = Database.execute_sql db sql in
+      (match via_view.Database.plan with
+      | Some { Plan.path = Plan.View_probe _; _ } -> ()
+      | _ -> failwith "expected the view");
+      Database.migrate_to db Design.empty;
+      let via_scan = Database.execute_sql db sql in
+      rows_as_pairs via_view = rows_as_pairs via_scan)
+
+(* Failure-injection-adjacent stress: a buffer pool far smaller than the
+   working set forces eviction on every scan; answers must not change and
+   physical reads must appear. *)
+let test_tiny_pool_correctness () =
+  let make capacity =
+    let db = Database.create ~pool_capacity:capacity [ paper_schema ] in
+    let rng = Rng.create 21 in
+    Database.load db ~table:"t"
+      (Array.init 3000 (fun _ -> Array.init 4 (fun _ -> Tuple.Int (Rng.int rng 300))));
+    Database.build_index db (index [ "a"; "b" ]);
+    db
+  in
+  let big = make 4096 in
+  let tiny = make 8 in
+  List.iter
+    (fun sql ->
+      let expected = rows_sorted (Database.execute_sql big sql) in
+      let got = Database.execute_sql tiny sql in
+      if rows_sorted got <> expected then Alcotest.failf "answers differ for %s" sql)
+    [
+      "SELECT a FROM t WHERE a = 5";
+      "SELECT b FROM t WHERE b = 9";
+      "SELECT * FROM t WHERE c = 100";
+      "SELECT a, COUNT(*) FROM t GROUP BY a";
+    ];
+  let result = Database.execute_sql tiny "SELECT c FROM t WHERE c = 7" in
+  Alcotest.(check bool) "thrashing pool reads from disk" true
+    (result.Database.physical_io > 0)
+
+(* -- migration ---------------------------------------------------------------------- *)
+
+let test_migrate_to () =
+  let db, _ = make_db ~rows:500 () in
+  let d1 = Design.of_list [ index [ "a" ]; index [ "c"; "d" ] ] in
+  Database.migrate_to db d1;
+  Alcotest.(check bool) "design materialised" true (Design.equal d1 (Database.current_design db));
+  let d2 = Design.of_list [ index [ "b" ] ] in
+  Database.migrate_to db d2;
+  Alcotest.(check bool) "design replaced" true (Design.equal d2 (Database.current_design db));
+  Database.migrate_to db Design.empty;
+  Alcotest.(check bool) "back to empty" true
+    (Design.is_empty (Database.current_design db))
+
+let test_build_index_idempotent () =
+  let db, _ = make_db ~rows:200 () in
+  Database.build_index db (index [ "a" ]);
+  Database.build_index db (index [ "a" ]);
+  Alcotest.(check int) "one index" 1 (Design.cardinality (Database.current_design db))
+
+let test_index_on_text_rejected () =
+  let db =
+    Database.create
+      [ Schema.table "s" [ ("x", Schema.Int_type); ("n", Schema.Text_type) ] ]
+  in
+  Database.load db ~table:"s" [| [| Tuple.Int 1; Tuple.Text "a" |] |];
+  Alcotest.(check bool) "text key rejected" true
+    (match Database.build_index db (Index_def.make ~table:"s" ~columns:[ "n" ]) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "uniform equality" `Quick test_histogram_uniform_eq;
+          Alcotest.test_case "out of range eq" `Quick test_histogram_eq_out_of_range;
+          Alcotest.test_case "range" `Quick test_histogram_range;
+          Alcotest.test_case "min/max" `Quick test_histogram_minmax;
+          Alcotest.test_case "skew" `Quick test_histogram_skew;
+          QCheck_alcotest.to_alcotest histogram_range_bounds_prop;
+        ] );
+      ( "schema+check",
+        [
+          Alcotest.test_case "lookups" `Quick test_schema_lookups;
+          Alcotest.test_case "tuple validation" `Quick test_schema_validate_tuple;
+          Alcotest.test_case "statement checking" `Quick test_check_statement;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "no index => scan" `Quick test_plan_no_index_scans;
+          Alcotest.test_case "covering seek" `Quick test_plan_seek_with_index;
+          Alcotest.test_case "non-covering seek" `Quick test_plan_noncovering_seek;
+          Alcotest.test_case "index-only scan" `Quick test_plan_index_only_scan;
+          Alcotest.test_case "star never covered" `Quick test_plan_star_never_covered;
+          Alcotest.test_case "prefix + range" `Quick test_plan_composite_prefix_and_range;
+          Alcotest.test_case "seek beats leaf scan" `Quick test_plan_prefers_seek_over_scan;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "no indexes" `Quick test_exec_no_indexes;
+          Alcotest.test_case "single-column indexes" `Quick test_exec_single_indexes;
+          Alcotest.test_case "composite indexes" `Quick test_exec_composite_indexes;
+          Alcotest.test_case "full paper design space" `Quick test_exec_all_indexes;
+          Alcotest.test_case "insert maintains indexes" `Quick test_exec_insert_updates_indexes;
+          Alcotest.test_case "I/O measured" `Quick test_exec_io_measured;
+          Alcotest.test_case "semantic errors raise" `Quick test_exec_semantic_error_raises;
+          QCheck_alcotest.to_alcotest exec_design_independent_prop;
+        ] );
+      ( "dml",
+        [
+          Alcotest.test_case "delete basic" `Quick test_delete_basic;
+          Alcotest.test_case "delete via index" `Quick test_delete_uses_index_and_maintains_it;
+          Alcotest.test_case "delete everything" `Quick test_delete_everything;
+          Alcotest.test_case "update basic" `Quick test_update_basic;
+          Alcotest.test_case "update maintains indexes" `Quick test_update_maintains_indexes;
+          Alcotest.test_case "mixed DML consistency" `Quick test_update_then_reference_agrees;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "count matches scan" `Quick test_view_count_matches_scan;
+          Alcotest.test_case "sum and probe" `Quick test_view_sum_and_probe;
+          Alcotest.test_case "filtered aggregates bypass views" `Quick
+            test_view_not_used_for_filtered_aggregates;
+          Alcotest.test_case "maintained under DML" `Quick test_view_maintained_under_dml;
+          Alcotest.test_case "text group rejected" `Quick test_view_on_text_column_rejected;
+          Alcotest.test_case "design with views" `Quick test_view_in_design_name;
+          QCheck_alcotest.to_alcotest view_maintenance_prop;
+        ] );
+      ( "stress",
+        [ Alcotest.test_case "tiny buffer pool" `Quick test_tiny_pool_correctness ] );
+      ( "migration",
+        [
+          Alcotest.test_case "migrate_to" `Quick test_migrate_to;
+          Alcotest.test_case "build idempotent" `Quick test_build_index_idempotent;
+          Alcotest.test_case "text key rejected" `Quick test_index_on_text_rejected;
+        ] );
+    ]

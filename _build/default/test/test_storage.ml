@@ -1,0 +1,402 @@
+(* Tests for Cddpd_storage: Page, Disk, Buffer_pool, Tuple, Heap_file. *)
+
+module Page = Cddpd_storage.Page
+module Disk = Cddpd_storage.Disk
+module Buffer_pool = Cddpd_storage.Buffer_pool
+module Tuple = Cddpd_storage.Tuple
+module Heap_file = Cddpd_storage.Heap_file
+
+(* -- Page ------------------------------------------------------------------ *)
+
+let test_page_int_roundtrip () =
+  let p = Page.create () in
+  Page.set_i64 p 0 (-123456789);
+  Page.set_i64 p 8 max_int;
+  Page.set_i32 p 16 (-42);
+  Page.set_u16 p 20 65535;
+  Page.set_u8 p 22 255;
+  Alcotest.(check int) "i64 negative" (-123456789) (Page.get_i64 p 0);
+  Alcotest.(check int) "i64 max" max_int (Page.get_i64 p 8);
+  Alcotest.(check int) "i32" (-42) (Page.get_i32 p 16);
+  Alcotest.(check int) "u16" 65535 (Page.get_u16 p 20);
+  Alcotest.(check int) "u8" 255 (Page.get_u8 p 22)
+
+let test_page_bounds () =
+  let p = Page.create () in
+  Alcotest.(check bool) "out of bounds raises" true
+    (match Page.get_i64 p (Page.size - 4) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_page_move_overlap () =
+  let p = Page.create () in
+  for i = 0 to 9 do
+    Page.set_u8 p i i
+  done;
+  Page.move p ~src:0 ~dst:2 ~len:8;
+  Alcotest.(check int) "overlapping move" 0 (Page.get_u8 p 2);
+  Alcotest.(check int) "overlapping move end" 7 (Page.get_u8 p 9)
+
+let test_page_copy_independent () =
+  let p = Page.create () in
+  Page.set_i64 p 0 7;
+  let q = Page.copy p in
+  Page.set_i64 p 0 9;
+  Alcotest.(check int) "copy unaffected" 7 (Page.get_i64 q 0)
+
+let test_page_zero () =
+  let p = Page.create () in
+  Page.set_i64 p 100 42;
+  Page.zero p;
+  Alcotest.(check int) "zeroed" 0 (Page.get_i64 p 100)
+
+(* -- Disk ------------------------------------------------------------------ *)
+
+let test_disk_alloc_rw () =
+  let d = Disk.create () in
+  let p0 = Disk.allocate d in
+  let p1 = Disk.allocate d in
+  Alcotest.(check int) "sequential ids" 0 p0;
+  Alcotest.(check int) "sequential ids" 1 p1;
+  let buf = Page.create () in
+  Page.set_i64 buf 0 99;
+  Disk.write_from d p1 buf;
+  let out = Page.create () in
+  Disk.read_into d p1 out;
+  Alcotest.(check int) "roundtrip" 99 (Page.get_i64 out 0);
+  let stats = Disk.stats d in
+  Alcotest.(check int) "reads counted" 1 stats.Disk.reads;
+  Alcotest.(check int) "writes counted" 1 stats.Disk.writes;
+  Alcotest.(check int) "allocated" 2 stats.Disk.allocated
+
+let test_disk_unallocated () =
+  let d = Disk.create () in
+  let buf = Page.create () in
+  Alcotest.(check bool) "unallocated read raises" true
+    (match Disk.read_into d 0 buf with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_disk_grows () =
+  let d = Disk.create () in
+  for _ = 1 to 1000 do
+    ignore (Disk.allocate d)
+  done;
+  Alcotest.(check int) "grew to 1000 pages" 1000 (Disk.n_pages d)
+
+(* -- Buffer_pool ------------------------------------------------------------ *)
+
+let test_pool_hit_miss () =
+  let d = Disk.create () in
+  let pid = Disk.allocate d in
+  let pool = Buffer_pool.create ~capacity:4 d in
+  let h1 = Buffer_pool.fetch pool pid in
+  Buffer_pool.unpin pool h1;
+  let h2 = Buffer_pool.fetch pool pid in
+  Buffer_pool.unpin pool h2;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "one miss" 1 s.Buffer_pool.misses;
+  Alcotest.(check int) "one hit" 1 s.Buffer_pool.hits
+
+let test_pool_writeback_on_eviction () =
+  let d = Disk.create () in
+  let pids = List.init 8 (fun _ -> Disk.allocate d) in
+  let pool = Buffer_pool.create ~capacity:2 d in
+  let target = List.hd pids in
+  let h = Buffer_pool.fetch pool target in
+  Page.set_i64 (Buffer_pool.page h) 0 4242;
+  Buffer_pool.mark_dirty h;
+  Buffer_pool.unpin pool h;
+  (* Touch enough other pages to force eviction of [target]. *)
+  List.iter
+    (fun pid ->
+      if pid <> target then begin
+        let h = Buffer_pool.fetch pool pid in
+        Buffer_pool.unpin pool h
+      end)
+    pids;
+  let out = Page.create () in
+  Disk.read_into d target out;
+  Alcotest.(check int) "dirty page written back" 4242 (Page.get_i64 out 0)
+
+let test_pool_pinned_never_evicted () =
+  let d = Disk.create () in
+  let pids = List.init 8 (fun _ -> Disk.allocate d) in
+  let pool = Buffer_pool.create ~capacity:2 d in
+  let pinned = Buffer_pool.fetch pool (List.hd pids) in
+  Page.set_i64 (Buffer_pool.page pinned) 0 7;
+  (* Stream the rest through the other frame. *)
+  List.iter
+    (fun pid ->
+      if pid <> List.hd pids then begin
+        let h = Buffer_pool.fetch pool pid in
+        Buffer_pool.unpin pool h
+      end)
+    pids;
+  Alcotest.(check int) "pinned page intact" 7 (Page.get_i64 (Buffer_pool.page pinned) 0);
+  Alcotest.(check int) "pinned page id stable" (List.hd pids) (Buffer_pool.page_id pinned);
+  Buffer_pool.unpin pool pinned
+
+let test_pool_all_pinned_fails () =
+  let d = Disk.create () in
+  let p0 = Disk.allocate d and p1 = Disk.allocate d and p2 = Disk.allocate d in
+  let pool = Buffer_pool.create ~capacity:2 d in
+  let h0 = Buffer_pool.fetch pool p0 in
+  let h1 = Buffer_pool.fetch pool p1 in
+  Alcotest.(check bool) "exhausted pool fails" true
+    (match Buffer_pool.fetch pool p2 with
+    | _ -> false
+    | exception Failure _ -> true);
+  Buffer_pool.unpin pool h0;
+  Buffer_pool.unpin pool h1
+
+let test_pool_double_unpin () =
+  let d = Disk.create () in
+  let pid = Disk.allocate d in
+  let pool = Buffer_pool.create ~capacity:2 d in
+  let h = Buffer_pool.fetch pool pid in
+  Buffer_pool.unpin pool h;
+  Alcotest.(check bool) "double unpin raises" true
+    (match Buffer_pool.unpin pool h with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_pool_allocate_no_read () =
+  let d = Disk.create () in
+  let pool = Buffer_pool.create ~capacity:2 d in
+  let h = Buffer_pool.allocate pool in
+  Buffer_pool.unpin pool h;
+  Alcotest.(check int) "no disk read on allocate" 0 (Disk.stats d).Disk.reads
+
+let test_pool_drop_cache () =
+  let d = Disk.create () in
+  let pid = Disk.allocate d in
+  let pool = Buffer_pool.create ~capacity:4 d in
+  let h = Buffer_pool.fetch pool pid in
+  Page.set_i64 (Buffer_pool.page h) 0 11;
+  Buffer_pool.mark_dirty h;
+  Buffer_pool.unpin pool h;
+  Buffer_pool.drop_cache pool;
+  let reads_before = (Disk.stats d).Disk.reads in
+  let h = Buffer_pool.fetch pool pid in
+  Alcotest.(check int) "data survived" 11 (Page.get_i64 (Buffer_pool.page h) 0);
+  Buffer_pool.unpin pool h;
+  Alcotest.(check int) "cold fetch hits disk" (reads_before + 1) (Disk.stats d).Disk.reads
+
+(* -- Tuple ------------------------------------------------------------------ *)
+
+let tuple_testable = Alcotest.testable (fun ppf t -> Tuple.pp ppf t) Tuple.equal
+
+let test_tuple_roundtrip () =
+  let t = [| Tuple.Int 42; Tuple.Text "hello"; Tuple.Int (-1); Tuple.Text "" |] in
+  Alcotest.check tuple_testable "roundtrip" t (Tuple.decode (Tuple.encode t))
+
+let test_tuple_empty () =
+  Alcotest.check tuple_testable "empty tuple" [||] (Tuple.decode (Tuple.encode [||]))
+
+let test_tuple_get_field () =
+  let t = [| Tuple.Int 1; Tuple.Text "xy"; Tuple.Int 3 |] in
+  let buf = Tuple.encode t in
+  Alcotest.(check bool) "field 0" true (Tuple.get_field buf 0 = Tuple.Int 1);
+  Alcotest.(check bool) "field 1" true (Tuple.get_field buf 1 = Tuple.Text "xy");
+  Alcotest.(check bool) "field 2" true (Tuple.get_field buf 2 = Tuple.Int 3);
+  Alcotest.(check int) "field_count" 3 (Tuple.field_count buf)
+
+let test_tuple_get_field_out_of_range () =
+  let buf = Tuple.encode [| Tuple.Int 1 |] in
+  Alcotest.(check bool) "raises" true
+    (match Tuple.get_field buf 1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_tuple_decode_malformed () =
+  Alcotest.(check bool) "garbage rejected" true
+    (match Tuple.decode (Bytes.make 3 '\xff') with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Tuple.Int i) int;
+        map (fun s -> Tuple.Text s) (string_size (int_bound 30));
+      ])
+
+let tuple_gen = QCheck.Gen.(map Array.of_list (list_size (int_bound 8) value_gen))
+
+let tuple_arbitrary = QCheck.make ~print:Tuple.to_string tuple_gen
+
+let tuple_roundtrip_prop =
+  QCheck.Test.make ~name:"tuple encode/decode roundtrip" ~count:500 tuple_arbitrary
+    (fun t -> Tuple.equal t (Tuple.decode (Tuple.encode t)))
+
+let tuple_get_field_prop =
+  QCheck.Test.make ~name:"get_field agrees with decode" ~count:500 tuple_arbitrary
+    (fun t ->
+      let buf = Tuple.encode t in
+      let decoded = Tuple.decode buf in
+      let ok = ref true in
+      Array.iteri (fun i v -> if Tuple.get_field buf i <> v then ok := false) decoded;
+      !ok)
+
+let tuple_encoded_size_prop =
+  QCheck.Test.make ~name:"encoded_size matches encode" ~count:500 tuple_arbitrary
+    (fun t -> Tuple.encoded_size t = Bytes.length (Tuple.encode t))
+
+(* -- Heap_file --------------------------------------------------------------- *)
+
+let make_heap () =
+  let d = Disk.create () in
+  let pool = Buffer_pool.create ~capacity:64 d in
+  Heap_file.create pool
+
+let test_heap_insert_fetch () =
+  let heap = make_heap () in
+  let t1 = [| Tuple.Int 1; Tuple.Text "one" |] in
+  let t2 = [| Tuple.Int 2; Tuple.Text "two" |] in
+  let r1 = Heap_file.insert heap t1 in
+  let r2 = Heap_file.insert heap t2 in
+  Alcotest.(check (option tuple_testable)) "fetch r1" (Some t1) (Heap_file.fetch heap r1);
+  Alcotest.(check (option tuple_testable)) "fetch r2" (Some t2) (Heap_file.fetch heap r2);
+  Alcotest.(check int) "count" 2 (Heap_file.n_tuples heap)
+
+let test_heap_delete () =
+  let heap = make_heap () in
+  let rid = Heap_file.insert heap [| Tuple.Int 1 |] in
+  Alcotest.(check bool) "delete live" true (Heap_file.delete heap rid);
+  Alcotest.(check bool) "delete again" false (Heap_file.delete heap rid);
+  Alcotest.(check (option tuple_testable)) "fetch deleted" None (Heap_file.fetch heap rid);
+  Alcotest.(check int) "count" 0 (Heap_file.n_tuples heap)
+
+let test_heap_multi_page () =
+  let heap = make_heap () in
+  let n = 2000 in
+  let rids =
+    List.init n (fun i ->
+        Heap_file.insert heap [| Tuple.Int i; Tuple.Text (string_of_int i) |])
+  in
+  Alcotest.(check bool) "spans several pages" true (Heap_file.n_pages heap > 1);
+  List.iteri
+    (fun i rid ->
+      match Heap_file.fetch heap rid with
+      | Some t when t.(0) = Tuple.Int i -> ()
+      | Some _ | None -> Alcotest.failf "tuple %d corrupted" i)
+    rids;
+  let seen = ref 0 in
+  Heap_file.iter heap (fun _ _ -> incr seen);
+  Alcotest.(check int) "iter sees all" n !seen
+
+let test_heap_iter_order_matches_insert () =
+  let heap = make_heap () in
+  let n = 500 in
+  for i = 0 to n - 1 do
+    ignore (Heap_file.insert heap [| Tuple.Int i |])
+  done;
+  let seen = ref [] in
+  Heap_file.iter heap (fun _ t -> seen := Tuple.int_exn t.(0) :: !seen);
+  Alcotest.(check (list int)) "storage order = insert order"
+    (List.init n (fun i -> i))
+    (List.rev !seen)
+
+let test_heap_iter_slices_agrees () =
+  let heap = make_heap () in
+  for i = 0 to 99 do
+    ignore (Heap_file.insert heap [| Tuple.Int i; Tuple.Int (i * 2) |])
+  done;
+  let total = ref 0 in
+  Heap_file.iter_slices heap (fun buf base ->
+      total := !total + Tuple.int_exn (Tuple.get_field_at buf ~base 1));
+  Alcotest.(check int) "sum via slices" (2 * (99 * 100 / 2)) !total
+
+let test_heap_oversize_tuple () =
+  let heap = make_heap () in
+  let big = [| Tuple.Text (String.make 5000 'x') |] in
+  Alcotest.(check bool) "oversize rejected" true
+    (match Heap_file.insert heap big with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* Model-based property: a heap file behaves like a growing list with
+   deletion flags. *)
+let heap_model_prop =
+  QCheck.Test.make ~name:"heap file vs reference model" ~count:60
+    QCheck.(list (pair (int_bound 1000) bool))
+    (fun ops ->
+      let heap = make_heap () in
+      let model = Hashtbl.create 16 in
+      let rids = ref [] in
+      List.iter
+        (fun (v, delete_one) ->
+          let tuple = [| Tuple.Int v |] in
+          let rid = Heap_file.insert heap tuple in
+          Hashtbl.replace model rid tuple;
+          rids := rid :: !rids;
+          if delete_one then
+            match !rids with
+            | victim :: _ when Hashtbl.mem model victim ->
+                ignore (Heap_file.delete heap victim);
+                Hashtbl.remove model victim
+            | _ -> ())
+        ops;
+      Hashtbl.fold
+        (fun rid expected acc ->
+          acc
+          &&
+          match Heap_file.fetch heap rid with
+          | Some t -> Tuple.equal t expected
+          | None -> false)
+        model true
+      && Heap_file.n_tuples heap = Hashtbl.length model)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "page",
+        [
+          Alcotest.test_case "int roundtrips" `Quick test_page_int_roundtrip;
+          Alcotest.test_case "bounds checked" `Quick test_page_bounds;
+          Alcotest.test_case "overlapping move" `Quick test_page_move_overlap;
+          Alcotest.test_case "copy is independent" `Quick test_page_copy_independent;
+          Alcotest.test_case "zero" `Quick test_page_zero;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "allocate/read/write" `Quick test_disk_alloc_rw;
+          Alcotest.test_case "unallocated access" `Quick test_disk_unallocated;
+          Alcotest.test_case "grows" `Quick test_disk_grows;
+        ] );
+      ( "buffer_pool",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick test_pool_hit_miss;
+          Alcotest.test_case "dirty write-back on eviction" `Quick
+            test_pool_writeback_on_eviction;
+          Alcotest.test_case "pinned never evicted" `Quick test_pool_pinned_never_evicted;
+          Alcotest.test_case "all pinned fails" `Quick test_pool_all_pinned_fails;
+          Alcotest.test_case "double unpin" `Quick test_pool_double_unpin;
+          Alcotest.test_case "allocate reads nothing" `Quick test_pool_allocate_no_read;
+          Alcotest.test_case "drop_cache forces cold reads" `Quick test_pool_drop_cache;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_tuple_roundtrip;
+          Alcotest.test_case "empty" `Quick test_tuple_empty;
+          Alcotest.test_case "get_field" `Quick test_tuple_get_field;
+          Alcotest.test_case "get_field out of range" `Quick
+            test_tuple_get_field_out_of_range;
+          Alcotest.test_case "malformed rejected" `Quick test_tuple_decode_malformed;
+          QCheck_alcotest.to_alcotest tuple_roundtrip_prop;
+          QCheck_alcotest.to_alcotest tuple_get_field_prop;
+          QCheck_alcotest.to_alcotest tuple_encoded_size_prop;
+        ] );
+      ( "heap_file",
+        [
+          Alcotest.test_case "insert/fetch" `Quick test_heap_insert_fetch;
+          Alcotest.test_case "delete" `Quick test_heap_delete;
+          Alcotest.test_case "multi-page" `Quick test_heap_multi_page;
+          Alcotest.test_case "iter order" `Quick test_heap_iter_order_matches_insert;
+          Alcotest.test_case "iter_slices" `Quick test_heap_iter_slices_agrees;
+          Alcotest.test_case "oversize tuple" `Quick test_heap_oversize_tuple;
+          QCheck_alcotest.to_alcotest heap_model_prop;
+        ] );
+    ]

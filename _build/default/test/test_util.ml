@@ -1,0 +1,230 @@
+(* Unit and property tests for Cddpd_util: Rng, Stats, Pqueue, Text_table,
+   Timer. *)
+
+module Rng = Cddpd_util.Rng
+module Stats = Cddpd_util.Stats
+module Pqueue = Cddpd_util.Pqueue
+module Text_table = Cddpd_util.Text_table
+module Timer = Cddpd_util.Timer
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -- Rng ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds diverge"
+    false
+    (List.init 4 (fun _ -> Rng.next_int64 a) = List.init 4 (fun _ -> Rng.next_int64 b))
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split streams differ" false (Rng.next_int64 a = Rng.next_int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "Rng.int out of bounds: %d" v
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_uniformity () =
+  let rng = Rng.create 11 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d has %d hits, expected ~%d" i c expected)
+    counts
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "Rng.float out of bounds: %f" v
+  done
+
+let test_rng_pick_weighted () =
+  let rng = Rng.create 13 in
+  let choices = [| ("x", 3.0); ("y", 1.0) |] in
+  let x = ref 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    if Rng.pick_weighted rng choices = "x" then incr x
+  done;
+  let frac = float_of_int !x /. float_of_int n in
+  if frac < 0.72 || frac > 0.78 then
+    Alcotest.failf "weighted pick fraction %.3f not near 0.75" frac
+
+let test_rng_pick_weighted_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero total"
+    (Invalid_argument "Rng.pick_weighted: weights sum to zero") (fun () ->
+      ignore (Rng.pick_weighted rng [| ("x", 0.0) |]))
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 17 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* -- Stats ----------------------------------------------------------------- *)
+
+let test_stats_mean () = check_float "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let test_stats_variance () =
+  check_float "variance" 1.25 (Stats.variance [| 1.; 2.; 3.; 4. |])
+
+let test_stats_minmax () =
+  check_float "min" 1.0 (Stats.minimum [| 3.; 1.; 2. |]);
+  check_float "max" 3.0 (Stats.maximum [| 3.; 1.; 2. |])
+
+let test_stats_percentile () =
+  let xs = [| 10.; 20.; 30.; 40.; 50. |] in
+  check_float "median" 30.0 (Stats.percentile xs 50.0);
+  check_float "p0" 10.0 (Stats.percentile xs 0.0);
+  check_float "p100" 50.0 (Stats.percentile xs 100.0);
+  check_float "p25" 20.0 (Stats.percentile xs 25.0)
+
+let test_stats_percentile_single () =
+  check_float "singleton" 7.0 (Stats.percentile [| 7.0 |] 83.0)
+
+let test_stats_empty () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_stats_histogram_counts () =
+  let counts = Stats.histogram_counts [| 0.1; 0.2; 0.9; 1.5; -3.0 |] ~buckets:2 ~lo:0.0 ~hi:1.0 in
+  Alcotest.(check (array int)) "bucket counts" [| 3; 2 |] counts
+
+(* -- Pqueue ---------------------------------------------------------------- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.of_list [ (3.0, "c"); (1.0, "a"); (2.0, "b") ] in
+  let rec drain q acc =
+    match Pqueue.pop_min q with
+    | None -> List.rev acc
+    | Some (_, v, q) -> drain q (v :: acc)
+  in
+  Alcotest.(check (list string)) "ascending order" [ "a"; "b"; "c" ] (drain q [])
+
+let test_pqueue_empty () =
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty Pqueue.empty);
+  Alcotest.(check bool) "pop empty" true (Pqueue.pop_min Pqueue.empty = None)
+
+let pqueue_sorted_prop =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing priority order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun prios ->
+      let q = Pqueue.of_list (List.map (fun p -> (p, p)) prios) in
+      let rec drain q acc =
+        match Pqueue.pop_min q with
+        | None -> List.rev acc
+        | Some (p, _, q) -> drain q (p :: acc)
+      in
+      let popped = drain q [] in
+      popped = List.sort compare prios)
+
+let test_pqueue_size () =
+  let q = Pqueue.of_list [ (1.0, ()); (2.0, ()); (3.0, ()) ] in
+  Alcotest.(check int) "size" 3 (Pqueue.size q)
+
+(* -- Text_table ------------------------------------------------------------ *)
+
+let test_text_table_render () =
+  let t = Text_table.create [ ("name", Text_table.Left); ("n", Text_table.Right) ] in
+  Text_table.add_row t [ "alpha"; "1" ];
+  Text_table.add_row t [ "b"; "22" ];
+  let rendered = Text_table.render t in
+  Alcotest.(check string) "aligned"
+    "name  |  n\n------+---\nalpha |  1\nb     | 22" rendered
+
+let test_text_table_bad_row () =
+  let t = Text_table.create [ ("a", Text_table.Left) ] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Text_table.add_row: wrong number of cells") (fun () ->
+      Text_table.add_row t [ "x"; "y" ])
+
+(* -- Timer ------------------------------------------------------------------ *)
+
+let test_timer_returns_result () =
+  let result, elapsed = Timer.time (fun () -> 1 + 1) in
+  Alcotest.(check int) "result" 2 result;
+  Alcotest.(check bool) "elapsed nonnegative" true (elapsed >= 0.0)
+
+let test_timer_median () =
+  let result, elapsed = Timer.time_median ~repeats:3 (fun () -> "ok") in
+  Alcotest.(check string) "result" "ok" result;
+  Alcotest.(check bool) "elapsed nonnegative" true (elapsed >= 0.0)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid bound" `Quick test_rng_int_invalid;
+          Alcotest.test_case "int uniformity" `Slow test_rng_int_uniformity;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "weighted pick" `Slow test_rng_pick_weighted;
+          Alcotest.test_case "weighted pick invalid" `Quick test_rng_pick_weighted_invalid;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "min/max" `Quick test_stats_minmax;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile singleton" `Quick test_stats_percentile_single;
+          Alcotest.test_case "empty input" `Quick test_stats_empty;
+          Alcotest.test_case "histogram counts" `Quick test_stats_histogram_counts;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "ascending order" `Quick test_pqueue_order;
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "size" `Quick test_pqueue_size;
+          QCheck_alcotest.to_alcotest pqueue_sorted_prop;
+        ] );
+      ( "text_table",
+        [
+          Alcotest.test_case "render" `Quick test_text_table_render;
+          Alcotest.test_case "bad row" `Quick test_text_table_bad_row;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "returns result" `Quick test_timer_returns_result;
+          Alcotest.test_case "median" `Quick test_timer_median;
+        ] );
+    ]
