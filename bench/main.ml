@@ -3,11 +3,20 @@
    micro-benchmark per artifact.
 
    Usage:
-     main.exe [table1] [table2] [figure3] [figure4] [ablation] [micro]
+     main.exe [table1] [table2] [figure3] [figure4] [ablation] [updates]
+              [views] [space] [micro]
               [--rows N] [--value-range N] [--scale F] [--seed N] [--quick]
+              [--no-metrics] [--obs-out FILE]
    With no experiment named, everything runs.  --quick shrinks the instance
    for a fast smoke run; --rows 2500000 --value-range 500000 approaches the
-   paper's physical scale. *)
+   paper's physical scale.
+
+   Observability: instrumentation (lib/obs) is enabled for the run unless
+   --no-metrics is given, and a JSON-lines metrics + span dump is written
+   to BENCH_obs.json (--obs-out overrides the path) so successive PRs can
+   compare perf trajectories.  The Bechamel micro-benchmarks always run
+   with instrumentation disabled so their timings stay comparable across
+   runs regardless of flags. *)
 
 module Setup = Cddpd_experiments.Setup
 module Session = Cddpd_experiments.Session
@@ -25,23 +34,37 @@ module Simulator = Cddpd_core.Simulator
 module Mix = Cddpd_workload.Mix
 module Rng = Cddpd_util.Rng
 
+module Obs = Cddpd_obs
+
 type options = {
   experiments : string list;
   config : Setup.config;
+  metrics : bool;
+  obs_out : string;
 }
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|figure3|figure4|ablation|micro]... \
-     [--rows N] [--value-range N] [--scale F] [--seed N] [--quick]";
+    "usage: main.exe \
+     [table1|table2|figure3|figure4|ablation|updates|views|space|micro]... \
+     [--rows N] [--value-range N] [--scale F] [--seed N] [--quick] \
+     [--no-metrics] [--obs-out FILE]";
   exit 2
 
 let parse_args () =
   let experiments = ref [] in
   let config = ref Setup.default_config in
+  let metrics = ref true in
+  let obs_out = ref "BENCH_obs.json" in
   let rec go args =
     match args with
     | [] -> ()
+    | "--no-metrics" :: rest ->
+        metrics := false;
+        go rest
+    | "--obs-out" :: v :: rest ->
+        obs_out := v;
+        go rest
     | "--rows" :: v :: rest ->
         config := { !config with Setup.rows = int_of_string v };
         go rest
@@ -72,7 +95,7 @@ let parse_args () =
     | [] -> [ "table1"; "table2"; "figure3"; "figure4"; "ablation"; "updates"; "views"; "space"; "micro" ]
     | list -> list
   in
-  { experiments; config = !config }
+  { experiments; config = !config; metrics = !metrics; obs_out = !obs_out }
 
 let banner title =
   Printf.printf "\n==== %s ====\n\n%!" title
@@ -80,6 +103,13 @@ let banner title =
 (* -- Bechamel micro-benchmarks: one Test.make per table/figure ----------- *)
 
 let micro (session : Session.t) =
+  (* Timings must be comparable run-to-run and with pre-observability
+     baselines: measure the uninstrumented path. *)
+  let was_enabled = Obs.Registry.enabled () in
+  Obs.Registry.disable ();
+  Fun.protect
+    ~finally:(fun () -> if was_enabled then Obs.Registry.enable ())
+  @@ fun () ->
   let open Bechamel in
   let problem = session.Session.problem_w1 in
   let solve method_name k () =
@@ -180,7 +210,8 @@ let micro (session : Session.t) =
   Cddpd_util.Text_table.print table
 
 let () =
-  let { experiments; config } = parse_args () in
+  let { experiments; config; metrics; obs_out } = parse_args () in
+  if metrics then Obs.Registry.enable ();
   Printf.printf
     "cddpd benchmark harness — rows=%d value_range=%d scale=%.2f seed=%d\n%!"
     config.Setup.rows config.Setup.value_range config.Setup.scale config.Setup.seed;
@@ -233,4 +264,8 @@ let () =
           banner "Bechamel micro-benchmarks";
           micro (get_session ())
       | _ -> usage ())
-    experiments
+    experiments;
+  if metrics then begin
+    Obs.Sink.write_file obs_out Obs.Sink.Json_lines (Obs.Snapshot.capture ());
+    Printf.printf "\n(wrote metrics snapshot + span tree to %s)\n%!" obs_out
+  end

@@ -5,7 +5,10 @@
      recommend   recommend a (constrained) dynamic physical design for a trace
      simulate    replay a trace under the recommended design and report I/O
      experiment  reproduce a table/figure of the paper
-*)
+
+   Every subcommand also accepts --metrics (print a snapshot of all
+   observability counters/histograms after the run) and --trace (print the
+   hierarchical trace-span tree); see docs/OBSERVABILITY.md. *)
 
 module Setup = Cddpd_experiments.Setup
 module Session = Cddpd_experiments.Session
@@ -19,8 +22,38 @@ module Solution = Cddpd_core.Solution
 module Problem = Cddpd_core.Problem
 module Simulator = Cddpd_core.Simulator
 module Text_table = Cddpd_util.Text_table
+module Obs = Cddpd_obs
 
 open Cmdliner
+
+(* -- observability --------------------------------------------------------- *)
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Enable instrumentation and print a metrics snapshot (counter \
+                 and histogram table) after the run.")
+
+let trace_spans_arg =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Enable instrumentation and print the hierarchical trace-span \
+                 tree (wall-time per phase) after the run.")
+
+(* Run [f] with instrumentation on when requested, then print the selected
+   reports.  Reports go to stdout after the command's own output. *)
+let with_obs ~metrics ~trace f =
+  if metrics || trace then Obs.Registry.enable ();
+  let code = f () in
+  if metrics then begin
+    print_newline ();
+    print_string (Obs.Sink.render Obs.Sink.Table (Obs.Snapshot.capture ()))
+  end;
+  if trace then begin
+    print_newline ();
+    print_string (Obs.Span.render ())
+  end;
+  code
 
 (* -- shared arguments ---------------------------------------------------- *)
 
@@ -71,7 +104,8 @@ let segment_arg =
 
 (* -- generate -------------------------------------------------------------- *)
 
-let generate workload scale seed value_range output =
+let generate workload scale seed value_range output metrics trace =
+  with_obs ~metrics ~trace @@ fun () ->
   let spec = Workloads.by_name workload ~scale () in
   let statements =
     Spec.generate_flat spec ~table:Setup.table_name ~value_range ~seed:(seed + 1)
@@ -92,7 +126,8 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a workload trace from the paper's specifications.")
-    Term.(const generate $ workload $ scale_arg $ seed_arg $ value_range_arg $ output)
+    Term.(const generate $ workload $ scale_arg $ seed_arg $ value_range_arg $ output
+          $ metrics_arg $ trace_spans_arg)
 
 (* -- recommend / simulate --------------------------------------------------- *)
 
@@ -139,25 +174,29 @@ let print_schedule steps recommendation segment =
   Text_table.print table;
   Format.printf "%a@." Solution.pp recommendation.Advisor.solution
 
-let recommend trace segment k method_name rows value_range seed =
-  with_recommendation trace segment k method_name rows value_range seed
+let recommend input segment k method_name rows value_range seed metrics trace =
+  with_obs ~metrics ~trace @@ fun () ->
+  with_recommendation input segment k method_name rows value_range seed
     (fun _db steps recommendation ->
       print_schedule steps recommendation segment;
       0)
 
-let trace_arg =
+(* Named --input (not --trace, which enables trace spans). *)
+let input_arg =
   Arg.(required & opt (some file) None
-       & info [ "trace" ] ~docv:"FILE" ~doc:"Workload trace (one SQL statement per line).")
+       & info [ "i"; "input" ] ~docv:"FILE"
+           ~doc:"Workload trace file (one SQL statement per line).")
 
 let recommend_cmd =
   Cmd.v
     (Cmd.info "recommend"
        ~doc:"Recommend a change-constrained dynamic physical design for a trace.")
-    Term.(const recommend $ trace_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
-          $ value_range_arg $ seed_arg)
+    Term.(const recommend $ input_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
+          $ value_range_arg $ seed_arg $ metrics_arg $ trace_spans_arg)
 
-let simulate trace segment k method_name rows value_range seed =
-  with_recommendation trace segment k method_name rows value_range seed
+let simulate input segment k method_name rows value_range seed metrics trace =
+  with_obs ~metrics ~trace @@ fun () ->
+  with_recommendation input segment k method_name rows value_range seed
     (fun db steps recommendation ->
       print_schedule steps recommendation segment;
       let report = Simulator.run db ~steps ~schedule:recommendation.Advisor.schedule in
@@ -171,12 +210,13 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Recommend a design for a trace, then replay the trace under it.")
-    Term.(const simulate $ trace_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
-          $ value_range_arg $ seed_arg)
+    Term.(const simulate $ input_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
+          $ value_range_arg $ seed_arg $ metrics_arg $ trace_spans_arg)
 
 (* -- experiment -------------------------------------------------------------- *)
 
-let experiment name rows value_range seed scale =
+let experiment name rows value_range seed scale metrics trace =
+  with_obs ~metrics ~trace @@ fun () ->
   let config = config_of rows value_range seed scale in
   let session = lazy (Session.create config) in
   match String.lowercase_ascii name with
@@ -219,7 +259,7 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Reproduce one table or figure of the paper.")
     Term.(
       const experiment $ experiment_name $ rows_arg $ value_range_arg $ seed_arg
-      $ scale_arg)
+      $ scale_arg $ metrics_arg $ trace_spans_arg)
 
 (* -- main ---------------------------------------------------------------------- *)
 

@@ -1,4 +1,8 @@
 module Kaware = Cddpd_graph.Kaware
+module Obs = Cddpd_obs
+
+let m_configs_kept = Obs.Registry.counter "advisor.greedy_seq.configs_kept"
+let m_configs_pruned = Obs.Registry.counter "advisor.greedy_seq.configs_pruned"
 
 let reduced_config_ids problem =
   let n_configs = Problem.n_configs problem in
@@ -20,7 +24,13 @@ let reduced_config_ids problem =
   dedup [] [] (problem.Problem.initial :: winners)
 
 let solve problem ~k =
-  let sub, mapping = Problem.restrict problem (reduced_config_ids problem) in
+  Obs.Span.with_span "advisor.greedy_seq" @@ fun () ->
+  let kept = reduced_config_ids problem in
+  if Obs.Registry.enabled () then begin
+    Obs.Counter.add m_configs_kept (List.length kept);
+    Obs.Counter.add m_configs_pruned (Problem.n_configs problem - List.length kept)
+  end;
+  let sub, mapping = Problem.restrict problem kept in
   match
     Kaware.solve (Problem.to_graph sub) ~k ~initial:(Problem.initial_for_counting sub)
   with

@@ -1,4 +1,9 @@
 module Kaware = Cddpd_graph.Kaware
+module Obs = Cddpd_obs
+module Timer = Cddpd_util.Timer
+
+let m_profile_points = Obs.Registry.counter "advisor.k_advisor.profile_points"
+let h_point_s = Obs.Registry.histogram "advisor.k_advisor.point_s"
 
 type point = { k : int; cost : float; captured : float }
 
@@ -10,19 +15,26 @@ type recommendation = {
 }
 
 let raw_profile problem =
+  Obs.Span.with_span "advisor.k_advisor.profile" @@ fun () ->
   let graph = Problem.to_graph problem in
   let initial = Problem.initial_for_counting problem in
   let unconstrained = Optimizer.unconstrained problem in
   let l = unconstrained.Solution.changes in
   let costs =
     List.init (l + 1) (fun k ->
-        match Kaware.solve graph ~k ~initial with
-        | Some (cost, _) -> (k, cost)
-        | None ->
-            (* Only k = 0 under the counted-initial convention can be
-               infeasible... and even then staying on the initial config is
-               a path, so this cannot happen. *)
-            assert false)
+        let point, elapsed =
+          Timer.time (fun () ->
+              match Kaware.solve graph ~k ~initial with
+              | Some (cost, _) -> (k, cost)
+              | None ->
+                  (* Only k = 0 under the counted-initial convention can be
+                     infeasible... and even then staying on the initial config is
+                     a path, so this cannot happen. *)
+                  assert false)
+        in
+        Obs.Counter.incr m_profile_points;
+        Obs.Histogram.observe h_point_s elapsed;
+        point)
   in
   (l, unconstrained.Solution.cost, costs)
 

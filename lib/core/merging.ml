@@ -1,3 +1,8 @@
+module Obs = Cddpd_obs
+
+let m_merge_iterations = Obs.Registry.counter "advisor.merging.merge_iterations"
+let m_candidates_evaluated = Obs.Registry.counter "advisor.merging.candidates_evaluated"
+
 type run = { config : int; start : int; len : int }
 
 (* exec cost of steps [start, start+len) under config c, via prefix sums *)
@@ -58,6 +63,7 @@ let refine problem ~k path =
   if k < 0 then invalid_arg "Merging.refine: negative k";
   if Array.length path <> Problem.n_steps problem then
     invalid_arg "Merging.refine: wrong path length";
+  Obs.Span.with_span "advisor.merging" @@ fun () ->
   let run_exec = make_run_exec problem in
   let trans = problem.Problem.trans in
   let initial = problem.Problem.initial in
@@ -65,7 +71,10 @@ let refine problem ~k path =
   let merge_step runs =
     (* Find the adjacent pair (r, r+1) and replacement config c' with the
        smallest penalty. *)
+    Obs.Counter.incr m_merge_iterations;
     let n_runs = Array.length runs in
+    if Obs.Registry.enabled () then
+      Obs.Counter.add m_candidates_evaluated (max 0 (n_runs - 1) * n_configs);
     let best = ref None in
     for r = 0 to n_runs - 2 do
       let left = runs.(r) and right = runs.(r + 1) in

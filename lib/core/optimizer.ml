@@ -2,8 +2,12 @@ module Staged_dag = Cddpd_graph.Staged_dag
 module Kaware = Cddpd_graph.Kaware
 module Ranking = Cddpd_graph.Ranking
 module Timer = Cddpd_util.Timer
+module Obs = Cddpd_obs
 
 type error = Infeasible | Ranking_gave_up of int
+
+let m_solves = Obs.Registry.counter "optimizer.solves"
+let h_solve_s = Obs.Registry.histogram "optimizer.solve_s"
 
 let finish problem method_name elapsed path =
   {
@@ -64,7 +68,13 @@ let solve problem ~method_name ?k ?(max_paths = 1_000_000) () =
           | Some (_, path) -> Ok path
           | None -> Error Infeasible)
   in
-  let result, elapsed = Timer.time run in
+  let result, elapsed =
+    Obs.Span.with_span
+      ("optimizer." ^ Solution.method_to_string method_name)
+      (fun () -> Timer.time run)
+  in
+  Obs.Counter.incr m_solves;
+  Obs.Histogram.observe h_solve_s elapsed;
   Result.map (finish problem method_name elapsed) result
 
 let unconstrained problem =

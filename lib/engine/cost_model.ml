@@ -6,6 +6,30 @@ module Design = Cddpd_catalog.Design
 module Tuple = Cddpd_storage.Tuple
 module Page = Cddpd_storage.Page
 
+(* -- observability ----------------------------------------------------------- *)
+
+module Obs = Cddpd_obs
+
+let m_calls = Obs.Registry.counter "cost_model.calls"
+let m_repeat_calls = Obs.Registry.counter "cost_model.repeat_calls"
+
+(* Cache-worthiness probe: [repeat_calls] counts statement_cost calls whose
+   (statement, design) pair was costed before — i.e. the hits a memo table
+   in front of the cost model would get.  Tracked only while
+   instrumentation is enabled; keyed by structural hash, so the count is a
+   (tight) upper bound. *)
+let seen_calls : (int, unit) Hashtbl.t = Hashtbl.create 4096
+
+let () = Obs.Registry.on_reset (fun () -> Hashtbl.reset seen_calls)
+
+let note_statement_cost_call statement design =
+  Obs.Counter.incr m_calls;
+  if Obs.Registry.enabled () then begin
+    let key = Hashtbl.hash (statement, design) in
+    if Hashtbl.mem seen_calls key then Obs.Counter.incr m_repeat_calls
+    else Hashtbl.add seen_calls key ()
+  end
+
 type params = {
   page_io : float;
   row_cpu : float;
@@ -250,14 +274,18 @@ let choose_plan params stats design select =
     | Some plan when plan.Plan.estimated_cost < best.Plan.estimated_cost -> plan
     | Some _ | None -> best
   in
-  Design.fold_indexes
-    (fun index best ->
-      if not (String.equal (Index_def.table index) select.Ast.table) then best
-      else
-        best
-        |> consider (index_seek_plan params stats select index)
-        |> consider (index_only_scan_plan params stats select index))
-    design scan
+  let best =
+    Design.fold_indexes
+      (fun index best ->
+        if not (String.equal (Index_def.table index) select.Ast.table) then best
+        else
+          best
+          |> consider (index_seek_plan params stats select index)
+          |> consider (index_only_scan_plan params stats select index))
+      design scan
+  in
+  Plan.count_choice best;
+  best
 
 let select_cost params stats design select =
   (choose_plan params stats design select).Plan.estimated_cost
@@ -301,31 +329,35 @@ let choose_agg_plan params stats design ~table ~group_by ~where =
         +. (params.row_cpu *. float_of_int (Table_stats.row_count stats));
     }
   in
-  Design.fold_views
-    (fun view best ->
-      if
-        String.equal (View_def.table view) table
-        && view_answers ~group_by ~where view
-      then begin
-        let group_value = group_eq_value ~group_by ~where in
-        let cost =
-          match group_value with
-          | Some _ ->
-              (* Probe: tree descent plus one heap fetch. *)
-              params.page_io *. float_of_int (view_height params ~stats view + 1)
-          | None ->
-              (* Scan every view row via the tree leaves and heap pages. *)
-              params.page_io *. float_of_int (view_size_pages params ~stats view)
-              +. (params.row_cpu *. groups)
-        in
-        let estimated_rows = match group_value with Some _ -> 1.0 | None -> groups in
-        if cost < best.Plan.estimated_cost then
-          { Plan.path = Plan.View_probe { view; group_value }; estimated_rows;
-            estimated_cost = cost }
-        else best
-      end
-      else best)
-    design scan
+  let best =
+    Design.fold_views
+      (fun view best ->
+        if
+          String.equal (View_def.table view) table
+          && view_answers ~group_by ~where view
+        then begin
+          let group_value = group_eq_value ~group_by ~where in
+          let cost =
+            match group_value with
+            | Some _ ->
+                (* Probe: tree descent plus one heap fetch. *)
+                params.page_io *. float_of_int (view_height params ~stats view + 1)
+            | None ->
+                (* Scan every view row via the tree leaves and heap pages. *)
+                params.page_io *. float_of_int (view_size_pages params ~stats view)
+                +. (params.row_cpu *. groups)
+          in
+          let estimated_rows = match group_value with Some _ -> 1.0 | None -> groups in
+          if cost < best.Plan.estimated_cost then
+            { Plan.path = Plan.View_probe { view; group_value }; estimated_rows;
+              estimated_cost = cost }
+          else best
+        end
+        else best)
+      design scan
+  in
+  Plan.count_choice best;
+  best
 
 (* Per affected base row: each index pays a root-to-leaf update; each view
    pays a lookup plus a row rewrite. *)
@@ -359,6 +391,7 @@ let dml_cost params stats design ~table ~where ~writes_per_row =
   find +. (affected *. ((writes_per_row *. params.page_io) +. maintenance))
 
 let statement_cost params stats design statement =
+  note_statement_cost_call statement design;
   match statement with
   | Ast.Select select -> select_cost params stats design select
   | Ast.Select_agg { table; group_by; where; _ } ->

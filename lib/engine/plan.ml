@@ -19,6 +19,23 @@ type access_path =
 
 type t = { path : access_path; estimated_rows : float; estimated_cost : float }
 
+(* -- observability ----------------------------------------------------------- *)
+
+module Obs = Cddpd_obs
+
+let m_full_scan = Obs.Registry.counter "plan.chosen.full_scan"
+let m_index_seek = Obs.Registry.counter "plan.chosen.index_seek"
+let m_index_only_scan = Obs.Registry.counter "plan.chosen.index_only_scan"
+let m_view_probe = Obs.Registry.counter "plan.chosen.view_probe"
+
+let count_choice t =
+  Obs.Counter.incr
+    (match t.path with
+    | Full_scan -> m_full_scan
+    | Index_seek _ -> m_index_seek
+    | Index_only_scan _ -> m_index_only_scan
+    | View_probe _ -> m_view_probe)
+
 let cmp_to_string op =
   match op with
   | Ast.Eq -> "="

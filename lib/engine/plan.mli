@@ -38,6 +38,11 @@ type t = {
   estimated_cost : float; (** cost-model units (page I/O equivalents) *)
 }
 
+val count_choice : t -> unit
+(** Bump the [plan.chosen.*] observability counter matching this plan's
+    access path.  The planner calls it once per winning plan; a no-op
+    while instrumentation is disabled. *)
+
 val pp_access_path : Format.formatter -> access_path -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -1,4 +1,21 @@
-let solve (g : Staged_dag.t) ~k ~initial =
+module Obs = Cddpd_obs
+
+let m_nodes_expanded = Obs.Registry.counter "advisor.kaware.nodes_expanded"
+let m_edges_relaxed = Obs.Registry.counter "advisor.kaware.edges_relaxed"
+
+(* The DP loops below are dense — every (stage, layer, node) state is
+   relaxed exactly once and every layered edge gets one relaxation attempt
+   — so the observability counts are computed in closed form rather than
+   incremented inside the O(stages * k * n^2) inner loop.  This keeps the
+   hot path untouched whether or not instrumentation is enabled. *)
+let record_work ~stages ~layers ~n =
+  if Obs.Registry.enabled () then begin
+    Obs.Counter.add m_nodes_expanded (n + ((stages - 1) * layers * n));
+    Obs.Counter.add m_edges_relaxed
+      ((stages - 1) * ((n * layers) + (n * (n - 1) * (layers - 1))))
+  end
+
+let solve_dp (g : Staged_dag.t) ~k ~initial =
   let n = g.Staged_dag.n_nodes in
   let stages = g.Staged_dag.n_stages in
   (match initial with
@@ -48,6 +65,7 @@ let solve (g : Staged_dag.t) ~k ~initial =
         Array.blit next.(l) 0 dist.(l) 0 n
       done
     done;
+    record_work ~stages ~layers ~n;
     let best = ref None in
     for l = 0 to layers - 1 do
       for j = 0 to n - 1 do
@@ -73,3 +91,6 @@ let solve (g : Staged_dag.t) ~k ~initial =
         rebuild (stages - 1) l j;
         Some (cost, path)
   end
+
+let solve g ~k ~initial =
+  Obs.Span.with_span "advisor.kaware" (fun () -> solve_dp g ~k ~initial)

@@ -5,7 +5,29 @@
     exactly the paths of the base graph with at most [k] changes.  The
     layered graph is never materialised: the dynamic program below indexes
     states by (stage, layer, node), giving the paper's O(k n 2^2m) bound
-    for [2^m] configurations per stage. *)
+    for [2^m] configurations per stage.
+
+    {2 Layer semantics}
+
+    Layer [l] means "[l] design changes consumed so far".  Staying on the
+    same node across a stage boundary keeps the layer; switching nodes
+    moves diagonally from layer [l] to [l+1] — so edges never descend, and
+    a state [(s, l, j)] encodes the cheapest way to execute the first
+    [s+1] steps ending in configuration [j] with exactly [l] changes.
+    With [initial = Some j0], starting anywhere other than [j0] enters at
+    layer 1 instead of 0 (the first deviation from the deployed design is
+    itself a change).  The answer minimises over {e all} layers at the
+    sink, which is what makes the constraint "at most [k]", not
+    "exactly [k]".
+
+    {2 Observability}
+
+    Each solve runs inside an [advisor.kaware] trace span and, because the
+    DP is dense (every state relaxed exactly once, every layered edge
+    attempted exactly once), reports its work to the
+    [advisor.kaware.nodes_expanded] and [advisor.kaware.edges_relaxed]
+    counters in closed form — the hot loop itself carries no
+    instrumentation. *)
 
 val solve :
   Staged_dag.t -> k:int -> initial:int option -> (float * int array) option

@@ -1,4 +1,9 @@
 module Pqueue = Cddpd_util.Pqueue
+module Obs = Cddpd_obs
+
+let m_nodes_expanded = Obs.Registry.counter "advisor.ranking.nodes_expanded"
+let m_paths_emitted = Obs.Registry.counter "advisor.ranking.paths_emitted"
+let m_paths_pruned = Obs.Registry.counter "advisor.ranking.paths_pruned"
 
 (* Exact cost-to-go: h.(s).(j) = cheapest completion from node j of stage s
    (excluding node j's own cost, including the sink edge). *)
@@ -50,9 +55,12 @@ let enumerate (g : Staged_dag.t) =
     match Pqueue.pop_min queue with
     | None -> Seq.Nil
     | Some (f, partial, queue) ->
-        if partial.stage = stages - 1 then
+        Obs.Counter.incr m_nodes_expanded;
+        if partial.stage = stages - 1 then begin
+          Obs.Counter.incr m_paths_emitted;
           let path = Array.of_list (List.rev partial.rev_path) in
           Seq.Cons ((f, path), next queue)
+        end
         else begin
           let queue = ref queue in
           for j' = 0 to n - 1 do
@@ -77,13 +85,18 @@ let enumerate (g : Staged_dag.t) =
   next !initial_queue
 
 let solve_constrained g ~k ~initial ?(max_paths = 1_000_000) () =
-  let rec scan seq rank =
-    if rank > max_paths then `Gave_up max_paths
-    else
-      match seq () with
-      | Seq.Nil -> `Gave_up (rank - 1)
-      | Seq.Cons ((cost, path), rest) ->
-          if Staged_dag.path_changes g ~initial path <= k then `Found (cost, path, rank)
-          else scan rest (rank + 1)
-  in
-  scan (enumerate g) 1
+  Obs.Span.with_span "advisor.ranking" (fun () ->
+      let rec scan seq rank =
+        if rank > max_paths then `Gave_up max_paths
+        else
+          match seq () with
+          | Seq.Nil -> `Gave_up (rank - 1)
+          | Seq.Cons ((cost, path), rest) ->
+              if Staged_dag.path_changes g ~initial path <= k then
+                `Found (cost, path, rank)
+              else begin
+                Obs.Counter.incr m_paths_pruned;
+                scan rest (rank + 1)
+              end
+      in
+      scan (enumerate g) 1)

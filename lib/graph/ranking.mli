@@ -8,7 +8,23 @@
 
     The paper's constrained optimizer stops at the first ranked path with
     at most [k] changes; {!solve_constrained} packages that stopping
-    rule. *)
+    rule.
+
+    Invariants: the heuristic [h(s, j)] (exact cheapest completion from
+    node [j] of stage [s]) makes every popped state's f-value the true
+    cost of the best completion of its prefix, so (1) completed paths pop
+    in nondecreasing cost order and (2) the first accepted path is
+    optimal among ≤[k]-change paths.  The price is memory: the frontier
+    can hold one partial per (prefix), and a large [k]-gap between the
+    unconstrained optimum and the first feasible path makes the rank — and
+    the queue — blow up; that worst case is exactly the paper's argument
+    for the k-aware DP.
+
+    Observability: pops, emitted complete paths and rejected
+    (over-budget) paths feed the [advisor.ranking.nodes_expanded],
+    [advisor.ranking.paths_emitted] and [advisor.ranking.paths_pruned]
+    counters; {!solve_constrained} runs inside an [advisor.ranking]
+    span. *)
 
 val enumerate : Staged_dag.t -> (float * int array) Seq.t
 (** All source-to-sink paths, lazily, in nondecreasing cost order. *)

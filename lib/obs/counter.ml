@@ -1,0 +1,13 @@
+type t = { name : string; mutable value : int }
+
+let make name = { name; value = 0 }
+
+let name t = t.name
+
+let value t = t.value
+
+let incr t = if !Switch.on then t.value <- t.value + 1
+
+let add t n = if !Switch.on then t.value <- t.value + n
+
+let reset t = t.value <- 0

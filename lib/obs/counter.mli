@@ -1,0 +1,31 @@
+(** Monotonic event counters.
+
+    A counter is a named mutable integer.  {!incr} and {!add} are no-ops
+    while instrumentation is disabled ({!Registry.enabled}), so a counter
+    embedded in a hot path costs one boolean load when observability is
+    off.  Counters are "lock-free-style": plain unsynchronised mutable
+    ints, safe under the single-domain runtime this project uses; they make
+    no atomicity promise across OCaml 5 domains.
+
+    Counters are normally obtained from {!Registry.counter}, which
+    registers them for snapshots; [make] builds an unregistered one (used
+    in tests). *)
+
+type t
+
+val make : string -> t
+(** A fresh counter at zero.  Not registered with the {!Registry}. *)
+
+val name : t -> string
+
+val value : t -> int
+(** Current count.  Always readable, enabled or not. *)
+
+val incr : t -> unit
+(** Add one — only when instrumentation is enabled. *)
+
+val add : t -> int -> unit
+(** Add [n] — only when instrumentation is enabled. *)
+
+val reset : t -> unit
+(** Zero the counter (unconditionally). *)

@@ -1,0 +1,48 @@
+module Stats = Cddpd_util.Stats
+
+(* Samples are kept verbatim in a growable array so that percentiles are
+   exact (via Cddpd_util.Stats.percentile).  Runs in this project observe
+   at most a few thousand values per histogram; a reservoir would only be
+   needed at much larger scale. *)
+
+type t = {
+  name : string;
+  mutable samples : float array;
+  mutable count : int;
+  mutable sum : float;
+}
+
+let make name = { name; samples = [||]; count = 0; sum = 0.0 }
+
+let name t = t.name
+
+let count t = t.count
+
+let sum t = t.sum
+
+let grow t =
+  let capacity = Array.length t.samples in
+  let bigger = Array.make (max 16 (capacity * 2)) 0.0 in
+  Array.blit t.samples 0 bigger 0 capacity;
+  t.samples <- bigger
+
+let observe t x =
+  if !Switch.on then begin
+    if t.count >= Array.length t.samples then grow t;
+    t.samples.(t.count) <- x;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x
+  end
+
+let values t = Array.sub t.samples 0 t.count
+
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let percentile t p = if t.count = 0 then 0.0 else Stats.percentile (values t) p
+
+let max_value t = if t.count = 0 then 0.0 else Stats.maximum (values t)
+
+let reset t =
+  t.samples <- [||];
+  t.count <- 0;
+  t.sum <- 0.0

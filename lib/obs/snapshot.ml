@@ -1,0 +1,63 @@
+type distribution = {
+  count : int;
+  sum : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  max_value : float;
+}
+
+type value = Count of int | Dist of distribution
+
+type t = (string * value) list
+
+let summarize h =
+  {
+    count = Histogram.count h;
+    sum = Histogram.sum h;
+    mean = Histogram.mean h;
+    p50 = Histogram.percentile h 50.0;
+    p95 = Histogram.percentile h 95.0;
+    max_value = Histogram.max_value h;
+  }
+
+let capture () =
+  let counters =
+    Registry.fold_counters
+      (fun c acc -> (Counter.name c, Count (Counter.value c)) :: acc)
+      []
+  in
+  let all =
+    Registry.fold_histograms
+      (fun h acc -> (Histogram.name h, Dist (summarize h)) :: acc)
+      counters
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+let entries t = t
+
+let find t name = List.assoc_opt name t
+
+let counter_value t name =
+  match find t name with Some (Count n) -> Some n | Some (Dist _) | None -> None
+
+let is_empty t =
+  List.for_all
+    (fun (_, v) -> match v with Count 0 -> true | Dist d -> d.count = 0 | Count _ -> false)
+    t
+
+(* Histogram percentiles cannot be subtracted; a diffed distribution keeps
+   the [after] percentiles and diffs count/sum/mean.  Metrics absent from
+   [before] (registered later) diff against zero. *)
+let diff ~before ~after =
+  List.map
+    (fun (name, v_after) ->
+      match (v_after, List.assoc_opt name before) with
+      | Count a, Some (Count b) -> (name, Count (a - b))
+      | Dist a, Some (Dist b) ->
+          let count = a.count - b.count in
+          let sum = a.sum -. b.sum in
+          let mean = if count = 0 then 0.0 else sum /. float_of_int count in
+          (name, Dist { a with count; sum; mean })
+      | v, (Some (Count _ | Dist _) | None) -> (name, v))
+    after

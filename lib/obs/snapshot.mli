@@ -1,0 +1,46 @@
+(** Point-in-time, diffable views of every registered metric.
+
+    A snapshot is an immutable name-sorted listing of all counters and
+    histogram summaries in the {!Registry} at capture time.  Two snapshots
+    bracket a region of interest; {!diff} yields the metrics attributable
+    to that region — the pattern the CLI and bench harness use:
+
+    {[
+      let before = Snapshot.capture () in
+      run_workload ();
+      let delta = Snapshot.diff ~before ~after:(Snapshot.capture ()) in
+    ]} *)
+
+type distribution = {
+  count : int;
+  sum : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  max_value : float;
+}
+
+type value = Count of int | Dist of distribution
+
+type t
+
+val capture : unit -> t
+(** Snapshot every registered metric (zero-valued ones included — the
+    registry registers at module-init time, so names are stable). *)
+
+val entries : t -> (string * value) list
+(** All entries, sorted by metric name. *)
+
+val find : t -> string -> value option
+
+val counter_value : t -> string -> int option
+(** The value of counter [name]; [None] if absent or a histogram. *)
+
+val is_empty : t -> bool
+(** True when every counter is zero and every histogram empty. *)
+
+val diff : before:t -> after:t -> t
+(** Per-metric difference [after - before].  Counter values and histogram
+    counts/sums/means subtract; histogram percentiles cannot be diffed and
+    are reported as of [after].  Metrics registered after [before] was
+    taken diff against zero. *)

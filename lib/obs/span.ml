@@ -1,0 +1,80 @@
+(* Hierarchical wall-clock spans.  Spans with the same name under the same
+   parent are aggregated (calls, total time) rather than recorded per
+   invocation, so the tree stays small no matter how hot the instrumented
+   path is.  The current nesting is a stack; with_span pushes, runs,
+   accumulates, and pops — exception-safely. *)
+
+type t = {
+  name : string;
+  mutable calls : int;
+  mutable total : float; (* seconds, summed over calls *)
+  mutable children : t list; (* reverse creation order *)
+}
+
+let make_node name = { name; calls = 0; total = 0.0; children = [] }
+
+let root = make_node "<root>"
+
+let stack = ref [ root ]
+
+let name t = t.name
+
+let calls t = t.calls
+
+let total_s t = t.total
+
+let children t = List.rev t.children
+
+let roots () = children root
+
+let reset () =
+  root.children <- [];
+  root.calls <- 0;
+  root.total <- 0.0;
+  stack := [ root ]
+
+let find_child parent name =
+  match List.find_opt (fun c -> String.equal c.name name) parent.children with
+  | Some c -> c
+  | None ->
+      let c = make_node name in
+      parent.children <- c :: parent.children;
+      c
+
+let with_span name f =
+  if not !Switch.on then f ()
+  else begin
+    let parent = match !stack with node :: _ -> node | [] -> root in
+    let node = find_child parent name in
+    stack := node :: !stack;
+    let started = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        node.calls <- node.calls + 1;
+        node.total <- node.total +. (Unix.gettimeofday () -. started);
+        (match !stack with
+        | top :: rest when top == node -> stack := rest
+        | _ -> () (* a reset ran inside the span; nothing to pop *)))
+      f
+  end
+
+let render () =
+  let buffer = Buffer.create 256 in
+  let rec walk depth parent_total node =
+    let share =
+      if parent_total > 0.0 then
+        Printf.sprintf " (%.1f%%)" (100.0 *. node.total /. parent_total)
+      else ""
+    in
+    Buffer.add_string buffer
+      (Printf.sprintf "%s%-*s calls=%-6d total=%9.3fms%s\n"
+         (String.make (2 * depth) ' ')
+         (max 1 (32 - (2 * depth)))
+         node.name node.calls (1000.0 *. node.total) share);
+    List.iter (walk (depth + 1) node.total) (children node)
+  in
+  match roots () with
+  | [] -> "(no spans recorded)\n"
+  | spans ->
+      List.iter (walk 0 0.0) spans;
+      Buffer.contents buffer

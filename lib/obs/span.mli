@@ -1,0 +1,47 @@
+(** Lightweight hierarchical trace spans.
+
+    [with_span "advisor.kaware" f] times [f] on the wall clock and records
+    it under the span that is currently open, building a call tree.  Spans
+    with the same name under the same parent aggregate (call count + total
+    time) instead of appending, so instrumenting a function called ten
+    thousand times adds one tree node, not ten thousand.
+
+    When instrumentation is disabled ({!Registry.enabled} false),
+    [with_span] is [f ()] plus one boolean test — no clock reads, no
+    allocation.  Timing is exception-safe: a raise inside [f] still closes
+    the span.
+
+    Span names follow the metric convention ([<module>.<phase>], e.g.
+    ["optimizer.solve"], ["advisor.kaware"]); see docs/OBSERVABILITY.md.
+    The tree is global state, like the {!Registry}: single-domain use
+    only. *)
+
+type t
+(** An aggregated node of the span tree. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Run [f] inside a span called [name], nested under the innermost open
+    span (or at the root).  Returns [f ()]'s result. *)
+
+val name : t -> string
+
+val calls : t -> int
+(** How many completed [with_span] invocations aggregated into this node. *)
+
+val total_s : t -> float
+(** Total wall-clock seconds across those invocations (children
+    included — a parent's total covers its children's). *)
+
+val children : t -> t list
+(** Child spans, in first-opened order. *)
+
+val roots : unit -> t list
+(** Top-level spans recorded since the last {!reset}. *)
+
+val reset : unit -> unit
+(** Drop the recorded tree.  Calling it while spans are open abandons
+    their timings. *)
+
+val render : unit -> string
+(** The span tree as an indented text block: per node, call count, total
+    milliseconds, and share of the parent's time. *)

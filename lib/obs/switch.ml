@@ -1,0 +1,6 @@
+(* The single global on/off flag for all instrumentation.  Counters, spans
+   and histograms read it on every recording call, so a disabled run costs
+   one boolean load per call site.  Lives in its own module so that both
+   the metric types and the registry can see it without a cycle. *)
+
+let on = ref false

@@ -1,3 +1,12 @@
+module Obs = Cddpd_obs
+
+(* Global across all pools (the observability layer reports process-wide
+   totals); [stats] remains the per-pool view. *)
+let m_hits = Obs.Registry.counter "buffer_pool.hits"
+let m_misses = Obs.Registry.counter "buffer_pool.misses"
+let m_evictions = Obs.Registry.counter "buffer_pool.evictions"
+let m_write_backs = Obs.Registry.counter "buffer_pool.write_backs"
+
 type frame = {
   mutable pid : int; (* -1 when the frame is empty *)
   buffer : Page.t;
@@ -42,6 +51,7 @@ let capacity t = Array.length t.frames
 let write_back t frame =
   if frame.dirty then begin
     Disk.write_from t.disk frame.pid frame.buffer;
+    Obs.Counter.incr m_write_backs;
     frame.dirty <- false
   end
 
@@ -77,18 +87,21 @@ let evict t frame =
     write_back t frame;
     Hashtbl.remove t.table frame.pid;
     frame.pid <- -1;
-    t.eviction_count <- t.eviction_count + 1
+    t.eviction_count <- t.eviction_count + 1;
+    Obs.Counter.incr m_evictions
   end
 
 let fetch t pid =
   match Hashtbl.find_opt t.table pid with
   | Some frame ->
       t.hit_count <- t.hit_count + 1;
+      Obs.Counter.incr m_hits;
       frame.pins <- frame.pins + 1;
       frame.referenced <- true;
       frame
   | None ->
       t.miss_count <- t.miss_count + 1;
+      Obs.Counter.incr m_misses;
       let frame = victim t in
       evict t frame;
       Disk.read_into t.disk pid frame.buffer;

@@ -4,12 +4,45 @@
     page is pinned until released; unpinned frames are replaced by a clock
     sweep (approximate LRU, amortised O(1) per miss), writing dirty pages
     back to disk.  Hit and miss counters let the engine report logical vs.
-    physical I/O. *)
+    physical I/O.
+
+    {2 Pin/unpin discipline}
+
+    Every handle returned by {!fetch} or {!allocate} holds one pin; the
+    caller must {!unpin} it exactly once, after which the handle must not
+    be used again (its frame may be reassigned to another page at any later
+    miss).  Pins nest: fetching an already-pinned page increments its pin
+    count, and the frame is only evictable when the count returns to zero.
+    Holding many pins concurrently risks [Failure] on a miss — eviction
+    needs at least one unpinned frame — so access methods pin briefly:
+    fetch, read/write, unpin.  Mutating a pinned page's buffer is only
+    durable if {!mark_dirty} is called before the pin is released.
+
+    {2 Clock-sweep eviction policy}
+
+    Frames form a circular list with a sweep hand.  A page access sets the
+    frame's reference bit; a miss with no free frame advances the hand,
+    skipping pinned frames and clearing reference bits, and takes the first
+    unpinned frame whose bit is already clear.  Each frame therefore
+    survives one full revolution after its last access (the "second
+    chance"), approximating LRU with O(1) state per frame.  Two full
+    sweeps guarantee termination: after the first, every unpinned frame's
+    bit is clear, so only an all-pinned pool fails.  Evicting a dirty
+    frame writes the page back first ({e write-back}, not write-through:
+    clean evictions cost no disk write).
+
+    {2 Observability}
+
+    When instrumentation is enabled ({!Cddpd_obs.Registry.enable}), every
+    pool also feeds the process-wide counters [buffer_pool.hits],
+    [buffer_pool.misses], [buffer_pool.evictions] and
+    [buffer_pool.write_backs]; {!stats} remains the per-pool view. *)
 
 type t
 
 type handle
-(** A pinned page.  The underlying buffer stays valid until {!unpin}. *)
+(** A pinned page.  The underlying buffer stays valid until {!unpin};
+    after that the handle is dead and must not be reused. *)
 
 type stats = { hits : int; misses : int; evictions : int }
 
@@ -21,8 +54,10 @@ val capacity : t -> int
 (** The number of frames. *)
 
 val fetch : t -> int -> handle
-(** [fetch t pid] pins page [pid], reading it from disk on a miss.  Raises
-    [Failure] if a miss finds every frame pinned. *)
+(** [fetch t pid] pins page [pid], reading it from disk on a miss (a hit
+    costs no disk I/O).  Fetching a page that is already pinned returns
+    the same frame with its pin count incremented.  Raises [Failure] if a
+    miss finds every frame pinned. *)
 
 val allocate : t -> handle
 (** Allocate a fresh zeroed page on the disk and pin it (dirty), without a
@@ -38,7 +73,9 @@ val mark_dirty : handle -> unit
 (** Record that the page buffer was modified so eviction writes it back. *)
 
 val unpin : t -> handle -> unit
-(** Release the pin.  Raises [Invalid_argument] if the handle is not
+(** Release one pin (must pair with the {!fetch}/{!allocate} that took
+    it).  The page stays cached; it merely becomes evictable once its pin
+    count reaches zero.  Raises [Invalid_argument] if the handle is not
     pinned. *)
 
 val flush_all : t -> unit

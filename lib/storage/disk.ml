@@ -1,3 +1,11 @@
+module Obs = Cddpd_obs
+
+(* Global across all disks: the observability layer reports process-wide
+   I/O totals; per-disk counts stay available through [stats]. *)
+let m_page_reads = Obs.Registry.counter "disk.page_reads"
+let m_page_writes = Obs.Registry.counter "disk.page_writes"
+let m_pages_allocated = Obs.Registry.counter "disk.pages_allocated"
+
 type t = {
   mutable pages : Page.t array;
   mutable used : int;
@@ -20,6 +28,7 @@ let allocate t =
   let pid = t.used in
   t.pages.(pid) <- Page.create ();
   t.used <- t.used + 1;
+  Obs.Counter.incr m_pages_allocated;
   pid
 
 let n_pages t = t.used
@@ -31,11 +40,13 @@ let check t pid name =
 let read_into t pid dst =
   check t pid "read_into";
   t.read_count <- t.read_count + 1;
+  Obs.Counter.incr m_page_reads;
   Page.blit ~src:t.pages.(pid) ~dst
 
 let write_from t pid src =
   check t pid "write_from";
   t.write_count <- t.write_count + 1;
+  Obs.Counter.incr m_page_writes;
   Page.blit ~src ~dst:t.pages.(pid)
 
 let stats t = { reads = t.read_count; writes = t.write_count; allocated = t.used }

@@ -4,7 +4,17 @@
     the "disk" is an in-memory page store that counts every page read and
     write, so that execution costs can be measured deterministically in
     page-I/O units.  All structured access should go through
-    {!Buffer_pool}; this module is the raw device. *)
+    {!Buffer_pool}; this module is the raw device.
+
+    Invariants: page ids are dense — [allocate] returns consecutive ids
+    starting at 0, ids are never reused, and any read/write of an
+    unallocated id is a programming error ([Invalid_argument]), never a
+    silent grow.  Reads and writes copy whole pages by value, so a page
+    buffer handed to [read_into] can be mutated freely without aliasing
+    the store.  Every transfer bumps the corresponding per-disk counter
+    ({!stats}) and, when instrumentation is enabled, the process-wide
+    observability counters [disk.page_reads], [disk.page_writes] and
+    [disk.pages_allocated] (see docs/OBSERVABILITY.md). *)
 
 type t
 
