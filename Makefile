@@ -1,0 +1,32 @@
+# Convenience targets for the cddpd tree.  Everything here is a thin
+# wrapper over dune; CI and humans should get identical behaviour.
+
+DUNE ?= dune
+JOBS ?=
+
+.PHONY: all build check test bench-smoke bench clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+# Tier-1 gate: full build plus the whole test suite.
+check:
+	$(DUNE) build
+	$(DUNE) runtest
+
+test: check
+
+# Quick perf sanity: micro-benchmarks + a timed Problem.build, writing
+# BENCH_micro.json for machine consumption.  Pass JOBS=1 to force the
+# sequential path.
+bench-smoke:
+	$(DUNE) exec bench/main.exe -- --quick $(if $(JOBS),--jobs $(JOBS)) micro
+
+bench:
+	$(DUNE) exec bench/main.exe -- $(if $(JOBS),--jobs $(JOBS)) all
+
+clean:
+	$(DUNE) clean
+	rm -f BENCH_micro.json BENCH_obs.json

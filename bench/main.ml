@@ -6,17 +6,21 @@
      main.exe [table1] [table2] [figure3] [figure4] [ablation] [updates]
               [views] [space] [micro]
               [--rows N] [--value-range N] [--scale F] [--seed N] [--quick]
-              [--no-metrics] [--obs-out FILE]
+              [--jobs N] [--no-cost-cache]
+              [--no-metrics] [--obs-out FILE] [--micro-out FILE]
    With no experiment named, everything runs.  --quick shrinks the instance
    for a fast smoke run; --rows 2500000 --value-range 500000 approaches the
-   paper's physical scale.
+   paper's physical scale.  --jobs and --no-cost-cache set the
+   Problem.build parallelism / memoization knobs (docs/PERFORMANCE.md).
 
    Observability: instrumentation (lib/obs) is enabled for the run unless
    --no-metrics is given, and a JSON-lines metrics + span dump is written
    to BENCH_obs.json (--obs-out overrides the path) so successive PRs can
    compare perf trajectories.  The Bechamel micro-benchmarks always run
    with instrumentation disabled so their timings stay comparable across
-   runs regardless of flags. *)
+   runs regardless of flags; when "micro" runs, a machine-readable summary
+   (per-micro ns/run plus the median Problem.build wall time) is written
+   to BENCH_micro.json (--micro-out overrides the path). *)
 
 module Setup = Cddpd_experiments.Setup
 module Session = Cddpd_experiments.Session
@@ -41,6 +45,9 @@ type options = {
   config : Setup.config;
   metrics : bool;
   obs_out : string;
+  micro_out : string;
+  jobs : int option;
+  cost_cache : bool;
 }
 
 let usage () =
@@ -48,7 +55,8 @@ let usage () =
     "usage: main.exe \
      [table1|table2|figure3|figure4|ablation|updates|views|space|micro]... \
      [--rows N] [--value-range N] [--scale F] [--seed N] [--quick] \
-     [--no-metrics] [--obs-out FILE]";
+     [--jobs N] [--no-cost-cache] \
+     [--no-metrics] [--obs-out FILE] [--micro-out FILE]";
   exit 2
 
 let parse_args () =
@@ -56,6 +64,9 @@ let parse_args () =
   let config = ref Setup.default_config in
   let metrics = ref true in
   let obs_out = ref "BENCH_obs.json" in
+  let micro_out = ref "BENCH_micro.json" in
+  let jobs = ref None in
+  let cost_cache = ref true in
   let rec go args =
     match args with
     | [] -> ()
@@ -64,6 +75,17 @@ let parse_args () =
         go rest
     | "--obs-out" :: v :: rest ->
         obs_out := v;
+        go rest
+    | "--micro-out" :: v :: rest ->
+        micro_out := v;
+        go rest
+    | "--jobs" :: v :: rest ->
+        let j = int_of_string v in
+        if j < 1 then usage ();
+        jobs := Some j;
+        go rest
+    | "--no-cost-cache" :: rest ->
+        cost_cache := false;
         go rest
     | "--rows" :: v :: rest ->
         config := { !config with Setup.rows = int_of_string v };
@@ -95,7 +117,15 @@ let parse_args () =
     | [] -> [ "table1"; "table2"; "figure3"; "figure4"; "ablation"; "updates"; "views"; "space"; "micro" ]
     | list -> list
   in
-  { experiments; config = !config; metrics = !metrics; obs_out = !obs_out }
+  {
+    experiments;
+    config = !config;
+    metrics = !metrics;
+    obs_out = !obs_out;
+    micro_out = !micro_out;
+    jobs = !jobs;
+    cost_cache = !cost_cache;
+  }
 
 let banner title =
   Printf.printf "\n==== %s ====\n\n%!" title
@@ -207,14 +237,77 @@ let micro (session : Session.t) =
     (fun (name, ns) ->
       Cddpd_util.Text_table.add_row table [ name; Printf.sprintf "%.0f" ns ])
     rows;
-  Cddpd_util.Text_table.print table
+  Cddpd_util.Text_table.print table;
+  rows
+
+(* -- machine-readable micro summary (BENCH_micro.json) -------------------- *)
+
+(* Median wall-clock of several Problem.build runs under the session's
+   workload and the current --jobs/--no-cost-cache knobs: the headline
+   number of the perf trajectory. *)
+let problem_build_runs = 3
+
+let time_problem_build (session : Session.t) =
+  let times =
+    Array.init problem_build_runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Setup.build_problem session.Session.db ~steps:session.Session.steps_w1);
+        Unix.gettimeofday () -. t0)
+  in
+  Array.sort compare times;
+  times.(problem_build_runs / 2)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' -> Buffer.add_char buf '\\'; Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
+
+let write_micro_json path ~(options : options) ~build_s rows =
+  let oc = open_out path in
+  let jobs =
+    match options.jobs with Some j -> j | None -> Cddpd_util.Parallel.default_jobs ()
+  in
+  Printf.fprintf oc
+    "{\"schema\":\"cddpd-bench-micro/1\",\"rows\":%d,\"value_range\":%d,\
+     \"scale\":%.3f,\"seed\":%d,\"jobs\":%d,\"cost_cache\":%b,\
+     \"problem_build\":{\"runs\":%d,\"median_s\":%s},\"micro\":["
+    options.config.Setup.rows options.config.Setup.value_range
+    options.config.Setup.scale options.config.Setup.seed jobs options.cost_cache
+    problem_build_runs (json_float build_s);
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "%s{\"name\":\"%s\",\"ns_per_run\":%s}"
+        (if i = 0 then "" else ",")
+        (json_escape name) (json_float ns))
+    rows;
+  output_string oc "]}\n";
+  close_out oc
 
 let () =
-  let { experiments; config; metrics; obs_out } = parse_args () in
+  let ({ experiments; config; metrics; obs_out; micro_out; jobs; cost_cache } as
+       options) =
+    parse_args ()
+  in
+  (match jobs with
+  | Some j -> Cddpd_util.Parallel.set_default_jobs j
+  | None -> ());
+  if not cost_cache then Cddpd_engine.Cost_cache.set_default_enabled false;
   if metrics then Obs.Registry.enable ();
   Printf.printf
-    "cddpd benchmark harness — rows=%d value_range=%d scale=%.2f seed=%d\n%!"
-    config.Setup.rows config.Setup.value_range config.Setup.scale config.Setup.seed;
+    "cddpd benchmark harness — rows=%d value_range=%d scale=%.2f seed=%d \
+     jobs=%d cost-cache=%b\n%!"
+    config.Setup.rows config.Setup.value_range config.Setup.scale config.Setup.seed
+    (match jobs with Some j -> j | None -> Cddpd_util.Parallel.default_jobs ())
+    cost_cache;
   let needs_session =
     List.exists
       (fun e ->
@@ -262,7 +355,12 @@ let () =
           Space_bound.print (Space_bound.run (get_session ()))
       | "micro" ->
           banner "Bechamel micro-benchmarks";
-          micro (get_session ())
+          let rows = micro (get_session ()) in
+          let build_s = time_problem_build (get_session ()) in
+          Printf.printf "\nProblem.build median wall time: %.3fs (%d runs)\n%!"
+            build_s problem_build_runs;
+          write_micro_json micro_out ~options ~build_s rows;
+          Printf.printf "(wrote micro summary to %s)\n%!" micro_out
       | _ -> usage ())
     experiments;
   if metrics then begin

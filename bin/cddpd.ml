@@ -8,7 +8,10 @@
 
    Every subcommand also accepts --metrics (print a snapshot of all
    observability counters/histograms after the run) and --trace (print the
-   hierarchical trace-span tree); see docs/OBSERVABILITY.md. *)
+   hierarchical trace-span tree); see docs/OBSERVABILITY.md.  Subcommands
+   that build cost matrices additionally accept --jobs (domains used by
+   Problem.build) and --no-cost-cache (disable what-if memoization); see
+   docs/PERFORMANCE.md. *)
 
 module Setup = Cddpd_experiments.Setup
 module Session = Cddpd_experiments.Session
@@ -54,6 +57,30 @@ let with_obs ~metrics ~trace f =
     print_string (Obs.Span.render ())
   end;
   code
+
+(* -- performance knobs ----------------------------------------------------- *)
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Domains used to build cost matrices (default: \
+                 \\$(b,CDDPD_JOBS) if set, else the CPU count).")
+
+let no_cost_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cost-cache" ]
+           ~doc:"Disable memoization of what-if cost-model calls.")
+
+(* The knobs are process-global defaults, so they reach every
+   Problem.build — including the ones experiments run internally. *)
+let apply_perf_knobs jobs no_cost_cache =
+  (match jobs with
+  | Some j when j >= 1 -> Cddpd_util.Parallel.set_default_jobs j
+  | Some _ ->
+      prerr_endline "cddpd: --jobs must be at least 1";
+      exit 2
+  | None -> ());
+  if no_cost_cache then Cddpd_engine.Cost_cache.set_default_enabled false
 
 (* -- shared arguments ---------------------------------------------------- *)
 
@@ -174,7 +201,9 @@ let print_schedule steps recommendation segment =
   Text_table.print table;
   Format.printf "%a@." Solution.pp recommendation.Advisor.solution
 
-let recommend input segment k method_name rows value_range seed metrics trace =
+let recommend input segment k method_name rows value_range seed jobs no_cost_cache
+    metrics trace =
+  apply_perf_knobs jobs no_cost_cache;
   with_obs ~metrics ~trace @@ fun () ->
   with_recommendation input segment k method_name rows value_range seed
     (fun _db steps recommendation ->
@@ -192,9 +221,12 @@ let recommend_cmd =
     (Cmd.info "recommend"
        ~doc:"Recommend a change-constrained dynamic physical design for a trace.")
     Term.(const recommend $ input_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
-          $ value_range_arg $ seed_arg $ metrics_arg $ trace_spans_arg)
+          $ value_range_arg $ seed_arg $ jobs_arg $ no_cost_cache_arg $ metrics_arg
+          $ trace_spans_arg)
 
-let simulate input segment k method_name rows value_range seed metrics trace =
+let simulate input segment k method_name rows value_range seed jobs no_cost_cache
+    metrics trace =
+  apply_perf_knobs jobs no_cost_cache;
   with_obs ~metrics ~trace @@ fun () ->
   with_recommendation input segment k method_name rows value_range seed
     (fun db steps recommendation ->
@@ -211,11 +243,13 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Recommend a design for a trace, then replay the trace under it.")
     Term.(const simulate $ input_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
-          $ value_range_arg $ seed_arg $ metrics_arg $ trace_spans_arg)
+          $ value_range_arg $ seed_arg $ jobs_arg $ no_cost_cache_arg $ metrics_arg
+          $ trace_spans_arg)
 
 (* -- experiment -------------------------------------------------------------- *)
 
-let experiment name rows value_range seed scale metrics trace =
+let experiment name rows value_range seed scale jobs no_cost_cache metrics trace =
+  apply_perf_knobs jobs no_cost_cache;
   with_obs ~metrics ~trace @@ fun () ->
   let config = config_of rows value_range seed scale in
   let session = lazy (Session.create config) in
@@ -259,7 +293,7 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Reproduce one table or figure of the paper.")
     Term.(
       const experiment $ experiment_name $ rows_arg $ value_range_arg $ seed_arg
-      $ scale_arg $ metrics_arg $ trace_spans_arg)
+      $ scale_arg $ jobs_arg $ no_cost_cache_arg $ metrics_arg $ trace_spans_arg)
 
 (* -- main ---------------------------------------------------------------------- *)
 

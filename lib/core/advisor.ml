@@ -13,6 +13,8 @@ type request = {
   count_initial_change : bool;
   k : int option;
   method_name : Solution.method_name;
+  jobs : int option;
+  cost_cache : bool option;
 }
 
 let default_request ~steps ~table =
@@ -27,6 +29,8 @@ let default_request ~steps ~table =
     count_initial_change = false;
     k = None;
     method_name = Solution.Unconstrained;
+    jobs = None;
+    cost_cache = None;
   }
 
 type recommendation = {
@@ -63,7 +67,8 @@ let build_problem db request =
   Problem.build ~params:(Database.params db)
     ~stats_of:(fun table -> Database.table_stats db table)
     ~steps:request.steps ~space ~initial:request.initial
-    ~count_initial_change:request.count_initial_change ()
+    ~count_initial_change:request.count_initial_change ?jobs:request.jobs
+    ?cost_cache:request.cost_cache ()
 
 let recommend db request =
   let problem = build_problem db request in

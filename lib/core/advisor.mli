@@ -21,6 +21,10 @@ type request = {
   count_initial_change : bool;
   k : int option;  (** change budget; [None] = unconstrained *)
   method_name : Solution.method_name;
+  jobs : int option;
+      (** domains for {!Problem.build}; [None] = process default *)
+  cost_cache : bool option;
+      (** memoize what-if calls; [None] = process default (on) *)
 }
 
 val default_request :

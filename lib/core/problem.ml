@@ -1,6 +1,15 @@
 module Ast = Cddpd_sql.Ast
 module Cost_model = Cddpd_engine.Cost_model
+module Cost_cache = Cddpd_engine.Cost_cache
+module Cost_key = Cddpd_engine.Cost_key
+module Design = Cddpd_catalog.Design
+module Structure = Cddpd_catalog.Structure
 module Staged_dag = Cddpd_graph.Staged_dag
+module Parallel = Cddpd_util.Parallel
+module Obs = Cddpd_obs
+
+let m_builds = Obs.Registry.counter "problem.builds"
+let m_domains_used = Obs.Registry.counter "problem.build.domains_used"
 
 type t = {
   steps : Ast.statement array array;
@@ -15,42 +24,116 @@ let n_steps t = Array.length t.steps
 
 let n_configs t = Config_space.size t.space
 
-let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = false) () =
+let table_of statement =
+  match statement with
+  | Ast.Select { table; _ }
+  | Ast.Select_agg { table; _ }
+  | Ast.Insert { table; _ }
+  | Ast.Delete { table; _ }
+  | Ast.Update { table; _ } ->
+      table
+
+(* Below this many EXEC evaluations the build is not worth fork/join
+   overhead and runs sequentially on the calling domain. *)
+let sequential_threshold = 2048
+
+let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = false)
+    ?jobs ?cost_cache () =
   if Array.length steps = 0 then invalid_arg "Problem.build: no steps";
+  Obs.Span.with_span "problem.build" @@ fun () ->
+  Obs.Counter.incr m_builds;
   let initial_id = Config_space.id_of_exn space initial in
   let n_configs = Config_space.size space in
-  let table_of statement =
-    match statement with
-    | Ast.Select { table; _ }
-    | Ast.Select_agg { table; _ }
-    | Ast.Insert { table; _ }
-    | Ast.Delete { table; _ }
-    | Ast.Update { table; _ } ->
-        table
+  let n_steps = Array.length steps in
+  let designs = Array.init n_configs (Config_space.design space) in
+  let use_cache =
+    match cost_cache with Some on -> on | None -> Cost_cache.default_enabled ()
   in
-  let exec =
-    Array.map
-      (fun step ->
-        Array.init n_configs (fun c ->
-            let design = Config_space.design space c in
-            Array.fold_left
-              (fun acc statement ->
-                acc
-                +. Cost_model.statement_cost params
+  let cache = if use_cache then Cost_cache.create () else Cost_cache.disabled in
+  (* Snapshot statistics on this domain: a Database-backed [stats_of]
+     computes stats lazily (mutating the database) and must not be called
+     from worker domains.  Every table the build can touch is resolved
+     here; the workers then read the snapshot. *)
+  let stats_tbl = Hashtbl.create 8 in
+  let resolve table =
+    if not (Hashtbl.mem stats_tbl table) then Hashtbl.replace stats_tbl table (stats_of table)
+  in
+  Array.iter (fun step -> Array.iter (fun s -> resolve (table_of s)) step) steps;
+  Array.iter
+    (fun design -> Design.fold (fun s () -> resolve (Structure.table s)) design ())
+    designs;
+  let stats_of table = Hashtbl.find stats_tbl table in
+  let design_keys =
+    Array.map (fun d -> if use_cache then Some (Cost_key.design d) else None) designs
+  in
+  (* EXEC matrix: one column per configuration, filled in parallel with a
+     domain-local cache per chunk (columns share repeated statements, so
+     chunking by configuration keeps the hit rate local).  Each cell is an
+     independent left-to-right sum, so the matrix is bit-identical
+     whatever the domain count. *)
+  let total_statements = Array.fold_left (fun acc step -> acc + Array.length step) 0 steps in
+  let exec_jobs =
+    if total_statements * n_configs < sequential_threshold then 1
+    else Parallel.resolve_jobs ?jobs ~n:n_configs ()
+  in
+  Obs.Counter.add m_domains_used exec_jobs;
+  let exec = Array.make_matrix n_steps n_configs 0.0 in
+  let locals =
+    Obs.Span.with_span "problem.build.exec" @@ fun () ->
+    Parallel.map_chunks ~jobs:exec_jobs ~n:n_configs (fun ~lo ~hi ->
+        let local = Cost_cache.create_local cache in
+        for c = lo to hi - 1 do
+          let design = designs.(c) in
+          let design_key = design_keys.(c) in
+          for s = 0 to n_steps - 1 do
+            let step = steps.(s) in
+            let acc = ref 0.0 in
+            for q = 0 to Array.length step - 1 do
+              let statement = step.(q) in
+              acc :=
+                !acc
+                +. Cost_cache.statement_cost local params
                      (stats_of (table_of statement))
-                     design statement)
-              0.0 step))
-      steps
+                     ~design ?design_key statement
+            done;
+            exec.(s).(c) <- !acc
+          done
+        done;
+        local)
   in
+  List.iter (fun local -> Cost_cache.merge ~into:cache local) locals;
+  (* TRANS matrix: every structure's build cost is computed once up front,
+     so the n_configs^2 pairs only pay set diffs and memo hits — and the
+     warmed cache is read-only, safe to share across row-parallel
+     domains. *)
   let trans =
-    Array.init n_configs (fun i ->
-        Array.init n_configs (fun j ->
-            if i = j then 0.0
-            else
-              Cost_model.transition_cost params ~stats_of
-                ~from_design:(Config_space.design space i)
-                ~to_design:(Config_space.design space j)))
+    Obs.Span.with_span "problem.build.trans" @@ fun () ->
+    let all_structures =
+      let seen = Hashtbl.create 32 in
+      Array.iter
+        (fun design ->
+          Design.fold
+            (fun s () ->
+              let key = Cost_key.structure s in
+              if not (Hashtbl.mem seen key) then Hashtbl.replace seen key s)
+            design ())
+        designs;
+      Hashtbl.fold (fun _ s acc -> s :: acc) seen []
+    in
+    Cost_cache.warm_structures cache params ~stats_of all_structures;
+    let trans = Array.make_matrix n_configs n_configs 0.0 in
+    Parallel.for_ ?jobs ~min_per_domain:8 ~n:n_configs (fun i ->
+        let from_design = designs.(i) in
+        let row = trans.(i) in
+        for j = 0 to n_configs - 1 do
+          if i <> j then
+            row.(j) <-
+              Cost_cache.transition_cost cache params ~stats_of ~from_design
+                ~to_design:designs.(j)
+        done);
+    trans
   in
+  Cost_cache.publish_obs cache;
   { steps; space; initial = initial_id; exec; trans; count_initial_change }
 
 let of_matrices ~steps ~space ~initial ~exec ~trans ?(count_initial_change = false) () =
@@ -85,11 +168,9 @@ let of_matrices ~steps ~space ~initial ~exec ~trans ?(count_initial_change = fal
   { steps; space; initial; exec; trans; count_initial_change }
 
 let to_graph t =
-  Staged_dag.make ~n_stages:(n_steps t) ~n_nodes:(n_configs t)
-    ~node_cost:(fun s j -> t.exec.(s).(j))
-    ~edge_cost:(fun _s i j -> t.trans.(i).(j))
-    ~source_cost:(fun j -> t.trans.(t.initial).(j))
-    ()
+  (* The materialized (dense) representation lets the DP solvers run
+     closure-free inner loops; see Staged_dag.of_matrices. *)
+  Staged_dag.of_matrices ~exec:t.exec ~trans:t.trans ~source:t.trans.(t.initial) ()
 
 let initial_for_counting t = if t.count_initial_change then Some t.initial else None
 

@@ -35,12 +35,23 @@ val build :
   space:Config_space.t ->
   initial:Cddpd_catalog.Design.t ->
   ?count_initial_change:bool ->
+  ?jobs:int ->
+  ?cost_cache:bool ->
   unit ->
   t
 (** Compute the cost matrices from the what-if cost model.
     [count_initial_change] defaults to [false] (the paper's experimental
     convention).  Raises [Invalid_argument] if [steps] is empty or
-    [initial] is not in the space. *)
+    [initial] is not in the space.
+
+    The build memoizes what-if calls through a fresh
+    {!Cddpd_engine.Cost_cache} (disable with [cost_cache:false], or
+    process-wide via {!Cddpd_engine.Cost_cache.set_default_enabled}) and
+    fills the matrices across [jobs] domains (default
+    {!Cddpd_util.Parallel.default_jobs}; small instances always run
+    sequentially).  Neither knob changes the result: matrices are
+    bit-identical across cache settings and domain counts.  [stats_of] is
+    called only from the calling domain.  See docs/PERFORMANCE.md. *)
 
 val of_matrices :
   steps:Cddpd_sql.Ast.statement array array ->

@@ -1,0 +1,187 @@
+module Design = Cddpd_catalog.Design
+module Structure = Cddpd_catalog.Structure
+module Obs = Cddpd_obs
+
+let m_hits = Obs.Registry.counter "cost_cache.hits"
+let m_misses = Obs.Registry.counter "cost_cache.misses"
+let m_evictions = Obs.Registry.counter "cost_cache.evictions"
+
+type stats = { hits : int; misses : int; evictions : int }
+
+type cache = {
+  capacity : int;
+  mutable current : (string, float) Hashtbl.t;
+  mutable previous : (string, float) Hashtbl.t;
+  builds : (string, float) Hashtbl.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+  (* publish_obs watermarks *)
+  mutable published_hits : int;
+  mutable published_misses : int;
+  mutable published_evictions : int;
+}
+
+type t = Disabled | Enabled of cache
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Cost_cache.create: capacity < 1";
+  Enabled
+    {
+      capacity;
+      current = Hashtbl.create (min capacity 1024);
+      previous = Hashtbl.create 16;
+      builds = Hashtbl.create 64;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      evictions = Atomic.make 0;
+      published_hits = 0;
+      published_misses = 0;
+      published_evictions = 0;
+    }
+
+let disabled = Disabled
+
+let is_enabled t = match t with Enabled _ -> true | Disabled -> false
+
+let create_local t =
+  match t with Disabled -> Disabled | Enabled c -> create ~capacity:c.capacity ()
+
+let stats t =
+  match t with
+  | Disabled -> { hits = 0; misses = 0; evictions = 0 }
+  | Enabled c ->
+      {
+        hits = Atomic.get c.hits;
+        misses = Atomic.get c.misses;
+        evictions = Atomic.get c.evictions;
+      }
+
+let publish_obs t =
+  match t with
+  | Disabled -> ()
+  | Enabled c ->
+      let hits = Atomic.get c.hits
+      and misses = Atomic.get c.misses
+      and evictions = Atomic.get c.evictions in
+      Obs.Counter.add m_hits (hits - c.published_hits);
+      Obs.Counter.add m_misses (misses - c.published_misses);
+      Obs.Counter.add m_evictions (evictions - c.published_evictions);
+      c.published_hits <- hits;
+      c.published_misses <- misses;
+      c.published_evictions <- evictions
+
+(* -- default-enablement knob ------------------------------------------------ *)
+
+let enabled_by_default = ref true
+
+let default_enabled () = !enabled_by_default
+
+let set_default_enabled on = enabled_by_default := on
+
+(* -- generational statement-entry store ------------------------------------- *)
+
+let insert c key v =
+  if Hashtbl.length c.current >= c.capacity then begin
+    let discarded = Hashtbl.length c.previous in
+    if discarded > 0 then ignore (Atomic.fetch_and_add c.evictions discarded);
+    c.previous <- c.current;
+    c.current <- Hashtbl.create (min c.capacity 1024)
+  end;
+  Hashtbl.replace c.current key v
+
+let find_or_compute c key compute =
+  match Hashtbl.find_opt c.current key with
+  | Some v ->
+      Atomic.incr c.hits;
+      v
+  | None -> (
+      match Hashtbl.find_opt c.previous key with
+      | Some v ->
+          (* Promote, so rotation keeps hot entries. *)
+          Atomic.incr c.hits;
+          insert c key v;
+          v
+      | None ->
+          Atomic.incr c.misses;
+          let v = compute () in
+          insert c key v;
+          v)
+
+(* -- cached costing ---------------------------------------------------------- *)
+
+let statement_cost t params stats ~design ?design_key statement =
+  match t with
+  | Disabled -> Cost_model.statement_cost params stats design statement
+  | Enabled c ->
+      let design_key =
+        match design_key with Some k -> k | None -> Cost_key.design design
+      in
+      find_or_compute c
+        (Cost_key.statement_under_design ~design_key stats statement)
+        (fun () -> Cost_model.statement_cost params stats design statement)
+
+let structure_build_cost t params stats structure =
+  match t with
+  | Disabled -> Cost_model.structure_build_cost params stats structure
+  | Enabled c -> (
+      let key = Cost_key.structure structure in
+      match Hashtbl.find_opt c.builds key with
+      | Some v ->
+          Atomic.incr c.hits;
+          v
+      | None ->
+          Atomic.incr c.misses;
+          let v = Cost_model.structure_build_cost params stats structure in
+          Hashtbl.replace c.builds key v;
+          v)
+
+let warm_structures t params ~stats_of structures =
+  List.iter
+    (fun structure ->
+      ignore
+        (structure_build_cost t params (stats_of (Structure.table structure)) structure))
+    structures
+
+let transition_cost t params ~stats_of ~from_design ~to_design =
+  match t with
+  | Disabled -> Cost_model.transition_cost params ~stats_of ~from_design ~to_design
+  | Enabled _ ->
+      (* Same fold order as Cost_model.transition_cost, so the cached sum
+         is bit-identical to the uncached one. *)
+      let built = Design.diff to_design from_design in
+      let dropped = Design.diff from_design to_design in
+      let build_total =
+        Design.fold
+          (fun structure acc ->
+            acc
+            +. structure_build_cost t params
+                 (stats_of (Structure.table structure))
+                 structure)
+          built 0.0
+      in
+      build_total
+      +. (params.Cost_model.drop_cost *. float_of_int (Design.cardinality dropped))
+
+(* -- merging worker caches ---------------------------------------------------- *)
+
+let merge ~into src =
+  match (into, src) with
+  | Disabled, _ | _, Disabled -> ()
+  | Enabled dst, Enabled src ->
+      let keep key v =
+        if
+          (not (Hashtbl.mem dst.current key)) && not (Hashtbl.mem dst.previous key)
+        then insert dst key v
+      in
+      Hashtbl.iter keep src.previous;
+      Hashtbl.iter keep src.current;
+      Hashtbl.iter
+        (fun key v ->
+          if not (Hashtbl.mem dst.builds key) then Hashtbl.replace dst.builds key v)
+        src.builds;
+      ignore (Atomic.fetch_and_add dst.hits (Atomic.get src.hits));
+      ignore (Atomic.fetch_and_add dst.misses (Atomic.get src.misses));
+      ignore (Atomic.fetch_and_add dst.evictions (Atomic.get src.evictions))

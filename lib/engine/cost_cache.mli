@@ -1,0 +1,122 @@
+(** Memoized what-if costing.
+
+    A cache in front of {!Cost_model}: [EXEC(S, C)] results are memoized
+    per (statement cost-identity, design) under the keys of {!Cost_key} —
+    statements with the same shape and selectivities share an entry, which
+    is where most of the hit rate comes from — and structure build costs
+    (the expensive part of [TRANS]) are memoized per structure, so a
+    transition matrix over [n] configurations pays cost-model work once
+    per {e distinct structure} instead of once per ordered configuration
+    pair.
+
+    A cache is only sound while the cost-model parameters behind it are
+    fixed: keys identify the statement's cost inputs (including a
+    table-statistics fingerprint) and the design, not the params.
+    {!Cddpd_core.Problem.build} uses one fresh cache per build.  Cached
+    results are the {e bit-identical} floats the uncached computation
+    produces — memoization never changes an answer, only whether
+    {!Cost_model.statement_cost} runs (so the [cost_model.calls] counter
+    counts misses only when a cache is in front).
+
+    {2 Eviction}
+
+    Statement entries live in two generations of at most [capacity]
+    entries each.  Inserting into a full current generation discards the
+    previous generation wholesale and starts a new one — a hit in the old
+    generation re-promotes the entry first, so hot entries survive
+    rotation and eviction stays O(1) amortised with no per-entry
+    bookkeeping.  Structure build costs are never evicted (there are at
+    most as many as candidate structures).
+
+    {2 Domains}
+
+    Hit/miss/eviction tallies are atomics, so concurrent readers may
+    share a cache; the hash tables themselves are unsynchronised.  The
+    contract for parallel use is the one {!Cddpd_core.Problem.build}
+    follows: give each domain its own cache ({!create_local}) and
+    {!merge} the locals afterwards, or share a cache across domains only
+    for phases that cannot miss (pre-warmed via {!warm_structures}, which
+    makes every subsequent {!transition_cost} lookup a read-only hit).
+
+    {2 Observability}
+
+    {!publish_obs} adds the not-yet-published part of a cache's tallies
+    to the [cost_cache.hits] / [cost_cache.misses] /
+    [cost_cache.evictions] counters; see docs/OBSERVABILITY.md. *)
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val create : ?capacity:int -> unit -> t
+(** A fresh, empty, enabled cache.  [capacity] (default [65536]) bounds
+    each statement-entry generation.  Raises [Invalid_argument] if
+    [capacity < 1]. *)
+
+val disabled : t
+(** The pass-through cache: every operation delegates straight to
+    {!Cost_model}, nothing is stored, stats stay zero. *)
+
+val is_enabled : t -> bool
+
+val create_local : t -> t
+(** An empty cache with the same configuration, for one worker domain;
+    [create_local disabled] is {!disabled}. *)
+
+val merge : into:t -> t -> unit
+(** Fold a worker's entries and tallies into [into] (first writer of a
+    key wins; both caches must be quiescent).  No-op when either side is
+    {!disabled}. *)
+
+val stats : t -> stats
+
+val publish_obs : t -> unit
+(** Add this cache's tallies to the global [cost_cache.*] counters;
+    repeated calls publish only the increment since the previous call. *)
+
+(** {1 Default-enablement knob (the [--no-cost-cache] flag)} *)
+
+val default_enabled : unit -> bool
+(** Whether cost-cache consumers should cache by default ([true] at
+    startup). *)
+
+val set_default_enabled : bool -> unit
+
+(** {1 Cached costing} *)
+
+val statement_cost :
+  t ->
+  Cost_model.params ->
+  Table_stats.t ->
+  design:Cddpd_catalog.Design.t ->
+  ?design_key:string ->
+  Cddpd_sql.Ast.statement ->
+  float
+(** [EXEC(S, C)], computing via {!Cost_model.statement_cost} on a miss.
+    [design_key] must be [Cost_key.design design] when supplied (callers
+    costing many statements under one design precompute it once). *)
+
+val structure_build_cost :
+  t -> Cost_model.params -> Table_stats.t -> Cddpd_catalog.Structure.t -> float
+(** Memoized {!Cost_model.structure_build_cost}. *)
+
+val warm_structures :
+  t ->
+  Cost_model.params ->
+  stats_of:(string -> Table_stats.t) ->
+  Cddpd_catalog.Structure.t list ->
+  unit
+(** Precompute build costs for every listed structure, so later
+    {!transition_cost} calls over designs drawn from these structures hit
+    without writing — the invariant that makes sharing the cache across
+    read-only domains safe. *)
+
+val transition_cost :
+  t ->
+  Cost_model.params ->
+  stats_of:(string -> Table_stats.t) ->
+  from_design:Cddpd_catalog.Design.t ->
+  to_design:Cddpd_catalog.Design.t ->
+  float
+(** [TRANS(Ci, Cj)] as {!Cost_model.transition_cost} computes it, but
+    with each built structure's cost drawn from the memo. *)

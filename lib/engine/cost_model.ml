@@ -14,20 +14,27 @@ let m_calls = Obs.Registry.counter "cost_model.calls"
 let m_repeat_calls = Obs.Registry.counter "cost_model.repeat_calls"
 
 (* Cache-worthiness probe: [repeat_calls] counts statement_cost calls whose
-   (statement, design) pair was costed before — i.e. the hits a memo table
-   in front of the cost model would get.  Tracked only while
-   instrumentation is enabled; keyed by structural hash, so the count is a
-   (tight) upper bound. *)
-let seen_calls : (int, unit) Hashtbl.t = Hashtbl.create 4096
+   cost identity (Cost_key — statement shape, selectivities, design) was
+   costed before — i.e. the hits a memo table in front of the cost model
+   would get.  Tracked only while instrumentation is enabled; keyed by
+   Cost_key (collision-safe for distinct costs), so the count is exact.
+   The mutex makes the probe safe when Problem.build costs in parallel; it
+   is only taken while instrumentation is on. *)
+let seen_calls : (string, unit) Hashtbl.t = Hashtbl.create 4096
+
+let seen_calls_mutex = Mutex.create ()
 
 let () = Obs.Registry.on_reset (fun () -> Hashtbl.reset seen_calls)
 
-let note_statement_cost_call statement design =
+let note_statement_cost_call stats statement design =
   Obs.Counter.incr m_calls;
   if Obs.Registry.enabled () then begin
-    let key = Hashtbl.hash (statement, design) in
-    if Hashtbl.mem seen_calls key then Obs.Counter.incr m_repeat_calls
-    else Hashtbl.add seen_calls key ()
+    let key =
+      Cost_key.statement_under_design ~design_key:(Cost_key.design design) stats statement
+    in
+    Mutex.protect seen_calls_mutex (fun () ->
+        if Hashtbl.mem seen_calls key then Obs.Counter.incr m_repeat_calls
+        else Hashtbl.add seen_calls key ())
   end
 
 type params = {
@@ -391,7 +398,7 @@ let dml_cost params stats design ~table ~where ~writes_per_row =
   find +. (affected *. ((writes_per_row *. params.page_io) +. maintenance))
 
 let statement_cost params stats design statement =
-  note_statement_cost_call statement design;
+  note_statement_cost_call stats statement design;
   match statement with
   | Ast.Select select -> select_cost params stats design select
   | Ast.Select_agg { table; group_by; where; _ } ->

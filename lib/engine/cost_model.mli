@@ -96,6 +96,11 @@ val build_cost : params -> Table_stats.t -> Cddpd_catalog.Index_def.t -> float
 val view_build_cost : params -> Table_stats.t -> Cddpd_catalog.View_def.t -> float
 (** Scan the table, aggregate, write the view pages. *)
 
+val structure_build_cost : params -> Table_stats.t -> Cddpd_catalog.Structure.t -> float
+(** {!build_cost} or {!view_build_cost}, by structure kind — the
+    per-structure term {!transition_cost} sums (and {!Cost_cache}
+    memoizes). *)
+
 val transition_cost :
   params ->
   stats_of:(string -> Table_stats.t) ->

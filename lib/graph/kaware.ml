@@ -15,6 +15,52 @@ let record_work ~stages ~layers ~n =
       ((stages - 1) * ((n * layers) + (n * (n - 1) * (layers - 1))))
   end
 
+(* One stage of the layered relaxation.  The closure-backed and
+   dense-backed variants perform the same float operations in the same
+   order, so which one runs never changes the answer — only how fast the
+   O(k n^2) inner loop goes (the dense variant reads flat arrays instead
+   of calling two closures per edge). *)
+
+let relax_closures (g : Staged_dag.t) ~n ~layers dist next pred s =
+  for j = 0 to n - 1 do
+    let node = g.Staged_dag.node_cost s j in
+    for i = 0 to n - 1 do
+      let edge = g.Staged_dag.edge_cost (s - 1) i j in
+      let delta = if i = j then 0 else 1 in
+      for l = 0 to layers - 1 - delta do
+        if dist.(l).(i) < infinity then begin
+          let candidate = dist.(l).(i) +. edge +. node in
+          let l' = l + delta in
+          if candidate < next.(l').(j) then begin
+            next.(l').(j) <- candidate;
+            pred.(s).(l').(j) <- (l, i)
+          end
+        end
+      done
+    done
+  done
+
+let relax_dense (d : Staged_dag.dense) ~n ~layers dist next pred s =
+  let exec = d.Staged_dag.exec and trans = d.Staged_dag.trans in
+  let stage_base = s * n in
+  for j = 0 to n - 1 do
+    let node = exec.(stage_base + j) in
+    for i = 0 to n - 1 do
+      let edge = trans.((i * n) + j) in
+      let delta = if i = j then 0 else 1 in
+      for l = 0 to layers - 1 - delta do
+        if dist.(l).(i) < infinity then begin
+          let candidate = dist.(l).(i) +. edge +. node in
+          let l' = l + delta in
+          if candidate < next.(l').(j) then begin
+            next.(l').(j) <- candidate;
+            pred.(s).(l').(j) <- (l, i)
+          end
+        end
+      done
+    done
+  done
+
 let solve_dp (g : Staged_dag.t) ~k ~initial =
   let n = g.Staged_dag.n_nodes in
   let stages = g.Staged_dag.n_stages in
@@ -44,23 +90,9 @@ let solve_dp (g : Staged_dag.t) ~k ~initial =
       for l = 0 to layers - 1 do
         Array.fill next.(l) 0 n infinity
       done;
-      for j = 0 to n - 1 do
-        let node = g.Staged_dag.node_cost s j in
-        for i = 0 to n - 1 do
-          let edge = g.Staged_dag.edge_cost (s - 1) i j in
-          let delta = if i = j then 0 else 1 in
-          for l = 0 to layers - 1 - delta do
-            if dist.(l).(i) < infinity then begin
-              let candidate = dist.(l).(i) +. edge +. node in
-              let l' = l + delta in
-              if candidate < next.(l').(j) then begin
-                next.(l').(j) <- candidate;
-                pred.(s).(l').(j) <- (l, i)
-              end
-            end
-          done
-        done
-      done;
+      (match g.Staged_dag.dense with
+      | Some d -> relax_dense d ~n ~layers dist next pred s
+      | None -> relax_closures g ~n ~layers dist next pred s);
       for l = 0 to layers - 1 do
         Array.blit next.(l) 0 dist.(l) 0 n
       done

@@ -1,3 +1,10 @@
+type dense = {
+  exec : float array;  (* stage-major: stage * n_nodes + node *)
+  trans : float array;  (* src * n_nodes + dst *)
+  source : float array;
+  sink : float array;
+}
+
 type t = {
   n_stages : int;
   n_nodes : int;
@@ -5,6 +12,7 @@ type t = {
   edge_cost : int -> int -> int -> float;
   source_cost : int -> float;
   sink_cost : int -> float;
+  dense : dense option;
 }
 
 let zero _ = 0.0
@@ -13,7 +21,47 @@ let make ~n_stages ~n_nodes ~node_cost ~edge_cost ?(source_cost = zero)
     ?(sink_cost = zero) () =
   if n_stages <= 0 then invalid_arg "Staged_dag.make: n_stages <= 0";
   if n_nodes <= 0 then invalid_arg "Staged_dag.make: n_nodes <= 0";
-  { n_stages; n_nodes; node_cost; edge_cost; source_cost; sink_cost }
+  { n_stages; n_nodes; node_cost; edge_cost; source_cost; sink_cost; dense = None }
+
+let of_matrices ~exec ~trans ?source ?sink () =
+  let n_stages = Array.length exec in
+  if n_stages = 0 then invalid_arg "Staged_dag.of_matrices: no stages";
+  let n_nodes = Array.length trans in
+  if n_nodes = 0 then invalid_arg "Staged_dag.of_matrices: no nodes";
+  let flatten ~rows ~cols what m =
+    let flat = Array.make (rows * cols) 0.0 in
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> cols then
+          invalid_arg (Printf.sprintf "Staged_dag.of_matrices: ragged %s row" what);
+        Array.blit row 0 flat (i * cols) cols)
+      m;
+    flat
+  in
+  let exec = flatten ~rows:n_stages ~cols:n_nodes "exec" exec in
+  let trans = flatten ~rows:n_nodes ~cols:n_nodes "trans" trans in
+  let vector what v =
+    match v with
+    | None -> Array.make n_nodes 0.0
+    | Some v ->
+        if Array.length v <> n_nodes then
+          invalid_arg (Printf.sprintf "Staged_dag.of_matrices: %s length" what);
+        Array.copy v
+  in
+  let source = vector "source" source in
+  let sink = vector "sink" sink in
+  let d = { exec; trans; source; sink } in
+  {
+    n_stages;
+    n_nodes;
+    (* The closures read the same flat arrays the fast paths index, so
+       both views of the graph agree bit-for-bit. *)
+    node_cost = (fun s j -> exec.((s * n_nodes) + j));
+    edge_cost = (fun _s i j -> trans.((i * n_nodes) + j));
+    source_cost = (fun j -> source.(j));
+    sink_cost = (fun j -> sink.(j));
+    dense = Some d;
+  }
 
 let check_path t path =
   if Array.length path <> t.n_stages then
@@ -42,6 +90,41 @@ let path_changes t ~initial path =
   done;
   !changes
 
+(* One stage of the Bellman relaxation, closure-backed and dense-backed.
+   The two must perform the same float operations in the same order. *)
+
+let relax_closures t dist next pred s =
+  let n = t.n_nodes in
+  for j = 0 to n - 1 do
+    let node = t.node_cost s j in
+    for i = 0 to n - 1 do
+      let candidate = dist.(i) +. t.edge_cost (s - 1) i j +. node in
+      if candidate < next.(j) then begin
+        next.(j) <- candidate;
+        pred.(s).(j) <- i
+      end
+    done
+  done
+
+let relax_dense d ~n dist next pred s =
+  let exec = d.exec and trans = d.trans in
+  let stage_base = s * n in
+  for j = 0 to n - 1 do
+    let node = exec.(stage_base + j) in
+    let best = ref next.(j) and best_pred = ref (-1) in
+    for i = 0 to n - 1 do
+      let candidate = dist.(i) +. trans.((i * n) + j) +. node in
+      if candidate < !best then begin
+        best := candidate;
+        best_pred := i
+      end
+    done;
+    if !best_pred >= 0 then begin
+      next.(j) <- !best;
+      pred.(s).(j) <- !best_pred
+    end
+  done
+
 let shortest_path t =
   let n = t.n_nodes in
   (* dist.(j): best cost of reaching node j of the current stage;
@@ -51,16 +134,9 @@ let shortest_path t =
   let next = Array.make n infinity in
   for s = 1 to t.n_stages - 1 do
     Array.fill next 0 n infinity;
-    for j = 0 to n - 1 do
-      let node = t.node_cost s j in
-      for i = 0 to n - 1 do
-        let candidate = dist.(i) +. t.edge_cost (s - 1) i j +. node in
-        if candidate < next.(j) then begin
-          next.(j) <- candidate;
-          pred.(s).(j) <- i
-        end
-      done
-    done;
+    (match t.dense with
+    | Some d -> relax_dense d ~n dist next pred s
+    | None -> relax_closures t dist next pred s);
     Array.blit next 0 dist 0 n
   done;
   let best = ref 0 in

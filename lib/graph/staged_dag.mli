@@ -11,6 +11,15 @@
     statement [s] under configuration [j]" with node cost [EXEC(S_s,C_j)],
     and edge costs are [TRANS(C_i, C_j)]. *)
 
+type dense = private {
+  exec : float array;  (** node costs, stage-major: [stage * n_nodes + node] *)
+  trans : float array;  (** edge costs, [src * n_nodes + dst] (stage-invariant) *)
+  source : float array;  (** source-edge cost per node *)
+  sink : float array;  (** sink-edge cost per node *)
+}
+(** Materialized cost matrices, flat so the DP inner loops index arrays
+    instead of calling cost closures. *)
+
 type t = private {
   n_stages : int;
   n_nodes : int;
@@ -20,6 +29,10 @@ type t = private {
           [(stage+1, dst)]; [stage] ranges over [0 .. n_stages-2] *)
   source_cost : int -> float;  (** source to [(0, node)] *)
   sink_cost : int -> float;  (** [(n_stages-1, node)] to sink *)
+  dense : dense option;
+      (** Present iff the graph was built by {!of_matrices}; the closures
+          above then read these arrays, so the two representations agree
+          bit-for-bit and solvers may use whichever is faster. *)
 }
 
 val make :
@@ -34,6 +47,21 @@ val make :
 (** Build a graph description.  [source_cost] and [sink_cost] default to
     zero.  Raises [Invalid_argument] if [n_stages] or [n_nodes] is not
     positive. *)
+
+val of_matrices :
+  exec:float array array ->
+  trans:float array array ->
+  ?source:float array ->
+  ?sink:float array ->
+  unit ->
+  t
+(** Build a graph from materialized matrices: [exec.(s).(j)] is the node
+    cost of [(s, j)], [trans.(i).(j)] the (stage-invariant) edge cost
+    from node [i] to node [j], [source]/[sink] the per-node source and
+    sink edge costs (default zero).  The matrices are copied into the
+    {!dense} flat representation, which {!shortest_path} and
+    {!Kaware.solve} use as a closure-free fast path.  Raises
+    [Invalid_argument] on empty or ragged input. *)
 
 val path_cost : t -> int array -> float
 (** Total cost of a source-to-sink path visiting the given node per stage.

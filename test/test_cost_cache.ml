@@ -1,0 +1,321 @@
+(* Cost-cache and parallel-build tests: memoization must be invisible
+   (bit-identical costs, matrices and solver outputs, whatever the cache
+   setting or domain count) and the collision-safe keys must actually
+   distinguish distinct inputs. *)
+
+module Tuple = Cddpd_storage.Tuple
+module Schema = Cddpd_catalog.Schema
+module Index_def = Cddpd_catalog.Index_def
+module View_def = Cddpd_catalog.View_def
+module Structure = Cddpd_catalog.Structure
+module Design = Cddpd_catalog.Design
+module Ast = Cddpd_sql.Ast
+module Cost_model = Cddpd_engine.Cost_model
+module Cost_cache = Cddpd_engine.Cost_cache
+module Cost_key = Cddpd_engine.Cost_key
+module Database = Cddpd_engine.Database
+module Config_space = Cddpd_core.Config_space
+module Problem = Cddpd_core.Problem
+module Optimizer = Cddpd_core.Optimizer
+module Solution = Cddpd_core.Solution
+module Rng = Cddpd_util.Rng
+
+let params = Cost_model.default_params
+
+let schema =
+  Schema.table "t"
+    [
+      ("a", Schema.Int_type);
+      ("b", Schema.Int_type);
+      ("c", Schema.Int_type);
+      ("d", Schema.Int_type);
+    ]
+
+let make_db ?(rows = 2_000) ?(value_range = 400) () =
+  let db = Database.create ~pool_capacity:1024 [ schema ] in
+  let rng = Rng.create 11 in
+  let data =
+    Array.init rows (fun _ -> Array.init 4 (fun _ -> Tuple.Int (Rng.int rng value_range)))
+  in
+  Database.load db ~table:"t" data;
+  db
+
+let db = make_db ()
+
+let stats = Database.table_stats db "t"
+
+let stats_of table = Database.table_stats db table
+
+let index columns = Index_def.make ~table:"t" ~columns
+
+let structure_pool =
+  [
+    Structure.index (index [ "a" ]);
+    Structure.index (index [ "b" ]);
+    Structure.index (index [ "c" ]);
+    Structure.index (index [ "d" ]);
+    Structure.index (index [ "a"; "b" ]);
+    Structure.index (index [ "c"; "d" ]);
+    Structure.view (View_def.make ~table:"t" ~group_by:"a");
+    Structure.view (View_def.make ~table:"t" ~group_by:"c");
+  ]
+
+let same_float a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* -- generators ------------------------------------------------------------- *)
+
+let columns = [ "a"; "b"; "c"; "d" ]
+
+let gen_predicate =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun column op value ->
+            Ast.Cmp { column; op; value = Tuple.Int value })
+          (oneofl columns)
+          (oneofl [ Ast.Eq; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ])
+          (int_bound 399);
+        map3
+          (fun column low high ->
+            Ast.Between
+              { column; low = Tuple.Int (min low high); high = Tuple.Int (max low high) })
+          (oneofl columns) (int_bound 399) (int_bound 399);
+      ])
+
+let gen_statement =
+  QCheck.Gen.(
+    let where = list_size (int_bound 3) gen_predicate in
+    let projection =
+      oneof
+        [
+          return Ast.Star;
+          map (fun cs -> Ast.Columns cs) (map2 (fun c cs -> c :: cs) (oneofl columns) (list_size (int_bound 2) (oneofl columns)));
+        ]
+    in
+    oneof
+      [
+        map2
+          (fun projection where -> Ast.Select { projection; table = "t"; where })
+          projection where;
+        map3
+          (fun group_by aggregate where ->
+            Ast.Select_agg { table = "t"; group_by; aggregate; where })
+          (oneofl columns)
+          (oneof [ return Ast.Count_star; map (fun c -> Ast.Sum c) (oneofl columns) ])
+          where;
+        map
+          (fun vs -> Ast.Insert { table = "t"; values = List.map (fun v -> Tuple.Int v) vs })
+          (flatten_l (List.init 4 (fun _ -> int_bound 399)));
+        map (fun where -> Ast.Delete { table = "t"; where }) where;
+        map3
+          (fun column value where ->
+            Ast.Update { table = "t"; assignments = [ (column, Tuple.Int value) ]; where })
+          (oneofl columns) (int_bound 399) where;
+      ])
+
+let gen_design =
+  QCheck.Gen.(
+    map
+      (fun picks ->
+        List.fold_left2
+          (fun design pick structure ->
+            if pick then Design.add_structure structure design else design)
+          Design.empty picks structure_pool)
+      (flatten_l (List.map (fun _ -> bool) structure_pool)))
+
+let arb_statement_design =
+  QCheck.make
+    ~print:(fun (s, d) -> Cddpd_sql.Printer.to_string s ^ " under " ^ Design.name d)
+    QCheck.Gen.(pair gen_statement gen_design)
+
+(* -- properties -------------------------------------------------------------- *)
+
+(* One shared cache across all iterations: later iterations hit entries
+   cached by earlier ones, so the property also covers the hit path. *)
+let shared_cache = Cost_cache.create ()
+
+let cached_equals_uncached_prop =
+  QCheck.Test.make ~name:"cached EXEC == uncached EXEC (bit-identical)" ~count:500
+    arb_statement_design (fun (statement, design) ->
+      let direct = Cost_model.statement_cost params stats design statement in
+      let cached = Cost_cache.statement_cost shared_cache params stats ~design statement in
+      let cached_again =
+        Cost_cache.statement_cost shared_cache params stats ~design statement
+      in
+      same_float direct cached && same_float direct cached_again)
+
+let cached_trans_equals_uncached_prop =
+  QCheck.Test.make ~name:"cached TRANS == uncached TRANS (bit-identical)" ~count:200
+    (QCheck.make
+       ~print:(fun (a, b) -> Design.name a ^ " -> " ^ Design.name b)
+       QCheck.Gen.(pair gen_design gen_design))
+    (fun (from_design, to_design) ->
+      let direct =
+        Cost_model.transition_cost params ~stats_of ~from_design ~to_design
+      in
+      let cached =
+        Cost_cache.transition_cost shared_cache params ~stats_of ~from_design ~to_design
+      in
+      same_float direct cached)
+
+(* The statement key is a cost identity, not a syntactic one: distinct
+   statements may share a key (that is where the hit rate comes from), but
+   equal keys must imply bit-equal costs under every design. *)
+let key_sound_prop =
+  QCheck.Test.make ~name:"equal cost keys => bit-equal costs" ~count:1000
+    (QCheck.pair arb_statement_design arb_statement_design)
+    (fun ((s1, d1), (s2, d2)) ->
+      let key s d =
+        Cost_key.statement_under_design ~design_key:(Cost_key.design d) stats s
+      in
+      (not (String.equal (key s1 d1) (key s2 d2)))
+      || same_float
+           (Cost_model.statement_cost params stats d1 s1)
+           (Cost_model.statement_cost params stats d2 s2))
+
+let design_key_injective_prop =
+  QCheck.Test.make ~name:"distinct designs => distinct design keys" ~count:300
+    (QCheck.pair arb_statement_design arb_statement_design)
+    (fun ((_, d1), (_, d2)) ->
+      QCheck.assume (not (Design.equal d1 d2));
+      not (String.equal (Cost_key.design d1) (Cost_key.design d2)))
+
+(* -- Problem.build determinism ------------------------------------------------ *)
+
+let steps_for_build =
+  (* A fixed workload with plenty of repeated statements, like real
+     segmented traces. *)
+  let rand = Random.State.make [| 42 |] in
+  let pool = Array.init 30 (fun _ -> QCheck.Gen.generate1 ~rand gen_statement) in
+  Array.init 6 (fun _ ->
+      Array.init 40 (fun _ -> pool.(Random.State.int rand (Array.length pool))))
+
+let space = Config_space.single_structure structure_pool
+
+let build ~jobs ~cost_cache =
+  Problem.build ~params ~stats_of ~steps:steps_for_build ~space ~initial:Design.empty
+    ~jobs ~cost_cache ()
+
+let check_matrices_equal label (a : Problem.t) (b : Problem.t) =
+  let matrix_equal m n =
+    Array.length m = Array.length n
+    && Array.for_all2 (fun r1 r2 -> Array.for_all2 same_float r1 r2) m n
+  in
+  Alcotest.(check bool) (label ^ ": exec identical") true (matrix_equal a.Problem.exec b.Problem.exec);
+  Alcotest.(check bool) (label ^ ": trans identical") true (matrix_equal a.Problem.trans b.Problem.trans)
+
+let test_build_deterministic_across_jobs () =
+  let reference = build ~jobs:1 ~cost_cache:false in
+  check_matrices_equal "jobs=1 cache" reference (build ~jobs:1 ~cost_cache:true);
+  check_matrices_equal "jobs=4 cache" reference (build ~jobs:4 ~cost_cache:true);
+  check_matrices_equal "jobs=4 nocache" reference (build ~jobs:4 ~cost_cache:false);
+  check_matrices_equal "jobs=13 cache" reference (build ~jobs:13 ~cost_cache:true)
+
+let test_solvers_bit_identical_cached_vs_uncached () =
+  let cached = build ~jobs:4 ~cost_cache:true in
+  let uncached = build ~jobs:1 ~cost_cache:false in
+  let methods =
+    [
+      (Solution.Unconstrained, None);
+      (Solution.Kaware, Some 2);
+      (Solution.Greedy_seq, Some 2);
+      (Solution.Merging, Some 2);
+      (Solution.Ranking, Some 2);
+      (Solution.Hybrid, Some 2);
+    ]
+  in
+  List.iter
+    (fun (method_name, k) ->
+      let solve problem =
+        match Optimizer.solve problem ~method_name ?k () with
+        | Ok s -> s
+        | Error _ ->
+            Alcotest.failf "solver %s failed" (Solution.method_to_string method_name)
+      in
+      let a = solve cached and b = solve uncached in
+      let name = Solution.method_to_string method_name in
+      Alcotest.(check (array int)) (name ^ ": same path") b.Solution.path a.Solution.path;
+      Alcotest.(check bool) (name ^ ": same cost bits") true
+        (same_float a.Solution.cost b.Solution.cost);
+      Alcotest.(check int) (name ^ ": same changes") b.Solution.changes a.Solution.changes)
+    methods
+
+(* -- cache mechanics ----------------------------------------------------------- *)
+
+let test_cache_hits_and_misses () =
+  let cache = Cost_cache.create () in
+  let statement = Ast.Select { projection = Ast.Star; table = "t"; where = [] } in
+  let design = Design.empty in
+  let v1 = Cost_cache.statement_cost cache params stats ~design statement in
+  let v2 = Cost_cache.statement_cost cache params stats ~design statement in
+  Alcotest.(check bool) "same value" true (same_float v1 v2);
+  let s = Cost_cache.stats cache in
+  Alcotest.(check int) "one miss" 1 s.Cost_cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Cost_cache.hits
+
+let test_cache_eviction_keeps_answers () =
+  let cache = Cost_cache.create ~capacity:4 () in
+  let rand = Random.State.make [| 7 |] in
+  let statements = Array.init 40 (fun _ -> QCheck.Gen.generate1 ~rand gen_statement) in
+  let design = Design.singleton (index [ "a" ]) in
+  Array.iter
+    (fun statement ->
+      let direct = Cost_model.statement_cost params stats design statement in
+      let cached = Cost_cache.statement_cost cache params stats ~design statement in
+      Alcotest.(check bool) "answer survives eviction pressure" true
+        (same_float direct cached))
+    statements;
+  let s = Cost_cache.stats cache in
+  Alcotest.(check bool) "evictions happened" true (s.Cost_cache.evictions > 0)
+
+let test_merge_accumulates () =
+  let into = Cost_cache.create () in
+  let local = Cost_cache.create_local into in
+  let statement = Ast.Select { projection = Ast.Star; table = "t"; where = [] } in
+  ignore (Cost_cache.statement_cost local params stats ~design:Design.empty statement);
+  Cost_cache.merge ~into local;
+  let s = Cost_cache.stats into in
+  Alcotest.(check int) "miss carried over" 1 s.Cost_cache.misses;
+  (* The merged entry must now hit in the destination. *)
+  ignore (Cost_cache.statement_cost into params stats ~design:Design.empty statement);
+  let s = Cost_cache.stats into in
+  Alcotest.(check int) "hit on merged entry" 1 s.Cost_cache.hits
+
+let test_disabled_cache_passthrough () =
+  let statement = Ast.Select { projection = Ast.Star; table = "t"; where = [] } in
+  let direct = Cost_model.statement_cost params stats Design.empty statement in
+  let through =
+    Cost_cache.statement_cost Cost_cache.disabled params stats ~design:Design.empty
+      statement
+  in
+  Alcotest.(check bool) "same value" true (same_float direct through);
+  let s = Cost_cache.stats Cost_cache.disabled in
+  Alcotest.(check int) "no stats" 0 (s.Cost_cache.hits + s.Cost_cache.misses)
+
+let () =
+  Alcotest.run "cost_cache"
+    [
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest cached_equals_uncached_prop;
+          QCheck_alcotest.to_alcotest cached_trans_equals_uncached_prop;
+          QCheck_alcotest.to_alcotest key_sound_prop;
+          QCheck_alcotest.to_alcotest design_key_injective_prop;
+        ] );
+      ( "problem_build",
+        [
+          Alcotest.test_case "matrices identical across jobs/cache" `Quick
+            test_build_deterministic_across_jobs;
+          Alcotest.test_case "six solvers bit-identical cached vs uncached" `Quick
+            test_solvers_bit_identical_cached_vs_uncached;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "hits and misses" `Quick test_cache_hits_and_misses;
+          Alcotest.test_case "eviction keeps answers" `Quick
+            test_cache_eviction_keeps_answers;
+          Alcotest.test_case "merge accumulates" `Quick test_merge_accumulates;
+          Alcotest.test_case "disabled passthrough" `Quick test_disabled_cache_passthrough;
+        ] );
+    ]

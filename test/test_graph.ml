@@ -146,7 +146,66 @@ let test_ranking_gives_up () =
   | `Gave_up n -> Alcotest.failf "gave up after %d" n
   | `Found _ -> Alcotest.fail "should exhaust the path budget"
 
+let test_of_matrices_invalid () =
+  let check_rejected name f =
+    Alcotest.(check bool) name true
+      (match f () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  check_rejected "empty exec" (fun () ->
+      Staged_dag.of_matrices ~exec:[||] ~trans:[| [| 0.0 |] |] ());
+  check_rejected "ragged exec" (fun () ->
+      Staged_dag.of_matrices
+        ~exec:[| [| 1.0; 2.0 |]; [| 1.0 |] |]
+        ~trans:[| [| 0.0; 0.0 |]; [| 0.0; 0.0 |] |]
+        ());
+  check_rejected "trans dimension mismatch" (fun () ->
+      Staged_dag.of_matrices ~exec:[| [| 1.0; 2.0 |] |] ~trans:[| [| 0.0 |] |] ())
+
 (* -- properties ------------------------------------------------------------------- *)
+
+(* A dense-representable instance: stage-invariant edge costs. *)
+let dense_instance_gen =
+  QCheck.Gen.(
+    let cost = map (fun i -> float_of_int i) (int_bound 50) in
+    int_range 1 5 >>= fun n_stages ->
+    int_range 1 4 >>= fun n_nodes ->
+    let matrix rows cols = array_size (return rows) (array_size (return cols) cost) in
+    matrix n_stages n_nodes >>= fun exec ->
+    matrix n_nodes n_nodes >>= fun trans ->
+    array_size (return n_nodes) cost >>= fun source ->
+    return (exec, trans, source))
+
+let dense_instance_arbitrary =
+  QCheck.make
+    ~print:(fun (exec, trans, _) ->
+      Printf.sprintf "stages=%d nodes=%d" (Array.length exec) (Array.length trans))
+    dense_instance_gen
+
+let same_float a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let dense_matches_closures =
+  QCheck.Test.make ~name:"of_matrices DP = closure DP, bit for bit" ~count:200
+    (QCheck.pair dense_instance_arbitrary (QCheck.int_bound 4))
+    (fun ((exec, trans, source), k) ->
+      let n_stages = Array.length exec and n_nodes = Array.length trans in
+      let dense_g = Staged_dag.of_matrices ~exec ~trans ~source () in
+      let closure_g =
+        Staged_dag.make ~n_stages ~n_nodes
+          ~node_cost:(fun s j -> exec.(s).(j))
+          ~edge_cost:(fun _ i j -> trans.(i).(j))
+          ~source_cost:(fun j -> source.(j))
+          ()
+      in
+      let dc, dp = Staged_dag.shortest_path dense_g in
+      let cc, cp = Staged_dag.shortest_path closure_g in
+      same_float dc cc && dp = cp
+      &&
+      match
+        (Kaware.solve dense_g ~k ~initial:(Some 0), Kaware.solve closure_g ~k ~initial:(Some 0))
+      with
+      | Some (dkc, dkp), Some (ckc, ckp) -> same_float dkc ckc && dkp = ckp
+      | None, None -> true
+      | _ -> false)
 
 let shortest_path_matches_bruteforce =
   QCheck.Test.make ~name:"shortest_path = brute force" ~count:200 instance_arbitrary
@@ -244,6 +303,7 @@ let () =
           Alcotest.test_case "path_cost" `Quick test_path_cost_agrees;
           Alcotest.test_case "path_changes" `Quick test_path_changes;
           Alcotest.test_case "make validation" `Quick test_make_invalid;
+          Alcotest.test_case "of_matrices validation" `Quick test_of_matrices_invalid;
           Alcotest.test_case "kaware k=0" `Quick test_kaware_k0_stays;
           Alcotest.test_case "kaware negative k" `Quick test_kaware_negative_k;
           Alcotest.test_case "kaware large k" `Quick test_kaware_large_k_equals_unconstrained;
@@ -255,6 +315,7 @@ let () =
       ( "properties",
         [
           QCheck_alcotest.to_alcotest shortest_path_matches_bruteforce;
+          QCheck_alcotest.to_alcotest dense_matches_closures;
           QCheck_alcotest.to_alcotest kaware_matches_bruteforce;
           QCheck_alcotest.to_alcotest kaware_monotone_in_k;
           QCheck_alcotest.to_alcotest ranking_nondecreasing;

@@ -1,11 +1,12 @@
 (* Unit and property tests for Cddpd_util: Rng, Stats, Pqueue, Text_table,
-   Timer. *)
+   Timer, Parallel. *)
 
 module Rng = Cddpd_util.Rng
 module Stats = Cddpd_util.Stats
 module Pqueue = Cddpd_util.Pqueue
 module Text_table = Cddpd_util.Text_table
 module Timer = Cddpd_util.Timer
+module Parallel = Cddpd_util.Parallel
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -183,6 +184,59 @@ let test_timer_median () =
   Alcotest.(check string) "result" "ok" result;
   Alcotest.(check bool) "elapsed nonnegative" true (elapsed >= 0.0)
 
+(* -- Parallel -------------------------------------------------------------- *)
+
+let test_parallel_for_covers_range () =
+  List.iter
+    (fun jobs ->
+      let n = 1000 in
+      let marks = Array.make n 0 in
+      Parallel.for_ ~jobs ~n (fun i -> marks.(i) <- marks.(i) + 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "each index once (jobs=%d)" jobs)
+        true
+        (Array.for_all (fun c -> c = 1) marks))
+    [ 1; 2; 4; 7; 16 ]
+
+let test_parallel_map_chunks_partition () =
+  let chunks = Parallel.map_chunks ~jobs:4 ~n:10 (fun ~lo ~hi -> (lo, hi)) in
+  let rec contiguous pos chunks =
+    match chunks with
+    | [] -> pos = 10
+    | (lo, hi) :: rest -> lo = pos && hi >= lo && contiguous hi rest
+  in
+  Alcotest.(check bool) "chunks tile [0, n)" true (contiguous 0 chunks);
+  Alcotest.(check (list (pair int int))) "empty range" []
+    (Parallel.map_chunks ~jobs:4 ~n:0 (fun ~lo ~hi -> (lo, hi)))
+
+let test_parallel_resolve_jobs () =
+  Alcotest.(check int) "never more domains than indices" 3
+    (Parallel.resolve_jobs ~jobs:8 ~n:3 ());
+  Alcotest.(check int) "min_per_domain caps fan-out" 2
+    (Parallel.resolve_jobs ~jobs:8 ~min_per_domain:5 ~n:10 ());
+  Alcotest.(check int) "small input degrades to sequential" 1
+    (Parallel.resolve_jobs ~jobs:8 ~min_per_domain:8 ~n:7 ());
+  Alcotest.(check int) "empty input" 1 (Parallel.resolve_jobs ~jobs:8 ~n:0 ())
+
+let test_parallel_exception_propagates () =
+  Alcotest.check_raises "body exception re-raised" (Failure "boom") (fun () ->
+      Parallel.for_ ~jobs:4 ~n:100 (fun i -> if i = 73 then failwith "boom"))
+
+let parallel_sum_matches_sequential_prop =
+  QCheck.Test.make ~name:"parallel chunk sums == sequential sum" ~count:50
+    QCheck.(pair (int_range 1 500) (int_range 1 8))
+    (fun (n, jobs) ->
+      let values = Array.init n (fun i -> (i * 37 mod 101) - 50) in
+      let chunk_sums =
+        Parallel.map_chunks ~jobs ~n (fun ~lo ~hi ->
+            let acc = ref 0 in
+            for i = lo to hi - 1 do
+              acc := !acc + values.(i)
+            done;
+            !acc)
+      in
+      List.fold_left ( + ) 0 chunk_sums = Array.fold_left ( + ) 0 values)
+
 let () =
   Alcotest.run "util"
     [
@@ -226,5 +280,17 @@ let () =
         [
           Alcotest.test_case "returns result" `Quick test_timer_returns_result;
           Alcotest.test_case "median" `Quick test_timer_median;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "for_ covers range" `Quick
+            test_parallel_for_covers_range;
+          Alcotest.test_case "map_chunks partitions" `Quick
+            test_parallel_map_chunks_partition;
+          Alcotest.test_case "resolve_jobs clamps" `Quick
+            test_parallel_resolve_jobs;
+          Alcotest.test_case "exception propagates" `Quick
+            test_parallel_exception_propagates;
+          QCheck_alcotest.to_alcotest parallel_sum_matches_sequential_prop;
         ] );
     ]
