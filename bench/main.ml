@@ -35,6 +35,16 @@ module Space_bound = Cddpd_experiments.Space_bound
 module Solution = Cddpd_core.Solution
 module Optimizer = Cddpd_core.Optimizer
 module Simulator = Cddpd_core.Simulator
+module Config_space = Cddpd_core.Config_space
+module Problem = Cddpd_core.Problem
+module Merging = Cddpd_core.Merging
+module Staged_dag = Cddpd_graph.Staged_dag
+module Kaware = Cddpd_graph.Kaware
+module Ranking = Cddpd_graph.Ranking
+module Design = Cddpd_catalog.Design
+module Structure = Cddpd_catalog.Structure
+module Index_def = Cddpd_catalog.Index_def
+module Ast = Cddpd_sql.Ast
 module Mix = Cddpd_workload.Mix
 module Rng = Cddpd_util.Rng
 
@@ -46,17 +56,23 @@ type options = {
   metrics : bool;
   obs_out : string;
   micro_out : string;
+  solvers_out : string;
   jobs : int option;
   cost_cache : bool;
 }
 
+let all_experiments =
+  [ "table1"; "table2"; "figure3"; "figure4"; "ablation"; "updates"; "views";
+    "space"; "micro"; "solvers" ]
+
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [table1|table2|figure3|figure4|ablation|updates|views|space|micro]... \
+     [table1|table2|figure3|figure4|ablation|updates|views|space|micro|solvers]... \
+     [--suite NAME] \
      [--rows N] [--value-range N] [--scale F] [--seed N] [--quick] \
      [--jobs N] [--no-cost-cache] \
-     [--no-metrics] [--obs-out FILE] [--micro-out FILE]";
+     [--no-metrics] [--obs-out FILE] [--micro-out FILE] [--solvers-out FILE]";
   exit 2
 
 let parse_args () =
@@ -65,6 +81,7 @@ let parse_args () =
   let metrics = ref true in
   let obs_out = ref "BENCH_obs.json" in
   let micro_out = ref "BENCH_micro.json" in
+  let solvers_out = ref "BENCH_solvers.json" in
   let jobs = ref None in
   let cost_cache = ref true in
   let rec go args =
@@ -78,6 +95,13 @@ let parse_args () =
         go rest
     | "--micro-out" :: v :: rest ->
         micro_out := v;
+        go rest
+    | "--solvers-out" :: v :: rest ->
+        solvers_out := v;
+        go rest
+    | "--suite" :: v :: rest ->
+        if not (List.mem v all_experiments) then usage ();
+        experiments := v :: !experiments;
         go rest
     | "--jobs" :: v :: rest ->
         let j = int_of_string v in
@@ -103,19 +127,18 @@ let parse_args () =
         config :=
           { !config with Setup.rows = 20_000; value_range = 4_000; scale = 0.2 };
         go rest
+    | "all" :: rest ->
+        experiments := List.rev_append all_experiments !experiments;
+        go rest
     | name :: rest ->
-        (match name with
-        | "table1" | "table2" | "figure3" | "figure4" | "ablation" | "updates" | "views" | "space" | "micro" ->
-            experiments := name :: !experiments
-        | _ -> usage ());
+        if List.mem name all_experiments then experiments := name :: !experiments
+        else usage ();
         go rest
   in
   (try go (List.tl (Array.to_list Sys.argv)) with
   | Failure _ | Invalid_argument _ -> usage ());
   let experiments =
-    match List.rev !experiments with
-    | [] -> [ "table1"; "table2"; "figure3"; "figure4"; "ablation"; "updates"; "views"; "space"; "micro" ]
-    | list -> list
+    match List.rev !experiments with [] -> all_experiments | list -> list
   in
   {
     experiments;
@@ -123,6 +146,7 @@ let parse_args () =
     metrics = !metrics;
     obs_out = !obs_out;
     micro_out = !micro_out;
+    solvers_out = !solvers_out;
     jobs = !jobs;
     cost_cache = !cost_cache;
   }
@@ -271,6 +295,10 @@ let json_escape s =
 
 let json_float f = if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
 
+(* Solver timings sit in the sub-millisecond range at small n; keep enough
+   digits for the ratios to stay meaningful. *)
+let json_float6 f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
 let write_micro_json path ~(options : options) ~build_s rows =
   let oc = open_out path in
   let jobs =
@@ -292,9 +320,294 @@ let write_micro_json path ~(options : options) ~build_s rows =
   output_string oc "]}\n";
   close_out oc
 
+(* -- solvers suite: constrained solvers over large design spaces ---------- *)
+
+(* Synthetic instances spanning four design-space sizes, built through the
+   real Config_space/Problem machinery: n = 7 is the paper's space (empty
+   design + one singleton per candidate), n = 64/256/1024 are the full
+   power sets of 6/8/10 candidate indexes.  Costs are a deterministic
+   phased workload — each phase has one hot index that cuts execution
+   cost, every carried structure adds maintenance overhead, and
+   transitions pay per structure built — so the unconstrained optimum
+   switches with the phases and the merging heuristic lands close enough
+   to the constrained optimum to make a useful branch-and-bound seed.
+   Nothing is random: reruns time the same instance. *)
+
+let solvers_stages = 12
+let solvers_phase_len = 4
+let solvers_runs = 5
+let solvers_ks = [ 1; 2; 3 ]
+let solvers_ranking_max_n = 64
+let solvers_ranking_max_queue = 262_144
+
+let solvers_candidates m =
+  List.init m (fun i ->
+      Structure.index (Index_def.make ~table:"t" ~columns:[ Printf.sprintf "c%d" i ]))
+
+let solvers_space ~candidates ~max_structures =
+  Config_space.enumerate ~candidates ?max_structures ~size_of:(fun _ -> 1) ()
+
+let solvers_problem ~candidates space =
+  let n = Config_space.size space in
+  let designs = Config_space.designs space in
+  let m = List.length candidates in
+  let hot = Array.of_list candidates in
+  let exec =
+    Array.init solvers_stages (fun s ->
+        let hot = hot.((s / solvers_phase_len) mod m) in
+        Array.init n (fun c ->
+            let design = designs.(c) in
+            let base = if Design.mem_structure hot design then 40.0 else 100.0 in
+            let overhead = 4.0 *. float_of_int (Design.cardinality design) in
+            (* Tie-breaking noise, injective over configs at every stage
+               (odd multiplier mod 2^10 permutes config ids): exact cost
+               ties would keep whole families of equivalent states alive
+               under the bound pruner and hide its effect.  Dyadic values,
+               so the arithmetic stays exact. *)
+            let jitter =
+              float_of_int (((c * 2654435761) + (s * 97)) land 1023) *. 0.0078125
+            in
+            base +. overhead +. jitter))
+  in
+  let trans =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then 0.0
+            else
+              let added =
+                Design.fold
+                  (fun st acc ->
+                    if Design.mem_structure st designs.(i) then acc else acc + 1)
+                  designs.(j) 0
+              in
+              15.0 *. float_of_int added))
+  in
+  let steps =
+    Array.make solvers_stages
+      [| Ast.Select { Ast.projection = Ast.Star; table = "t"; where = [] } |]
+  in
+  Problem.of_matrices ~steps ~space
+    ~initial:(Config_space.id_of_exn space Design.empty)
+    ~exec ~trans ()
+
+type solvers_ranking_outcome =
+  | Rk_found of { rank : int; queue_peak : int }
+  | Rk_gave_up of { reason : string; examined : int; queue_peak : int }
+
+type solvers_entry = {
+  sv_n : int;
+  sv_k : int;
+  sv_baseline_s : float;
+  sv_pruned_s : float;
+  sv_states_pruned : int;
+  sv_states_alive : int;
+  sv_ranking : (float * solvers_ranking_outcome) option;
+}
+
+let median_of times =
+  let times = Array.copy times in
+  Array.sort compare times;
+  times.(Array.length times / 2)
+
+let time_runs f =
+  median_of
+    (Array.init solvers_runs (fun _ ->
+         let t0 = Unix.gettimeofday () in
+         ignore (Sys.opaque_identity (f ()));
+         Unix.gettimeofday () -. t0))
+
+(* One instrumented (untimed) run bracketed by snapshots; the timed runs
+   stay uninstrumented so the accounting pass can't pollute them. *)
+let with_counters f =
+  Obs.Registry.enable ();
+  let before = Obs.Snapshot.capture () in
+  ignore (Sys.opaque_identity (f ()));
+  let delta = Obs.Snapshot.diff ~before ~after:(Obs.Snapshot.capture ()) in
+  Obs.Registry.disable ();
+  delta
+
+let snapshot_counter delta name =
+  Option.value ~default:0 (Obs.Snapshot.counter_value delta name)
+
+let solvers_suite () =
+  let was_enabled = Obs.Registry.enabled () in
+  Obs.Registry.disable ();
+  Fun.protect
+    ~finally:(fun () -> if was_enabled then Obs.Registry.enable ())
+  @@ fun () ->
+  let spaces =
+    [
+      (solvers_candidates 6, Some 1);  (* n = 7: the paper's space *)
+      (solvers_candidates 6, None);  (* n = 64 *)
+      (solvers_candidates 8, None);  (* n = 256 *)
+      (solvers_candidates 10, None);  (* n = 1024 *)
+    ]
+  in
+  let table =
+    Cddpd_util.Text_table.create
+      [
+        ("n", Cddpd_util.Text_table.Right);
+        ("k", Cddpd_util.Text_table.Right);
+        ("baseline ms", Cddpd_util.Text_table.Right);
+        ("pruned ms", Cddpd_util.Text_table.Right);
+        ("speedup", Cddpd_util.Text_table.Right);
+        ("states pruned", Cddpd_util.Text_table.Right);
+        ("ranking ms", Cddpd_util.Text_table.Right);
+        ("rank", Cddpd_util.Text_table.Right);
+        ("queue peak", Cddpd_util.Text_table.Right);
+      ]
+  in
+  let entries =
+    List.concat_map
+      (fun (candidates, max_structures) ->
+        let space = solvers_space ~candidates ~max_structures in
+        let problem = solvers_problem ~candidates space in
+        let n = Config_space.size space in
+        let graph = Problem.to_graph problem in
+        let initial = Problem.initial_for_counting problem in
+        let _, unconstrained_path = Staged_dag.shortest_path graph in
+        List.map
+          (fun k ->
+            (* The bound is a byproduct of the Merging heuristic, which the
+               advisor pipeline computes anyway, so the timed region covers
+               exactly the [Kaware.solve] call the acceptance criterion
+               names. *)
+            let ub = Staged_dag.path_cost graph (Merging.refine problem ~k unconstrained_path) in
+            let upper_bound () = ub in
+            let baseline_s =
+              time_runs (fun () -> Kaware.solve ~jobs:1 graph ~k ~initial)
+            in
+            let pruned_s =
+              time_runs (fun () ->
+                  Kaware.solve ~jobs:1 ~upper_bound:ub graph ~k ~initial)
+            in
+            (* Exactness cross-check at bench time: pruning must not move
+               the optimum. *)
+            (match
+               ( Kaware.solve ~jobs:1 graph ~k ~initial,
+                 Kaware.solve ~jobs:1 ~upper_bound:(upper_bound ()) graph ~k ~initial )
+             with
+            | Some (c0, p0), Some (c1, p1) ->
+                if not (Int64.equal (Int64.bits_of_float c0) (Int64.bits_of_float c1) && p0 = p1)
+                then failwith (Printf.sprintf "solvers: pruned result differs at n=%d k=%d" n k)
+            | _ -> failwith "solvers: kaware returned no path");
+            let delta =
+              with_counters (fun () ->
+                  Kaware.solve ~jobs:1 ~upper_bound:(upper_bound ()) graph ~k ~initial)
+            in
+            let states_pruned = snapshot_counter delta "advisor.kaware.states_pruned" in
+            let states_alive = snapshot_counter delta "advisor.kaware.nodes_expanded" in
+            let ranking =
+              if n > solvers_ranking_max_n then None
+              else begin
+                let run () =
+                  Ranking.solve_constrained graph ~k ~initial
+                    ~upper_bound:(upper_bound ())
+                    ~max_queue:solvers_ranking_max_queue ()
+                in
+                let ranking_s = time_runs run in
+                (* Even a give-up is a datapoint: the budgets turn the
+                   paper's worst case (rank explosion at small k) into a
+                   bounded, reported failure instead of an OOM. *)
+                let delta = with_counters run in
+                let obs_peak =
+                  (* The histogram gets exactly one observation per solve,
+                     so the delta's sum is this run's peak (percentiles
+                     don't diff across snapshots). *)
+                  match Obs.Snapshot.find delta "advisor.ranking.queue_peak" with
+                  | Some (Obs.Snapshot.Dist d) -> int_of_float d.Obs.Snapshot.sum
+                  | Some (Obs.Snapshot.Count _) | None -> 0
+                in
+                let outcome =
+                  match run () with
+                  | `Found (_, _, rank) -> Rk_found { rank; queue_peak = obs_peak }
+                  | `Gave_up g ->
+                      Rk_gave_up
+                        {
+                          reason = Ranking.reason_to_string g.Ranking.reason;
+                          examined = g.Ranking.examined;
+                          queue_peak = g.Ranking.queue_peak;
+                        }
+                in
+                Some (ranking_s, outcome)
+              end
+            in
+            let row_opt f o = match o with Some v -> f v | None -> "-" in
+            Cddpd_util.Text_table.add_row table
+              [
+                string_of_int n;
+                string_of_int k;
+                Printf.sprintf "%.2f" (baseline_s *. 1e3);
+                Printf.sprintf "%.2f" (pruned_s *. 1e3);
+                Printf.sprintf "%.1fx" (baseline_s /. pruned_s);
+                string_of_int states_pruned;
+                row_opt (fun (s, _) -> Printf.sprintf "%.2f" (s *. 1e3)) ranking;
+                row_opt
+                  (fun (_, o) ->
+                    match o with
+                    | Rk_found { rank; _ } -> string_of_int rank
+                    | Rk_gave_up { reason; _ } -> reason)
+                  ranking;
+                row_opt
+                  (fun (_, o) ->
+                    match o with
+                    | Rk_found { queue_peak; _ } | Rk_gave_up { queue_peak; _ } ->
+                        string_of_int queue_peak)
+                  ranking;
+              ];
+            {
+              sv_n = n;
+              sv_k = k;
+              sv_baseline_s = baseline_s;
+              sv_pruned_s = pruned_s;
+              sv_states_pruned = states_pruned;
+              sv_states_alive = states_alive;
+              sv_ranking = ranking;
+            })
+          solvers_ks)
+      spaces
+  in
+  Cddpd_util.Text_table.print table;
+  entries
+
+(* Timings in the JSON are medians of [solvers_runs]; speedups are the
+   ratio of medians.  The file is tracked in git as the scaling baseline —
+   refresh it with `make bench-smoke` (docs/PERFORMANCE.md). *)
+let write_solvers_json path entries =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"schema\":\"cddpd-bench-solvers/1\",\"stages\":%d,\"phase_len\":%d,\
+     \"runs\":%d,\"entries\":["
+    solvers_stages solvers_phase_len solvers_runs;
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "%s{\"n\":%d,\"k\":%d,\"kaware_baseline_s\":%s,\"kaware_pruned_s\":%s,\
+         \"speedup\":%s,\"states_pruned\":%d,\"states_alive\":%d,\"ranking\":%s}"
+        (if i = 0 then "" else ",")
+        e.sv_n e.sv_k
+        (json_float6 e.sv_baseline_s)
+        (json_float6 e.sv_pruned_s)
+        (json_float (e.sv_baseline_s /. e.sv_pruned_s))
+        e.sv_states_pruned e.sv_states_alive
+        (match e.sv_ranking with
+        | None -> "null"
+        | Some (s, Rk_found { rank; queue_peak }) ->
+            Printf.sprintf
+              "{\"outcome\":\"found\",\"median_s\":%s,\"rank\":%d,\"queue_peak\":%d}"
+              (json_float6 s) rank queue_peak
+        | Some (s, Rk_gave_up { reason; examined; queue_peak }) ->
+            Printf.sprintf
+              "{\"outcome\":\"gave_up\",\"reason\":\"%s\",\"median_s\":%s,\
+               \"examined\":%d,\"queue_peak\":%d}"
+              (json_escape reason) (json_float6 s) examined queue_peak))
+    entries;
+  output_string oc "]}\n";
+  close_out oc
+
 let () =
-  let ({ experiments; config; metrics; obs_out; micro_out; jobs; cost_cache } as
-       options) =
+  let ({ experiments; config; metrics; obs_out; micro_out; solvers_out; jobs;
+         cost_cache } as options) =
     parse_args ()
   in
   (match jobs with
@@ -361,6 +674,11 @@ let () =
             build_s problem_build_runs;
           write_micro_json micro_out ~options ~build_s rows;
           Printf.printf "(wrote micro summary to %s)\n%!" micro_out
+      | "solvers" ->
+          banner "Solvers: constrained-solver scaling over large design spaces";
+          let entries = solvers_suite () in
+          write_solvers_json solvers_out entries;
+          Printf.printf "\n(wrote solver scaling baseline to %s)\n%!" solvers_out
       | _ -> usage ())
     experiments;
   if metrics then begin

@@ -125,6 +125,18 @@ let k_arg =
   Arg.(value & opt (some int) None
        & info [ "k" ] ~docv:"K" ~doc:"Change budget (omit for unconstrained).")
 
+let max_paths_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-paths" ] ~docv:"N"
+           ~doc:"Ranking method: give up after examining $(docv) complete \
+                 paths (default 1000000).")
+
+let max_queue_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Ranking method: give up when the search frontier exceeds \
+                 $(docv) partial paths (default unbounded).")
+
 let segment_arg =
   Arg.(value & opt int 500
        & info [ "segment" ] ~docv:"N" ~doc:"Statements per optimizer step.")
@@ -165,22 +177,26 @@ let load_trace path =
       prerr_endline ("cddpd: cannot load trace: " ^ message);
       exit 1
 
-let with_recommendation trace_path segment k method_name rows value_range seed f =
+let with_recommendation trace_path segment k method_name rows value_range seed
+    ~max_paths ~max_queue f =
   let statements = load_trace trace_path in
   let steps = Trace.segment statements ~size:segment in
   let config = config_of rows value_range seed 1.0 in
   let db = Setup.make_database config in
   let request =
     { (Advisor.default_request ~steps ~table:Setup.table_name) with
-      Advisor.k; method_name }
+      Advisor.k; method_name; max_paths; max_queue }
   in
   match Advisor.recommend db request with
   | Ok recommendation -> f db steps recommendation
   | Error Cddpd_core.Optimizer.Infeasible ->
       prerr_endline "cddpd: infeasible change budget";
       1
-  | Error (Cddpd_core.Optimizer.Ranking_gave_up n) ->
-      Printf.eprintf "cddpd: ranking gave up after %d paths\n" n;
+  | Error (Cddpd_core.Optimizer.Ranking_gave_up g) ->
+      Printf.eprintf "cddpd: ranking gave up after %d paths (%s; frontier peak %d)\n"
+        g.Cddpd_graph.Ranking.examined
+        (Cddpd_graph.Ranking.reason_to_string g.Cddpd_graph.Ranking.reason)
+        g.Cddpd_graph.Ranking.queue_peak;
       1
 
 let print_schedule steps recommendation segment =
@@ -202,11 +218,11 @@ let print_schedule steps recommendation segment =
   Format.printf "%a@." Solution.pp recommendation.Advisor.solution
 
 let recommend input segment k method_name rows value_range seed jobs no_cost_cache
-    metrics trace =
+    max_paths max_queue metrics trace =
   apply_perf_knobs jobs no_cost_cache;
   with_obs ~metrics ~trace @@ fun () ->
-  with_recommendation input segment k method_name rows value_range seed
-    (fun _db steps recommendation ->
+  with_recommendation input segment k method_name rows value_range seed ~max_paths
+    ~max_queue (fun _db steps recommendation ->
       print_schedule steps recommendation segment;
       0)
 
@@ -221,15 +237,15 @@ let recommend_cmd =
     (Cmd.info "recommend"
        ~doc:"Recommend a change-constrained dynamic physical design for a trace.")
     Term.(const recommend $ input_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
-          $ value_range_arg $ seed_arg $ jobs_arg $ no_cost_cache_arg $ metrics_arg
-          $ trace_spans_arg)
+          $ value_range_arg $ seed_arg $ jobs_arg $ no_cost_cache_arg
+          $ max_paths_arg $ max_queue_arg $ metrics_arg $ trace_spans_arg)
 
 let simulate input segment k method_name rows value_range seed jobs no_cost_cache
-    metrics trace =
+    max_paths max_queue metrics trace =
   apply_perf_knobs jobs no_cost_cache;
   with_obs ~metrics ~trace @@ fun () ->
-  with_recommendation input segment k method_name rows value_range seed
-    (fun db steps recommendation ->
+  with_recommendation input segment k method_name rows value_range seed ~max_paths
+    ~max_queue (fun db steps recommendation ->
       print_schedule steps recommendation segment;
       let report = Simulator.run db ~steps ~schedule:recommendation.Advisor.schedule in
       Printf.printf
@@ -243,8 +259,8 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Recommend a design for a trace, then replay the trace under it.")
     Term.(const simulate $ input_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
-          $ value_range_arg $ seed_arg $ jobs_arg $ no_cost_cache_arg $ metrics_arg
-          $ trace_spans_arg)
+          $ value_range_arg $ seed_arg $ jobs_arg $ no_cost_cache_arg
+          $ max_paths_arg $ max_queue_arg $ metrics_arg $ trace_spans_arg)
 
 (* -- experiment -------------------------------------------------------------- *)
 

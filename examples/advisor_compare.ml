@@ -71,11 +71,14 @@ let () =
       | Error Optimizer.Infeasible ->
           Text_table.add_row table
             [ Solution.method_to_string method_name; "infeasible"; "-"; "-"; "-" ]
-      | Error (Optimizer.Ranking_gave_up n) ->
+      | Error (Optimizer.Ranking_gave_up g) ->
           Text_table.add_row table
             [
               Solution.method_to_string method_name;
-              Printf.sprintf "gave up after %d paths" n; "-"; "-"; "-";
+              Printf.sprintf "gave up after %d paths (%s)"
+                g.Cddpd_graph.Ranking.examined
+                (Cddpd_graph.Ranking.reason_to_string g.Cddpd_graph.Ranking.reason);
+              "-"; "-"; "-";
             ])
     [ Solution.Greedy_seq; Solution.Merging; Solution.Hybrid; Solution.Ranking ];
   (* The unconstrained optimum (a lower bound that ignores k). *)

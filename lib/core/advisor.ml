@@ -15,6 +15,8 @@ type request = {
   method_name : Solution.method_name;
   jobs : int option;
   cost_cache : bool option;
+  max_paths : int option;
+  max_queue : int option;
 }
 
 let default_request ~steps ~table =
@@ -31,6 +33,8 @@ let default_request ~steps ~table =
     method_name = Solution.Unconstrained;
     jobs = None;
     cost_cache = None;
+    max_paths = None;
+    max_queue = None;
   }
 
 type recommendation = {
@@ -73,7 +77,9 @@ let build_problem db request =
 let recommend db request =
   let problem = build_problem db request in
   match
-    Optimizer.solve problem ~method_name:request.method_name ?k:request.k ()
+    Optimizer.solve problem ~method_name:request.method_name ?k:request.k
+      ?jobs:request.jobs ?max_paths:request.max_paths ?max_queue:request.max_queue
+      ()
   with
   | Ok solution ->
       Ok { problem; solution; schedule = Solution.schedule problem solution }
@@ -83,5 +89,8 @@ let recommend_exn db request =
   match recommend db request with
   | Ok recommendation -> recommendation
   | Error Optimizer.Infeasible -> failwith "Advisor: infeasible change budget"
-  | Error (Optimizer.Ranking_gave_up n) ->
-      failwith (Printf.sprintf "Advisor: ranking gave up after %d paths" n)
+  | Error (Optimizer.Ranking_gave_up g) ->
+      failwith
+        (Printf.sprintf "Advisor: ranking gave up after %d paths (%s)"
+           g.Cddpd_graph.Ranking.examined
+           (Cddpd_graph.Ranking.reason_to_string g.Cddpd_graph.Ranking.reason))

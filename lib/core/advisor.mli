@@ -25,6 +25,12 @@ type request = {
       (** domains for {!Problem.build}; [None] = process default *)
   cost_cache : bool option;
       (** memoize what-if calls; [None] = process default (on) *)
+  max_paths : int option;
+      (** complete-path budget for the [Ranking] method; [None] = solver
+          default (1_000_000) *)
+  max_queue : int option;
+      (** frontier-size budget for the [Ranking] method; [None] =
+          unbounded *)
 }
 
 val default_request :

@@ -4,7 +4,7 @@ module Ranking = Cddpd_graph.Ranking
 module Timer = Cddpd_util.Timer
 module Obs = Cddpd_obs
 
-type error = Infeasible | Ranking_gave_up of int
+type error = Infeasible | Ranking_gave_up of Ranking.gave_up
 
 let m_solves = Obs.Registry.counter "optimizer.solves"
 let h_solve_s = Obs.Registry.histogram "optimizer.solve_s"
@@ -29,7 +29,15 @@ let require_k method_name k =
 
 let hybrid_uses_merging ~l ~k = k > l / 2
 
-let solve problem ~method_name ?k ?(max_paths = 1_000_000) () =
+(* Branch-and-bound seed for the exact solvers: the merging heuristic
+   refined from the unconstrained optimum is always a feasible
+   ≤ k-changes schedule, so its cost upper-bounds the constrained
+   optimum.  Costed through the graph so the bound and the solvers'
+   accumulators associate floats identically. *)
+let merging_upper_bound problem graph ~k unconstrained_path =
+  Staged_dag.path_cost graph (Merging.refine problem ~k unconstrained_path)
+
+let solve problem ~method_name ?k ?jobs ?(max_paths = 1_000_000) ?max_queue () =
   let graph = Problem.to_graph problem in
   let initial = Problem.initial_for_counting problem in
   let run () =
@@ -39,7 +47,9 @@ let solve problem ~method_name ?k ?(max_paths = 1_000_000) () =
         Ok path
     | Solution.Kaware -> (
         let k = require_k method_name k in
-        match Kaware.solve graph ~k ~initial with
+        let _, unconstrained_path = Staged_dag.shortest_path graph in
+        let upper_bound = merging_upper_bound problem graph ~k unconstrained_path in
+        match Kaware.solve ?jobs ~upper_bound graph ~k ~initial with
         | Some (_, path) -> Ok path
         | None -> Error Infeasible)
     | Solution.Greedy_seq -> (
@@ -53,9 +63,14 @@ let solve problem ~method_name ?k ?(max_paths = 1_000_000) () =
         Ok (Merging.refine problem ~k unconstrained_path)
     | Solution.Ranking -> (
         let k = require_k method_name k in
-        match Ranking.solve_constrained graph ~k ~initial ~max_paths () with
+        let _, unconstrained_path = Staged_dag.shortest_path graph in
+        let upper_bound = merging_upper_bound problem graph ~k unconstrained_path in
+        match
+          Ranking.solve_constrained graph ~k ~initial ~upper_bound ~max_paths
+            ?max_queue ()
+        with
         | `Found (_, path, _) -> Ok path
-        | `Gave_up n -> Error (Ranking_gave_up n))
+        | `Gave_up g -> Error (Ranking_gave_up g))
     | Solution.Hybrid -> (
         let k = require_k method_name k in
         let _, unconstrained_path = Staged_dag.shortest_path graph in
@@ -64,7 +79,8 @@ let solve problem ~method_name ?k ?(max_paths = 1_000_000) () =
         else if hybrid_uses_merging ~l ~k then
           Ok (Merging.refine problem ~k unconstrained_path)
         else
-          match Kaware.solve graph ~k ~initial with
+          let upper_bound = merging_upper_bound problem graph ~k unconstrained_path in
+          match Kaware.solve ?jobs ~upper_bound graph ~k ~initial with
           | Some (_, path) -> Ok path
           | None -> Error Infeasible)
   in

@@ -1,25 +1,40 @@
 (** Unified entry point to every solver in the paper.
 
     All solvers return a {!Solution.t} whose [cost] and [changes] are
-    recomputed from the instance, so heuristic solvers cannot misreport. *)
+    recomputed from the instance, so heuristic solvers cannot misreport.
+
+    The exact constrained solvers ([Kaware], [Ranking], and [Hybrid]'s
+    k-aware fall-back) are branch-and-bound seeded: the merging heuristic
+    refined from the unconstrained optimum is always a feasible
+    ≤ [k]-changes schedule, and its cost is passed as the solvers'
+    [upper_bound].  Pruning is exact (see {!Cddpd_graph.Kaware.solve} and
+    {!Cddpd_graph.Ranking.solve_constrained}), so the returned schedules
+    are unchanged — the bound only cuts work. *)
 
 type error =
   | Infeasible  (** no schedule satisfies the change budget *)
-  | Ranking_gave_up of int
-      (** ranking examined this many paths without finding one within the
-          budget (the paper's worst case) *)
+  | Ranking_gave_up of Cddpd_graph.Ranking.gave_up
+      (** ranking stopped without finding a schedule within the budget —
+          the payload says whether the space was exhausted or which budget
+          ([max_paths] / [max_queue]) was hit, and how many paths were
+          examined (the paper's worst case) *)
 
 val solve :
   Problem.t ->
   method_name:Solution.method_name ->
   ?k:int ->
+  ?jobs:int ->
   ?max_paths:int ->
+  ?max_queue:int ->
   unit ->
   (Solution.t, error) result
 (** Run one solver.  [k] is required by every method except
     [Unconstrained] (raises [Invalid_argument] when missing).
-    [max_paths] bounds the [Ranking] enumeration (default 1_000_000).
-    Elapsed wall-clock time is recorded in the solution. *)
+    [jobs] forces the domain count of the k-aware parallel relaxation;
+    [max_paths] (default 1_000_000) and [max_queue] (default unbounded)
+    bound the [Ranking] enumeration.  None of the three changes the
+    returned schedule.  Elapsed wall-clock time is recorded in the
+    solution. *)
 
 val unconstrained : Problem.t -> Solution.t
 (** Convenience: the sequence-graph optimum. *)

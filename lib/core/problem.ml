@@ -18,7 +18,17 @@ type t = {
   exec : float array array;
   trans : float array array;
   count_initial_change : bool;
+  graph : Staged_dag.t Lazy.t;
 }
+
+(* The sequence graph is derived from the matrices and immutable, so it is
+   built once and memoized: path_cost / path_changes / solver calls on the
+   same instance no longer re-flatten the matrices each time. *)
+let make_t ~steps ~space ~initial ~exec ~trans ~count_initial_change =
+  let graph =
+    lazy (Staged_dag.of_matrices ~exec ~trans ~source:trans.(initial) ())
+  in
+  { steps; space; initial; exec; trans; count_initial_change; graph }
 
 let n_steps t = Array.length t.steps
 
@@ -134,7 +144,7 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
     trans
   in
   Cost_cache.publish_obs cache;
-  { steps; space; initial = initial_id; exec; trans; count_initial_change }
+  make_t ~steps ~space ~initial:initial_id ~exec ~trans ~count_initial_change
 
 let of_matrices ~steps ~space ~initial ~exec ~trans ?(count_initial_change = false) () =
   let n_steps = Array.length steps in
@@ -165,12 +175,9 @@ let of_matrices ~steps ~space ~initial ~exec ~trans ?(count_initial_change = fal
             invalid_arg "Problem.of_matrices: non-zero self-transition")
         row)
     trans;
-  { steps; space; initial; exec; trans; count_initial_change }
+  make_t ~steps ~space ~initial ~exec ~trans ~count_initial_change
 
-let to_graph t =
-  (* The materialized (dense) representation lets the DP solvers run
-     closure-free inner loops; see Staged_dag.of_matrices. *)
-  Staged_dag.of_matrices ~exec:t.exec ~trans:t.trans ~source:t.trans.(t.initial) ()
+let to_graph t = Lazy.force t.graph
 
 let initial_for_counting t = if t.count_initial_change then Some t.initial else None
 
@@ -193,12 +200,6 @@ let restrict t ids =
     let rec find i = if mapping.(i) = t.initial then i else find (i + 1) in
     find 0
   in
-  ( {
-      steps = t.steps;
-      space = sub_space;
-      initial;
-      exec;
-      trans;
-      count_initial_change = t.count_initial_change;
-    },
+  ( make_t ~steps:t.steps ~space:sub_space ~initial ~exec ~trans
+      ~count_initial_change:t.count_initial_change,
     mapping )

@@ -26,6 +26,8 @@ type t = private {
           counts it; the paper's own Table 2 example does not (its k=2
           design uses three configurations from an empty C0), so
           experiments set this to [false].  See DESIGN.md. *)
+  graph : Cddpd_graph.Staged_dag.t Lazy.t;
+      (** the memoized sequence graph; read it via {!to_graph} *)
 }
 
 val build :

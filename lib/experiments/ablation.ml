@@ -64,12 +64,15 @@ let run ?(ks = [ 0; 2; 6; 10 ]) (session : Session.t) =
                   elapsed = 0.0;
                   optimality_gap = infinity;
                 }
-          | Error (Optimizer.Ranking_gave_up n) ->
+          | Error (Optimizer.Ranking_gave_up g) ->
               add
                 {
                   method_label =
-                    Printf.sprintf "%s (gave up after %d paths)"
-                      (Solution.method_to_string method_name) n;
+                    Printf.sprintf "%s (gave up after %d paths, %s)"
+                      (Solution.method_to_string method_name)
+                      g.Cddpd_graph.Ranking.examined
+                      (Cddpd_graph.Ranking.reason_to_string
+                         g.Cddpd_graph.Ranking.reason);
                   k = Some k;
                   cost = infinity;
                   changes = 0;

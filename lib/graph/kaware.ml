@@ -1,67 +1,137 @@
 module Obs = Cddpd_obs
+module Parallel = Cddpd_util.Parallel
 
 let m_nodes_expanded = Obs.Registry.counter "advisor.kaware.nodes_expanded"
 let m_edges_relaxed = Obs.Registry.counter "advisor.kaware.edges_relaxed"
+let m_states_pruned = Obs.Registry.counter "advisor.kaware.states_pruned"
+let m_domains_used = Obs.Registry.counter "advisor.kaware.domains_used"
 
-(* The DP loops below are dense — every (stage, layer, node) state is
-   relaxed exactly once and every layered edge gets one relaxation attempt
-   — so the observability counts are computed in closed form rather than
-   incremented inside the O(stages * k * n^2) inner loop.  This keeps the
-   hot path untouched whether or not instrumentation is enabled. *)
-let record_work ~stages ~layers ~n =
-  if Obs.Registry.enabled () then begin
-    Obs.Counter.add m_nodes_expanded (n + ((stages - 1) * layers * n));
-    Obs.Counter.add m_edges_relaxed
-      ((stages - 1) * ((n * layers) + (n * (n - 1) * (layers - 1))))
-  end
+(* The layered DP state space is flat: [dist.(l * n + j)] is the best cost
+   reaching node [j] of the current stage having used [l] changes, and
+   [pred.(((s * layers) + l) * n + j)] packs the predecessor state as
+   [prev_layer * n + prev_node] (-1 when unset).  Packing the predecessor
+   into an int kills the boxed-tuple allocation the previous
+   representation paid on every improvement — O(stages * layers * n)
+   tuples on a dense instance.
 
-(* One stage of the layered relaxation.  The closure-backed and
-   dense-backed variants perform the same float operations in the same
-   order, so which one runs never changes the answer — only how fast the
-   O(k n^2) inner loop goes (the dense variant reads flat arrays instead
-   of calling two closures per edge). *)
+   Relaxation iterates sources in (node [i] ascending, layer [l] inner)
+   order and, per source, destinations [j] ascending.  For any fixed
+   destination state, candidates therefore arrive in ascending source-node
+   order — the same order as the historical j-outer/i-inner loop nest, so
+   tie-breaking (first strict improvement wins) and hence the returned
+   path are unchanged.  Every variant below (closure/dense, sequential/
+   parallel slice, pruned/unpruned) preserves that order, which is what
+   makes them all bit-identical.
 
-let relax_closures (g : Staged_dag.t) ~n ~layers dist next pred s =
-  for j = 0 to n - 1 do
-    let node = g.Staged_dag.node_cost s j in
-    for i = 0 to n - 1 do
-      let edge = g.Staged_dag.edge_cost (s - 1) i j in
-      let delta = if i = j then 0 else 1 in
-      for l = 0 to layers - 1 - delta do
-        if dist.(l).(i) < infinity then begin
-          let candidate = dist.(l).(i) +. edge +. node in
-          let l' = l + delta in
-          if candidate < next.(l').(j) then begin
-            next.(l').(j) <- candidate;
-            pred.(s).(l').(j) <- (l, i)
-          end
-        end
-      done
-    done
-  done
+   Bound pruning: with an upper bound [ub] (the cost of any known feasible
+   ≤ k-changes path) and the exact unconstrained cost-to-go [h], a source
+   state with [dist +. h > ub] cannot lie on any schedule that beats the
+   bound — in particular not on the constrained optimum — so its outgoing
+   relaxations are skipped.  Pruned sources never tie a surviving state's
+   minimum (their candidates' f-values stay above [ub]), so the surviving
+   DP values and predecessors are exactly those of the unpruned run. *)
 
-let relax_dense (d : Staged_dag.dense) ~n ~layers dist next pred s =
+(* Relax one stage boundary into destination slice [jlo, jhi).  [h] is the
+   cost-to-go of the *source* stage (offset pre-applied); [ub] = infinity
+   disables pruning.  Each slice writes only its own [next]/[pred_base]
+   columns, so disjoint slices can run on separate domains. *)
+let relax_dense_slice (d : Staged_dag.dense) ~n ~layers ~stage_base ~h_base ~ub
+    dist next pred ~pred_base ~jlo ~jhi =
   let exec = d.Staged_dag.exec and trans = d.Staged_dag.trans in
-  let stage_base = s * n in
-  for j = 0 to n - 1 do
-    let node = exec.(stage_base + j) in
-    for i = 0 to n - 1 do
-      let edge = trans.((i * n) + j) in
-      let delta = if i = j then 0 else 1 in
-      for l = 0 to layers - 1 - delta do
-        if dist.(l).(i) < infinity then begin
-          let candidate = dist.(l).(i) +. edge +. node in
-          let l' = l + delta in
-          if candidate < next.(l').(j) then begin
-            next.(l').(j) <- candidate;
-            pred.(s).(l').(j) <- (l, i)
+  for i = 0 to n - 1 do
+    let ti = i * n in
+    for l = 0 to layers - 1 do
+      let lb = l * n in
+      let di = dist.(lb + i) in
+      if di < infinity && not (di +. h_base.(i) > ub) then begin
+        (* Stay on node i: same layer. *)
+        if i >= jlo && i < jhi then begin
+          let candidate = di +. trans.(ti + i) +. exec.(stage_base + i) in
+          if candidate < next.(lb + i) then begin
+            next.(lb + i) <- candidate;
+            pred.(pred_base + lb + i) <- lb + i
           end
+        end;
+        (* Switch node: one layer up. *)
+        if l + 1 < layers then begin
+          let lb1 = lb + n in
+          for j = jlo to jhi - 1 do
+            if j <> i then begin
+              let candidate = di +. trans.(ti + j) +. exec.(stage_base + j) in
+              if candidate < next.(lb1 + j) then begin
+                next.(lb1 + j) <- candidate;
+                pred.(pred_base + lb1 + j) <- lb + i
+              end
+            end
+          done
         end
-      done
+      end
     done
   done
 
-let solve_dp (g : Staged_dag.t) ~k ~initial =
+(* Closure-backed variant: same loop nest, same float operations in the
+   same order, so closure and dense graphs agree bit-for-bit.  Node costs
+   of the destination stage are snapshotted once per stage (the closures
+   are pure). *)
+let relax_closures (g : Staged_dag.t) ~n ~layers ~s ~h_base ~ub ~node_costs dist
+    next pred ~pred_base =
+  for i = 0 to n - 1 do
+    for l = 0 to layers - 1 do
+      let lb = l * n in
+      let di = dist.(lb + i) in
+      if di < infinity && not (di +. h_base.(i) > ub) then begin
+        let candidate = di +. g.Staged_dag.edge_cost (s - 1) i i +. node_costs.(i) in
+        if candidate < next.(lb + i) then begin
+          next.(lb + i) <- candidate;
+          pred.(pred_base + lb + i) <- lb + i
+        end;
+        if l + 1 < layers then begin
+          let lb1 = lb + n in
+          for j = 0 to n - 1 do
+            if j <> i then begin
+              let candidate = di +. g.Staged_dag.edge_cost (s - 1) i j +. node_costs.(j) in
+              if candidate < next.(lb1 + j) then begin
+                next.(lb1 + j) <- candidate;
+                pred.(pred_base + lb1 + j) <- lb + i
+              end
+            end
+          done
+        end
+      end
+    done
+  done
+
+(* Work per stage below which fork/join overhead beats the parallel
+   speedup; an explicit [jobs] argument overrides the heuristic. *)
+let parallel_threshold = 1 lsl 16
+
+let resolve_jobs ?jobs ~n ~layers () =
+  match jobs with
+  | Some j -> max 1 (min j n)
+  | None ->
+      if layers * n * n < parallel_threshold then 1
+      else Parallel.resolve_jobs ~n ()
+
+(* Per-stage source accounting (alive = relaxed, pruned = cut by the
+   bound).  Only runs when instrumentation is on; the relax loops carry no
+   counters. *)
+let tally_sources ~n ~layers ~h_base ~ub dist =
+  let alive = ref 0 and alive_lower = ref 0 and pruned = ref 0 in
+  for l = 0 to layers - 1 do
+    let lb = l * n in
+    for i = 0 to n - 1 do
+      let di = dist.(lb + i) in
+      if di < infinity then
+        if di +. h_base.(i) > ub then incr pruned
+        else begin
+          incr alive;
+          if l + 1 < layers then incr alive_lower
+        end
+    done
+  done;
+  (!alive, !alive_lower, !pruned)
+
+let solve_dp (g : Staged_dag.t) ?jobs ?upper_bound ~k ~initial () =
   let n = g.Staged_dag.n_nodes in
   let stages = g.Staged_dag.n_stages in
   (match initial with
@@ -70,10 +140,10 @@ let solve_dp (g : Staged_dag.t) ~k ~initial =
   if k < 0 then None
   else begin
     let layers = k + 1 in
-    (* dist.(l).(j): best cost reaching node j of the current stage having
-       used l changes; pred.(s).(l).(j) = (prev_layer, prev_node). *)
-    let dist = Array.make_matrix layers n infinity in
-    let pred = Array.init stages (fun _ -> Array.make_matrix layers n (-1, -1)) in
+    let states = layers * n in
+    let dist = ref (Array.make states infinity) in
+    let next = ref (Array.make states infinity) in
+    let pred = Array.make (stages * states) (-1) in
     for j = 0 to n - 1 do
       let l =
         match initial with
@@ -82,27 +152,67 @@ let solve_dp (g : Staged_dag.t) ~k ~initial =
       in
       if l < layers then begin
         let cost = g.Staged_dag.source_cost j +. g.Staged_dag.node_cost 0 j in
-        if cost < dist.(l).(j) then dist.(l).(j) <- cost
+        if cost < !dist.((l * n) + j) then !dist.((l * n) + j) <- cost
       end
     done;
-    let next = Array.make_matrix layers n infinity in
+    (* The heuristic and the (slightly slackened, so float rounding can
+       never cut the optimum) bound.  With no bound the heuristic is a
+       zero vector and the prune test is vacuous. *)
+    let h, ub =
+      match upper_bound with
+      | None -> (Array.make (stages * n) 0.0, infinity)
+      | Some ub -> (Staged_dag.cost_to_go g, ub +. (Float.abs ub *. 1e-9))
+    in
+    let dense = g.Staged_dag.dense in
+    let domains =
+      match dense with Some _ -> resolve_jobs ?jobs ~n ~layers () | None -> 1
+    in
+    let instrumented = Obs.Registry.enabled () in
+    let nodes_expanded = ref n and edges_relaxed = ref 0 and states_pruned = ref 0 in
+    let node_costs = match dense with Some _ -> [||] | None -> Array.make n 0.0 in
     for s = 1 to stages - 1 do
-      for l = 0 to layers - 1 do
-        Array.fill next.(l) 0 n infinity
-      done;
-      (match g.Staged_dag.dense with
-      | Some d -> relax_dense d ~n ~layers dist next pred s
-      | None -> relax_closures g ~n ~layers dist next pred s);
-      for l = 0 to layers - 1 do
-        Array.blit next.(l) 0 dist.(l) 0 n
-      done
+      Array.fill !next 0 states infinity;
+      let h_base = Array.sub h ((s - 1) * n) n in
+      if instrumented then begin
+        let alive, alive_lower, pruned = tally_sources ~n ~layers ~h_base ~ub !dist in
+        nodes_expanded := !nodes_expanded + alive;
+        edges_relaxed := !edges_relaxed + alive + (alive_lower * (n - 1));
+        states_pruned := !states_pruned + pruned
+      end;
+      let pred_base = s * states in
+      (match dense with
+      | Some d ->
+          let stage_base = s * n in
+          if domains = 1 then
+            relax_dense_slice d ~n ~layers ~stage_base ~h_base ~ub !dist !next pred
+              ~pred_base ~jlo:0 ~jhi:n
+          else
+            ignore
+              (Parallel.map_chunks ~jobs:domains ~n (fun ~lo ~hi ->
+                   relax_dense_slice d ~n ~layers ~stage_base ~h_base ~ub !dist
+                     !next pred ~pred_base ~jlo:lo ~jhi:hi))
+      | None ->
+          for j = 0 to n - 1 do
+            node_costs.(j) <- g.Staged_dag.node_cost s j
+          done;
+          relax_closures g ~n ~layers ~s ~h_base ~ub ~node_costs !dist !next pred
+            ~pred_base);
+      let tmp = !dist in
+      dist := !next;
+      next := tmp
     done;
-    record_work ~stages ~layers ~n;
+    if instrumented then begin
+      Obs.Counter.add m_nodes_expanded !nodes_expanded;
+      Obs.Counter.add m_edges_relaxed !edges_relaxed;
+      Obs.Counter.add m_states_pruned !states_pruned;
+      Obs.Counter.add m_domains_used domains
+    end;
+    let dist = !dist in
     let best = ref None in
     for l = 0 to layers - 1 do
       for j = 0 to n - 1 do
-        if dist.(l).(j) < infinity then begin
-          let total = dist.(l).(j) +. g.Staged_dag.sink_cost j in
+        if dist.((l * n) + j) < infinity then begin
+          let total = dist.((l * n) + j) +. g.Staged_dag.sink_cost j in
           match !best with
           | Some (cost, _, _) when cost <= total -> ()
           | Some _ | None -> best := Some (total, l, j)
@@ -116,13 +226,14 @@ let solve_dp (g : Staged_dag.t) ~k ~initial =
         let rec rebuild s l j =
           path.(s) <- j;
           if s > 0 then begin
-            let prev_l, prev_j = pred.(s).(l).(j) in
-            rebuild (s - 1) prev_l prev_j
+            let packed = pred.((s * states) + (l * n) + j) in
+            rebuild (s - 1) (packed / n) (packed mod n)
           end
         in
         rebuild (stages - 1) l j;
         Some (cost, path)
   end
 
-let solve g ~k ~initial =
-  Obs.Span.with_span "advisor.kaware" (fun () -> solve_dp g ~k ~initial)
+let solve ?jobs ?upper_bound g ~k ~initial =
+  Obs.Span.with_span "advisor.kaware" (fun () ->
+      solve_dp g ?jobs ?upper_bound ~k ~initial ())

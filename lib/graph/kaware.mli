@@ -20,20 +20,56 @@
     sink, which is what makes the constraint "at most [k]", not
     "exactly [k]".
 
+    {2 Scaling}
+
+    Two mechanisms let the DP handle large design spaces (see
+    docs/PERFORMANCE.md):
+
+    - {b Branch-and-bound pruning} ([upper_bound]): given the cost of any
+      known feasible ≤ [k]-changes path (e.g. the {!Cddpd_core.Merging}
+      heuristic's), every DP state whose distance plus exact unconstrained
+      cost-to-go ({!Staged_dag.cost_to_go}) exceeds the bound is skipped.
+      The heuristic is admissible, so the surviving DP values, the optimum
+      and the reconstructed path are identical to the unpruned run
+      (property-tested; the bound carries a 1e-9 relative slack so float
+      rounding can never cut the optimum).  An [upper_bound] below the
+      true constrained optimum voids that guarantee — always derive it
+      from a feasible path of the same instance.
+    - {b Parallel relaxation} ([jobs]): on dense graphs the destination
+      nodes of each stage are partitioned across OCaml domains
+      ({!Cddpd_util.Parallel}); each domain owns a disjoint slice of the
+      next-distance and predecessor arrays and sees candidates in the same
+      order as the sequential loop, so the result is bit-identical for
+      every domain count.  Explicit [jobs] is honoured as given; by
+      default the DP stays sequential below a per-stage work threshold
+      (the paper's 7-config space never spawns) and otherwise uses the
+      {!Cddpd_util.Parallel.default_jobs} process default.
+
     {2 Observability}
 
-    Each solve runs inside an [advisor.kaware] trace span and, because the
-    DP is dense (every state relaxed exactly once, every layered edge
-    attempted exactly once), reports its work to the
-    [advisor.kaware.nodes_expanded] and [advisor.kaware.edges_relaxed]
-    counters in closed form — the hot loop itself carries no
-    instrumentation. *)
+    Each solve runs inside an [advisor.kaware] trace span and reports
+    [advisor.kaware.nodes_expanded] (source states relaxed),
+    [advisor.kaware.edges_relaxed] (relaxation attempts),
+    [advisor.kaware.states_pruned] (reachable states cut by the bound) and
+    [advisor.kaware.domains_used] (domains per solve).  The accounting
+    pass runs only when instrumentation is enabled — the relaxation loops
+    themselves carry no counters. *)
 
 val solve :
-  Staged_dag.t -> k:int -> initial:int option -> (float * int array) option
+  ?jobs:int ->
+  ?upper_bound:float ->
+  Staged_dag.t ->
+  k:int ->
+  initial:int option ->
+  (float * int array) option
 (** [solve g ~k ~initial] is the minimum-cost source-to-sink path with at
     most [k] node changes (counted as in {!Staged_dag.path_changes}:
     [initial = Some j] makes a stage-0 node other than [j] consume a
     change).  [None] if no such path exists (possible only when [k = 0]
     conflicts with infinite costs, or [k < 0]).  Raises
-    [Invalid_argument] if [initial] is out of range. *)
+    [Invalid_argument] if [initial] is out of range.
+
+    [upper_bound] enables branch-and-bound pruning and must be the cost
+    of a feasible ≤ [k]-changes path of [g]; [jobs] forces the domain
+    count for the dense parallel relaxation (closure-backed graphs always
+    run sequentially).  Neither changes the returned [(cost, path)]. *)

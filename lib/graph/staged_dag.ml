@@ -79,6 +79,61 @@ let path_cost t path =
   done;
   !acc +. t.sink_cost path.(t.n_stages - 1)
 
+(* Exact unconstrained cost-to-go, flat and stage-major:
+   [h.(s * n_nodes + j)] is the cheapest completion from node [j] of stage
+   [s] — excluding node [j]'s own cost, including the sink edge.  The dense
+   and closure variants perform the same float operations in the same
+   order, so both representations agree bit-for-bit; this is the
+   admissible heuristic shared by the ranking enumerator and the k-aware
+   branch-and-bound pruner. *)
+let cost_to_go t =
+  let n = t.n_nodes in
+  let stages = t.n_stages in
+  let h = Array.make (stages * n) 0.0 in
+  let last = (stages - 1) * n in
+  for j = 0 to n - 1 do
+    h.(last + j) <- t.sink_cost j
+  done;
+  (* [comp.(j)] hoists the loop-invariant "arrive at j" part (node cost
+     plus completion) out of the O(n^2) source scan; both variants use the
+     same association, so dense and closure graphs still agree
+     bit-for-bit. *)
+  let comp = Array.make n 0.0 in
+  (match t.dense with
+  | Some d ->
+      let exec = d.exec and trans = d.trans in
+      for s = stages - 2 downto 0 do
+        let hb = s * n and hb1 = (s + 1) * n in
+        for j = 0 to n - 1 do
+          comp.(j) <- exec.(hb1 + j) +. h.(hb1 + j)
+        done;
+        for i = 0 to n - 1 do
+          let ti = i * n in
+          let best = ref infinity in
+          for j = 0 to n - 1 do
+            let candidate = trans.(ti + j) +. comp.(j) in
+            if candidate < !best then best := candidate
+          done;
+          h.(hb + i) <- !best
+        done
+      done
+  | None ->
+      for s = stages - 2 downto 0 do
+        let hb = s * n and hb1 = (s + 1) * n in
+        for j = 0 to n - 1 do
+          comp.(j) <- t.node_cost (s + 1) j +. h.(hb1 + j)
+        done;
+        for i = 0 to n - 1 do
+          let best = ref infinity in
+          for j = 0 to n - 1 do
+            let candidate = t.edge_cost s i j +. comp.(j) in
+            if candidate < !best then best := candidate
+          done;
+          h.(hb + i) <- !best
+        done
+      done);
+  h
+
 let path_changes t ~initial path =
   check_path t path;
   let changes = ref 0 in

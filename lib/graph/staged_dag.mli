@@ -74,3 +74,13 @@ val path_changes : t -> initial:int option -> int array -> int
 val shortest_path : t -> float * int array
 (** The minimum-cost source-to-sink path, by dynamic programming over
     stages in O(n_stages * n_nodes^2) time. *)
+
+val cost_to_go : t -> float array
+(** The exact unconstrained cost-to-go, flat and stage-major:
+    [(cost_to_go t).(s * n_nodes + j)] is the cheapest completion from
+    node [j] of stage [s] to the sink — excluding node [j]'s own cost,
+    including the sink edge.  Computed by one backward O(n_stages *
+    n_nodes^2) pass (dense fast path when {!dense} is present, bit-equal
+    to the closure path).  This is the admissible heuristic shared by
+    {!Ranking.enumerate} and the {!Kaware.solve} bound pruner: it never
+    overestimates the completion cost of any path, constrained or not. *)

@@ -142,9 +142,31 @@ let test_ranking_solve_constrained () =
 
 let test_ranking_gives_up () =
   match Ranking.solve_constrained (tiny_graph ()) ~k:0 ~initial:(Some 0) ~max_paths:1 () with
-  | `Gave_up 1 -> ()
-  | `Gave_up n -> Alcotest.failf "gave up after %d" n
+  | `Gave_up { Ranking.examined = 1; reason = Ranking.Path_budget; _ } -> ()
+  | `Gave_up g ->
+      Alcotest.failf "gave up after %d (%s)" g.Ranking.examined
+        (Ranking.reason_to_string g.Ranking.reason)
   | `Found _ -> Alcotest.fail "should exhaust the path budget"
+
+let test_ranking_queue_budget () =
+  match
+    Ranking.solve_constrained (tiny_graph ()) ~k:0 ~initial:(Some 0) ~max_queue:1 ()
+  with
+  | `Gave_up { Ranking.reason = Ranking.Queue_budget; queue_peak; _ } ->
+      Alcotest.(check bool) "peak within budget" true (queue_peak <= 1)
+  | `Gave_up g ->
+      Alcotest.failf "wrong reason: %s" (Ranking.reason_to_string g.Ranking.reason)
+  | `Found _ -> Alcotest.fail "should exhaust the queue budget"
+
+let test_ranking_space_exhausted () =
+  (* Negative k: no path is feasible, so the search ranks all 2^2 paths
+     and reports the space as exhausted (not a budget hit). *)
+  match Ranking.solve_constrained (tiny_graph ()) ~k:(-1) ~initial:None () with
+  | `Gave_up { Ranking.examined = 4; reason = Ranking.Space_exhausted; _ } -> ()
+  | `Gave_up g ->
+      Alcotest.failf "gave up after %d (%s)" g.Ranking.examined
+        (Ranking.reason_to_string g.Ranking.reason)
+  | `Found _ -> Alcotest.fail "no path should be feasible"
 
 let test_of_matrices_invalid () =
   let check_rejected name f =
@@ -278,6 +300,110 @@ let ranking_complete =
       List.length emitted = List.length expected
       && List.sort compare emitted = List.sort compare expected)
 
+let cost_to_go_consistent =
+  QCheck.Test.make ~name:"cost_to_go agrees with shortest_path" ~count:200
+    dense_instance_arbitrary (fun (exec, trans, source) ->
+      let g = Staged_dag.of_matrices ~exec ~trans ~source () in
+      let n = Array.length trans in
+      let h = Staged_dag.cost_to_go g in
+      (* Completing from the source layer: min over entry nodes of
+         source + node + h must reproduce the unconstrained optimum. *)
+      let best = ref infinity in
+      for j = 0 to n - 1 do
+        let total = source.(j) +. exec.(0).(j) +. h.(j) in
+        if total < !best then best := total
+      done;
+      let cost, _ = Staged_dag.shortest_path g in
+      Float.abs (!best -. cost) < 1e-6)
+
+let kaware_parallel_matches_sequential =
+  QCheck.Test.make ~name:"kaware parallel = sequential, bit for bit" ~count:100
+    (QCheck.pair dense_instance_arbitrary (QCheck.int_bound 4))
+    (fun ((exec, trans, source), k) ->
+      let g = Staged_dag.of_matrices ~exec ~trans ~source () in
+      let reference = Kaware.solve ~jobs:1 g ~k ~initial:(Some 0) in
+      List.for_all
+        (fun jobs ->
+          match (Kaware.solve ~jobs g ~k ~initial:(Some 0), reference) with
+          | Some (c, p), Some (c', p') -> same_float c c' && p = p'
+          | None, None -> true
+          | _ -> false)
+        [ 2; 4 ])
+
+(* The constant "stay on node 0" schedule makes no changes, so with
+   initial = Some 0 its cost upper-bounds the constrained optimum at every
+   k >= 0 — the same shape of bound Optimizer seeds from the merging
+   heuristic. *)
+let constant_bound exec g = Staged_dag.path_cost g (Array.make (Array.length exec) 0)
+
+let kaware_pruned_matches_unpruned =
+  QCheck.Test.make ~name:"kaware bound pruning preserves (cost, path)" ~count:150
+    (QCheck.pair dense_instance_arbitrary (QCheck.int_bound 4))
+    (fun ((exec, trans, source), k) ->
+      let g = Staged_dag.of_matrices ~exec ~trans ~source () in
+      let initial = Some 0 in
+      let ub = constant_bound exec g in
+      match
+        (Kaware.solve ~upper_bound:ub g ~k ~initial, Kaware.solve g ~k ~initial)
+      with
+      | Some (c, p), Some (c', p') -> same_float c c' && p = p'
+      | None, None -> true
+      | _ -> false)
+
+let ranking_budgeted_matches_plain =
+  QCheck.Test.make ~name:"ranking bound pruning preserves (cost, path, rank)"
+    ~count:150
+    (QCheck.pair dense_instance_arbitrary (QCheck.int_bound 3))
+    (fun ((exec, trans, source), k) ->
+      let g = Staged_dag.of_matrices ~exec ~trans ~source () in
+      let initial = Some 0 in
+      let ub = constant_bound exec g in
+      match
+        ( Ranking.solve_constrained g ~k ~initial ~upper_bound:ub
+            ~max_paths:100_000 (),
+          Ranking.solve_constrained g ~k ~initial ~max_paths:100_000 () )
+      with
+      | `Found (c, p, r), `Found (c', p', r') -> same_float c c' && p = p' && r = r'
+      | `Gave_up _, `Gave_up _ -> true
+      | _ -> false)
+
+(* Exhaustive in k: for every budget the instance admits, the DP (pruned
+   and unpruned) must match the constrained brute force. *)
+let kaware_bruteforce_all_k =
+  QCheck.Test.make ~name:"kaware = brute force at every k" ~count:100
+    dense_instance_arbitrary (fun (exec, trans, source) ->
+      let g = Staged_dag.of_matrices ~exec ~trans ~source () in
+      let n_stages = Array.length exec and n_nodes = Array.length trans in
+      let initial = Some 0 in
+      let inst =
+        {
+          n_stages;
+          n_nodes;
+          node = exec;
+          edge = Array.make (max 1 (n_stages - 1)) trans;
+          source;
+        }
+      in
+      let ub = constant_bound exec g in
+      List.for_all
+        (fun k ->
+          let feasible =
+            List.filter (fun p -> changes ~initial p <= k) (all_paths inst)
+          in
+          let best =
+            List.fold_left
+              (fun acc p -> Float.min acc (Staged_dag.path_cost g p))
+              infinity feasible
+          in
+          match (Kaware.solve g ~k ~initial, Kaware.solve ~upper_bound:ub g ~k ~initial) with
+          | Some (cost, path), Some (pruned_cost, pruned_path) ->
+              Float.abs (cost -. best) < 1e-6
+              && changes ~initial path <= k
+              && same_float cost pruned_cost
+              && path = pruned_path
+          | _ -> false)
+        (List.init (n_stages + 1) (fun k -> k)))
+
 let ranking_agrees_with_kaware =
   QCheck.Test.make ~name:"ranking stopping rule = kaware optimum" ~count:150
     (QCheck.pair instance_arbitrary (QCheck.int_bound 3))
@@ -311,12 +437,19 @@ let () =
           Alcotest.test_case "ranking enumerates all" `Quick test_ranking_enumerates_all;
           Alcotest.test_case "ranking constrained" `Quick test_ranking_solve_constrained;
           Alcotest.test_case "ranking gives up" `Quick test_ranking_gives_up;
+          Alcotest.test_case "ranking queue budget" `Quick test_ranking_queue_budget;
+          Alcotest.test_case "ranking space exhausted" `Quick test_ranking_space_exhausted;
         ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest shortest_path_matches_bruteforce;
           QCheck_alcotest.to_alcotest dense_matches_closures;
+          QCheck_alcotest.to_alcotest cost_to_go_consistent;
           QCheck_alcotest.to_alcotest kaware_matches_bruteforce;
+          QCheck_alcotest.to_alcotest kaware_bruteforce_all_k;
+          QCheck_alcotest.to_alcotest kaware_parallel_matches_sequential;
+          QCheck_alcotest.to_alcotest kaware_pruned_matches_unpruned;
+          QCheck_alcotest.to_alcotest ranking_budgeted_matches_plain;
           QCheck_alcotest.to_alcotest kaware_monotone_in_k;
           QCheck_alcotest.to_alcotest ranking_nondecreasing;
           QCheck_alcotest.to_alcotest ranking_complete;
