@@ -1,22 +1,33 @@
 # Convenience targets for the cddpd tree.  Everything here is a thin
 # wrapper over dune; CI and humans should get identical behaviour.
+#
+#   make build        compile everything
+#   make check        tier-1 gate: build + tests + lint
+#   make lint         run cddpd-lint over lib/ bin/ bench/ tools/
+#   make bench-smoke  quick perf sanity
 
 DUNE ?= dune
 JOBS ?=
 
-.PHONY: all build check test bench-smoke bench clean
+.PHONY: all build check test lint bench-smoke bench clean
 
 all: build
 
 build:
 	$(DUNE) build
 
-# Tier-1 gate: full build plus the whole test suite.
+# Tier-1 gate: full build plus the whole test suite, plus lint.
 check:
 	$(DUNE) build
 	$(DUNE) runtest
+	$(DUNE) build @lint
 
 test: check
+
+# Static analysis (see docs/LINTING.md).  `dune build @lint` is the
+# same thing with dune-level caching.
+lint:
+	$(DUNE) build @lint
 
 # Quick perf sanity: micro-benchmarks + a timed Problem.build, writing
 # BENCH_micro.json for machine consumption.  Pass JOBS=1 to force the

@@ -30,6 +30,7 @@ let tally table bump statement =
   | Ast.Update { table = statement_table; where; _ } -> consider statement_table where
 
 let column_frequencies table statements =
+  (* cddpd-lint: allow poly-hash — string column-name keys *)
   let counts = Hashtbl.create 8 in
   let bump column =
     Hashtbl.replace counts column (1 + Option.value ~default:0 (Hashtbl.find_opt counts column))
@@ -37,7 +38,7 @@ let column_frequencies table statements =
   Array.iter (tally table bump) statements;
   Hashtbl.fold (fun column count acc -> (column, count) :: acc) counts []
   |> List.sort (fun (c1, n1) (c2, n2) ->
-         let c = compare n2 n1 in
+         let c = Int.compare n2 n1 in
          if c <> 0 then c else String.compare c1 c2)
 
 let from_statements table ?(composite_pairs = 0) statements =
@@ -74,6 +75,7 @@ let from_statements table ?(composite_pairs = 0) statements =
   dedup [] [] all
 
 let view_candidates table statements =
+  (* cddpd-lint: allow poly-hash — string group-by column keys *)
   let seen = Hashtbl.create 4 in
   Array.iter
     (fun statement ->

@@ -64,6 +64,7 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
      computes stats lazily (mutating the database) and must not be called
      from worker domains.  Every table the build can touch is resolved
      here; the workers then read the snapshot. *)
+  (* cddpd-lint: allow poly-hash — string table-name keys *)
   let stats_tbl = Hashtbl.create 8 in
   let resolve table =
     if not (Hashtbl.mem stats_tbl table) then Hashtbl.replace stats_tbl table (stats_of table)
@@ -119,6 +120,7 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
   let trans =
     Obs.Span.with_span "problem.build.trans" @@ fun () ->
     let all_structures =
+      (* cddpd-lint: allow poly-hash — Cost_key.structure string keys *)
       let seen = Hashtbl.create 32 in
       Array.iter
         (fun design ->
@@ -171,7 +173,7 @@ let of_matrices ~steps ~space ~initial ~exec ~trans ?(count_initial_change = fal
       Array.iteri
         (fun j c ->
           if c < 0.0 then invalid_arg "Problem.of_matrices: negative trans cost";
-          if i = j && c <> 0.0 then
+          if i = j && not (Float.equal c 0.0) then
             invalid_arg "Problem.of_matrices: non-zero self-transition")
         row)
     trans;

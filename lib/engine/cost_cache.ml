@@ -75,6 +75,7 @@ let publish_obs t =
 
 (* -- default-enablement knob ------------------------------------------------ *)
 
+(* cddpd-lint: allow domain-unsafe-state — process-wide default toggled by the CLI on the main domain before any solver runs; workers never write it *)
 let enabled_by_default = ref true
 
 let default_enabled () = !enabled_by_default

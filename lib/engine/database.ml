@@ -30,6 +30,7 @@ let create ?(pool_capacity = 256) ?(params = Cost_model.default_params) schemas 
   if schemas = [] then invalid_arg "Database.create: no tables";
   let disk = Disk.create () in
   let pool = Buffer_pool.create ~capacity:pool_capacity disk in
+  (* cddpd-lint: allow poly-hash — string table-name keys *)
   let tables = Hashtbl.create 8 in
   List.iter
     (fun (schema : Schema.table) ->
@@ -500,6 +501,7 @@ let run_select_agg t ~table ~group_by ~aggregate ~where plan =
         | Ast.Sum column ->
             Some (compile_field_read state.schema (Schema.column_index_exn state.schema column))
       in
+      (* cddpd-lint: allow poly-hash — int group-value keys *)
       let groups = Hashtbl.create 64 in
       Heap_file.iter_slices state.heap (fun buf base ->
           if matches buf base then begin
@@ -512,7 +514,9 @@ let run_select_agg t ~table ~group_by ~aggregate ~where plan =
             Hashtbl.replace groups g (delta + Option.value ~default:0 (Hashtbl.find_opt groups g))
           end);
       Hashtbl.fold (fun g v acc -> (g, v) :: acc) groups []
-      |> List.sort compare
+      |> List.sort (fun (g1, v1) (g2, v2) ->
+             let c = Int.compare g1 g2 in
+             if c <> 0 then c else Int.compare v1 v2)
       |> List.map (fun (g, v) -> emit g v)
   | Plan.Index_seek _ | Plan.Index_only_scan _ ->
       failwith "Database: unexpected plan for an aggregate query"

@@ -10,7 +10,7 @@ type t = { total : int; total_distinct : int; buckets : bucket array }
 let build ?(buckets = 64) values =
   if buckets <= 0 then invalid_arg "Histogram.build: buckets <= 0";
   let sorted = Array.copy values in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   let n = Array.length sorted in
   if n = 0 then { total = 0; total_distinct = 0; buckets = [||] }
   else begin

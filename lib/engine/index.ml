@@ -51,7 +51,7 @@ let build pool schema heap index =
     let rec go i =
       if i = key_len then 0
       else
-        let c = compare (a.(i) : int) b.(i) in
+        let c = Int.compare a.(i) b.(i) in
         if c <> 0 then c else go (i + 1)
     in
     go 0

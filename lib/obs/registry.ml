@@ -1,7 +1,14 @@
+(* Metric tables are filled by module-initialisation registration on the
+   main domain and are read-only once domains spawn (worker domains only
+   bump already-registered metrics); see docs/OBSERVABILITY.md "Design". *)
+
+(* cddpd-lint: allow poly-hash, domain-unsafe-state — string metric-name keys; module-init registration on the main domain only *)
 let counters : (string, Counter.t) Hashtbl.t = Hashtbl.create 64
 
+(* cddpd-lint: allow poly-hash, domain-unsafe-state — string metric-name keys; module-init registration on the main domain only *)
 let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
 
+(* cddpd-lint: allow domain-unsafe-state — hooks registered at module init on the main domain; reset runs on the main domain *)
 let reset_hooks : (unit -> unit) list ref = ref []
 
 let enabled () = !Switch.on

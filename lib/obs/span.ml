@@ -15,6 +15,7 @@ let make_node name = { name; calls = 0; total = 0.0; children = [] }
 
 let root = make_node "<root>"
 
+(* cddpd-lint: allow domain-unsafe-state — span trees are main-domain only by convention (docs/OBSERVABILITY.md); workers never open spans *)
 let stack = ref [ root ]
 
 let name t = t.name

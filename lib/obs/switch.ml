@@ -3,4 +3,5 @@
    one boolean load per call site.  Lives in its own module so that both
    the metric types and the registry can see it without a cycle. *)
 
+(* cddpd-lint: allow domain-unsafe-state — single monotone-per-run bool set on the main domain before solves; racy worker reads only skip instrumentation *)
 let on = ref false

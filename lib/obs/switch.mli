@@ -1,0 +1,10 @@
+(** The single process-wide instrumentation on/off flag.
+
+    Every recording call ([Counter.incr], [Histogram.observe],
+    [Span.with_span]) reads it first, so a disabled run costs one
+    boolean load per call site.  It lives in its own module so the
+    metric types and the registry can both see it without a dependency
+    cycle.  Toggle it through {!Registry.enable} / {!Registry.disable}
+    rather than directly; it is only written from the main domain. *)
+
+val on : bool ref

@@ -38,6 +38,7 @@ let create ?(capacity = 256) disk =
   {
     disk;
     frames = Array.init capacity make_frame;
+    (* cddpd-lint: allow poly-hash — int page-id keys *)
     table = Hashtbl.create (capacity * 2);
     free = List.init capacity (fun i -> i);
     hand = 0;

@@ -8,6 +8,7 @@ let env_jobs () =
       | Some j when j >= 1 -> Some j
       | Some _ | None -> None)
 
+(* cddpd-lint: allow domain-unsafe-state — set once by the CLI on the main domain before any parallel region; workers never touch it *)
 let default = ref None
 
 let default_jobs () =

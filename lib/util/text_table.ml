@@ -56,4 +56,5 @@ let render t =
   in
   String.concat "\n" (render_cells t.headers :: rule :: body)
 
+(* cddpd-lint: allow lib-hygiene — Text_table.print is an explicit stdout API; the --metrics sink and experiments call it on purpose *)
 let print t = print_endline (render t)

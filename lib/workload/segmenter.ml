@@ -11,6 +11,7 @@ let predicate_columns statement =
     (Ast.where_of statement)
 
 let column_profile statements =
+  (* cddpd-lint: allow poly-hash — string column-name keys *)
   let counts = Hashtbl.create 8 in
   let total = ref 0 in
   Array.iter
@@ -29,7 +30,7 @@ let column_profile statements =
         (column, float_of_int count /. float_of_int !total) :: acc)
       counts []
     |> List.sort (fun (c1, f1) (c2, f2) ->
-           let c = compare f2 f1 in
+           let c = Float.compare f2 f1 in
            if c <> 0 then c else String.compare c1 c2)
 
 let profile_distance p1 p2 =

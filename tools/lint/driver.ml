@@ -1,0 +1,205 @@
+(* The lint driver: walks the tree, runs the per-file AST pass, the
+   filesystem rule (R5) and the catalogue cross-check (R6), and renders
+   reports.  The exit-code policy lives in the executable: a run is
+   clean iff [unwaived] is empty. *)
+
+module L = Lint_types
+
+type report = {
+  root : string;
+  config : Lint_config.t;
+  findings : L.finding list;  (** every finding, waived ones included *)
+  files_scanned : int;
+  obs_dynamic : int;
+  r3_dirs : string list;
+  warnings : string list;
+}
+
+let read_file path =
+  try Some (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error _ -> None
+
+(* Root-relative .ml files below [dir], skipping dot- and underscore-
+   directories (_build) and anything that is not a plain source file. *)
+let ml_files ~root dir =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    match Sys.is_directory abs with
+    | exception Sys_error _ -> ()
+    | false ->
+        if Filename.check_suffix rel ".ml" then acc := rel :: !acc
+    | true ->
+        if
+          let base = Filename.basename rel in
+          String.length base > 0 && (base.[0] = '.' || base.[0] = '_')
+        then ()
+        else
+          Array.iter
+            (fun entry -> walk (Filename.concat rel entry))
+            (try Sys.readdir abs with Sys_error _ -> [||])
+  in
+  walk dir;
+  List.sort String.compare !acc
+
+let run ?(config = Lint_config.default) ~root () =
+  let warnings = ref [] in
+  let r3_dirs =
+    match config.domain_state_dirs with
+    | Some dirs -> dirs
+    | None ->
+        if Lint_config.enabled config L.Domain_unsafe_state then begin
+          let dirs = Dune_scan.domain_state_dirs ~root ~lib_dir:"lib" () in
+          if dirs = [] then
+            warnings :=
+              "domain-unsafe-state: no Parallel-linked libraries derived from \
+               the dune graph; rule R3 checked nothing"
+              :: !warnings;
+          dirs
+        end
+        else []
+  in
+  let files =
+    List.concat_map (fun dir -> ml_files ~root dir) config.scan_dirs
+  in
+  let per_file =
+    List.filter_map
+      (fun rel ->
+        match read_file (Filename.concat root rel) with
+        | None ->
+            warnings := Printf.sprintf "cannot read %s; skipped" rel :: !warnings;
+            None
+        | Some source -> Some (rel, source, Rules.check_source ~config ~r3_dirs ~path:rel source))
+      files
+  in
+  let ast_findings =
+    List.concat_map (fun (_, _, (r : Rules.t)) -> r.findings) per_file
+  in
+  (* R5: every lib/**/*.ml needs a sibling .mli (waivable anywhere in the
+     file, since the finding is about the file as a whole). *)
+  let mli_findings =
+    if not (Lint_config.enabled config L.Mli_coverage) then []
+    else
+      List.filter_map
+        (fun (rel, source, _) ->
+          if not (Lint_config.under_dir ~dir:"lib" rel) then None
+          else if Sys.file_exists (Filename.concat root (rel ^ "i")) then None
+          else
+            let f =
+              L.finding ~file:rel ~line:1 ~rule:L.Mli_coverage
+                (Printf.sprintf "%s has no interface %si; every lib module \
+                                 must declare its surface" rel rel)
+            in
+            match Waiver.apply (Waiver.scan source) [ f ] with
+            | [ f ] -> Some f
+            | _ -> None)
+        per_file
+  in
+  (* R6: catalogue cross-check; code-side findings honour the emitting
+     file's waivers, doc-side findings are not waivable. *)
+  let obs_findings =
+    if not (Lint_config.enabled config L.Obs_catalogue_sync) then []
+    else
+      match read_file (Filename.concat root config.obs_doc) with
+      | None ->
+          [
+            L.finding ~file:config.obs_doc ~line:1 ~rule:L.Obs_catalogue_sync
+              (Printf.sprintf "catalogue %s is missing" config.obs_doc);
+          ]
+      | Some doc ->
+          let literals =
+            List.concat_map (fun (_, _, (r : Rules.t)) -> r.obs) per_file
+          in
+          Obs_sync.check ~doc_path:config.obs_doc (Obs_sync.parse_doc doc) literals
+          |> List.concat_map (fun (f : L.finding) ->
+                 match
+                   List.find_opt (fun (rel, _, _) -> String.equal rel f.file) per_file
+                 with
+                 | Some (_, source, _) -> Waiver.apply (Waiver.scan source) [ f ]
+                 | None -> [ f ])
+  in
+  let findings =
+    List.sort L.compare_findings (ast_findings @ mli_findings @ obs_findings)
+  in
+  let obs_dynamic =
+    List.fold_left (fun acc (_, _, (r : Rules.t)) -> acc + r.obs_dynamic) 0 per_file
+  in
+  {
+    root;
+    config;
+    findings;
+    files_scanned = List.length per_file;
+    obs_dynamic;
+    r3_dirs;
+    warnings = List.rev !warnings;
+  }
+
+let unwaived report = List.filter (fun (f : L.finding) -> not f.waived) report.findings
+
+let waived report = List.filter (fun (f : L.finding) -> f.waived) report.findings
+
+let render_text ?(show_waived = false) report =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun w -> Buffer.add_string buf (Printf.sprintf "warning: %s\n" w))
+    report.warnings;
+  List.iter
+    (fun (f : L.finding) ->
+      if (not f.waived) || show_waived then begin
+        Buffer.add_string buf (L.to_line f);
+        Buffer.add_char buf '\n'
+      end)
+    report.findings;
+  let unwaived_n = List.length (unwaived report) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "cddpd-lint: %d file(s) scanned, %d finding(s) (%d waived, %d blocking)\n"
+       report.files_scanned
+       (List.length report.findings)
+       (List.length (waived report))
+       unwaived_n);
+  Buffer.contents buf
+
+let render_json report =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"cddpd-lint/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"root\": \"%s\",\n" (L.json_escape report.root));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"rules\": [%s],\n"
+       (String.concat ", "
+          (List.map
+             (fun r -> Printf.sprintf "\"%s\"" (L.rule_id r))
+             report.config.enabled)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"r3_dirs\": [%s],\n"
+       (String.concat ", "
+          (List.map (fun d -> Printf.sprintf "\"%s\"" (L.json_escape d)) report.r3_dirs)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"files_scanned\": %d,\n" report.files_scanned);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"obs_dynamic_names\": %d,\n" report.obs_dynamic);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"warnings\": [%s],\n"
+       (String.concat ", "
+          (List.map
+             (fun w -> Printf.sprintf "\"%s\"" (L.json_escape w))
+             report.warnings)));
+  Buffer.add_string buf "  \"findings\": [\n";
+  List.iteri
+    (fun i f ->
+      Buffer.add_string buf "    ";
+      Buffer.add_string buf (L.to_json f);
+      if i < List.length report.findings - 1 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n')
+    report.findings;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"summary\": {\"total\": %d, \"waived\": %d, \"blocking\": %d}\n"
+       (List.length report.findings)
+       (List.length (waived report))
+       (List.length (unwaived report)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

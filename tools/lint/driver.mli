@@ -1,0 +1,29 @@
+(** Lint orchestration: walk the tree, run every enabled rule, render
+    the report.  The run is clean iff {!unwaived} is empty — the
+    executable turns that into the exit code. *)
+
+type report = {
+  root : string;
+  config : Lint_config.t;
+  findings : Lint_types.finding list;  (** sorted; waived ones included *)
+  files_scanned : int;
+  obs_dynamic : int;
+      (** Obs constructor calls with non-literal names, uncheckable by R6 *)
+  r3_dirs : string list;  (** resolved domain-unsafe-state scope *)
+  warnings : string list;  (** configuration problems, e.g. unreadable files *)
+}
+
+val run : ?config:Lint_config.t -> root:string -> unit -> report
+(** Lint the tree rooted at [root] (the repository checkout). *)
+
+val unwaived : report -> Lint_types.finding list
+(** The blocking findings. *)
+
+val waived : report -> Lint_types.finding list
+
+val render_text : ?show_waived:bool -> report -> string
+(** One [file:line: [rule-id] message] line per blocking finding (all
+    findings with [show_waived]), then a summary line. *)
+
+val render_json : report -> string
+(** The machine-readable report (schema ["cddpd-lint/1"]) CI archives. *)

@@ -1,0 +1,182 @@
+(* A minimal reader for the repo's dune files, used to derive R3's scope
+   from the build graph instead of a hardcoded directory list: the rule
+   applies to every library that code running under Parallel.run worker
+   domains can reach, i.e. the Parallel clients themselves plus the
+   transitive closure of their library dependencies. *)
+
+type sexp = Atom of string | List of sexp list
+
+let parse_sexps text =
+  let n = String.length text in
+  let rec skip_ws i =
+    if i >= n then i
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip_ws (i + 1)
+      | ';' ->
+          let rec eol j = if j >= n || text.[j] = '\n' then j else eol (j + 1) in
+          skip_ws (eol i)
+      | _ -> i
+  in
+  let rec parse_one i =
+    let i = skip_ws i in
+    if i >= n then (None, i)
+    else
+      match text.[i] with
+      | '(' ->
+          let items, j = parse_list (i + 1) [] in
+          (Some (List items), j)
+      | ')' -> (None, i)
+      | '"' ->
+          let rec close j =
+            if j >= n then j
+            else if text.[j] = '"' && text.[j - 1] <> '\\' then j
+            else close (j + 1)
+          in
+          let j = close (i + 1) in
+          (Some (Atom (String.sub text (i + 1) (j - i - 1))), min n (j + 1))
+      | _ ->
+          let rec stop j =
+            if j >= n then j
+            else
+              match text.[j] with
+              | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' -> j
+              | _ -> stop (j + 1)
+          in
+          let j = stop i in
+          (Some (Atom (String.sub text i (j - i))), j)
+  and parse_list i acc =
+    let i = skip_ws i in
+    if i >= n then (List.rev acc, i)
+    else if text.[i] = ')' then (List.rev acc, i + 1)
+    else
+      match parse_one i with
+      | Some s, j -> parse_list j (s :: acc)
+      | None, j -> (List.rev acc, j)
+  in
+  let rec top i acc =
+    match parse_one i with
+    | Some s, j -> top j (s :: acc)
+    | None, _ -> List.rev acc
+  in
+  top 0 []
+
+type library = { name : string; dir : string; deps : string list }
+
+let field name = function
+  | List (Atom f :: rest) when f = name -> Some rest
+  | _ -> None
+
+let library_of_stanza ~dir = function
+  | List (Atom "library" :: fields) ->
+      let name =
+        List.find_map
+          (fun f ->
+            match field "name" f with Some [ Atom n ] -> Some n | _ -> None)
+          fields
+      in
+      let deps =
+        match List.find_map (field "libraries") fields with
+        | None -> []
+        | Some atoms ->
+            List.filter_map (function Atom a -> Some a | List _ -> None) atoms
+      in
+      Option.map (fun name -> { name; dir; deps }) name
+  | _ -> None
+
+(* Every dune file below [dir] (root-relative), one level of library
+   stanzas each.  Reading errors are ignored: a missing build graph just
+   shrinks R3's scope to nothing, and the driver reports that case. *)
+let libraries ~root ~dir =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    match Sys.is_directory abs with
+    | exception Sys_error _ -> ()
+    | false -> ()
+    | true ->
+        Array.iter
+          (fun entry ->
+            let rel' = Filename.concat rel entry in
+            let abs' = Filename.concat abs entry in
+            if entry = "dune" && not (Sys.is_directory abs') then begin
+              match In_channel.with_open_text abs' In_channel.input_all with
+              | exception Sys_error _ -> ()
+              | text ->
+                  List.iter
+                    (fun stanza ->
+                      match library_of_stanza ~dir:rel stanza with
+                      | Some lib -> acc := lib :: !acc
+                      | None -> ())
+                    (parse_sexps text)
+            end
+            else if
+              (not (Sys.is_directory abs'))
+              || String.length entry = 0
+              || entry.[0] = '.' || entry.[0] = '_'
+            then ()
+            else walk rel')
+          (try Sys.readdir abs with Sys_error _ -> [||])
+  in
+  walk dir;
+  !acc
+
+let dir_has_file ~root ~dir file =
+  Sys.file_exists (Filename.concat (Filename.concat root dir) file)
+
+let dir_mentions ~root ~dir token =
+  let abs = Filename.concat root dir in
+  match Sys.readdir abs with
+  | exception Sys_error _ -> false
+  | entries ->
+      Array.exists
+        (fun entry ->
+          Filename.check_suffix entry ".ml"
+          &&
+          match
+            In_channel.with_open_text (Filename.concat abs entry)
+              In_channel.input_all
+          with
+          | exception Sys_error _ -> false
+          | text ->
+              let tl = String.length token and n = String.length text in
+              let rec find i =
+                if i + tl > n then false
+                else if String.sub text i tl = token then true
+                else find (i + 1)
+              in
+              find 0)
+        entries
+
+(* Directories of: every library whose sources call into Parallel, plus
+   everything those libraries link.  [provider_file] identifies the
+   library that owns the Parallel module (the file parallel.ml). *)
+let domain_state_dirs ?(provider_file = "parallel.ml") ~root ~lib_dir () =
+  let libs = libraries ~root ~dir:lib_dir in
+  (* cddpd-lint: allow poly-hash — string library-name keys *)
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun lib -> Hashtbl.replace by_name lib.name lib) libs;
+  match List.find_opt (fun lib -> dir_has_file ~root ~dir:lib.dir provider_file) libs with
+  | None -> []
+  | Some provider ->
+      let rec closure acc name =
+        if List.mem name acc then acc
+        else
+          match Hashtbl.find_opt by_name name with
+          | None -> acc (* external library *)
+          | Some lib -> List.fold_left closure (name :: acc) lib.deps
+      in
+      let depends_on_provider lib = List.mem provider.name (closure [] lib.name) in
+      let clients =
+        List.filter
+          (fun lib ->
+            lib.name <> provider.name
+            && depends_on_provider lib
+            && dir_mentions ~root ~dir:lib.dir "Parallel.")
+          libs
+      in
+      let names = List.fold_left (fun acc c -> closure acc c.name) [] clients in
+      List.filter_map
+        (fun name -> Option.map (fun l -> l.dir) (Hashtbl.find_opt by_name name))
+        (List.sort_uniq String.compare names)
+      |> List.sort_uniq String.compare

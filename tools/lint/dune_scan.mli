@@ -1,0 +1,31 @@
+(** Dune build-graph scan: derives which directories rule R3
+    (domain-unsafe-state) applies to.
+
+    R3 must cover every library that code running inside
+    [Parallel.run] worker domains can reach.  Rather than hardcode that
+    list, this module reads the [(library ...)] stanzas of every dune
+    file under the library root, finds the Parallel provider (the
+    library whose directory contains [parallel.ml]) and its clients
+    (libraries whose sources mention ["Parallel."] and that link the
+    provider), and returns the directories of the clients plus the
+    transitive closure of their library dependencies. *)
+
+type sexp = Atom of string | List of sexp list
+
+val parse_sexps : string -> sexp list
+(** Parse the concatenated s-expressions of a dune file.  Handles
+    atoms, quoted atoms and [;]-comments — enough for this repo's dune
+    files, not a general reader. *)
+
+type library = { name : string; dir : string; deps : string list }
+
+val libraries : root:string -> dir:string -> library list
+(** All library stanzas found in dune files below [root/dir]; [dir] and
+    the returned [dir] fields are root-relative.  I/O errors are treated
+    as "no libraries here". *)
+
+val domain_state_dirs :
+  ?provider_file:string -> root:string -> lib_dir:string -> unit -> string list
+(** Root-relative directories R3 applies to, sorted.  Empty when the
+    provider or the build graph cannot be found (the driver surfaces
+    that as a configuration warning). *)

@@ -1,0 +1,51 @@
+(* Lint configuration: which rules run, where each rule looks, and the
+   audited whitelists.  Paths are relative to the lint root and use '/'
+   separators; a "dir" entry matches any file below it. *)
+
+type t = {
+  enabled : Lint_types.rule list;
+  scan_dirs : string list;
+  poly_hash_whitelist : string list;
+  poly_compare_dirs : string list;
+  domain_state_dirs : string list option;
+  lib_hygiene_dirs : string list;
+  lib_hygiene_exempt : string list;
+  obs_scope : string;
+  obs_doc : string;
+}
+
+(* The R1 whitelist is short on purpose: these are the modules whose
+   hashtables were audited to key on strings or ints only (Cost_key
+   digests, metric names), where Hashtbl.hash is exact.  Everything else
+   carries a per-line waiver stating its key type. *)
+let default =
+  {
+    enabled = Lint_types.all_rules;
+    scan_dirs = [ "lib"; "bin"; "bench"; "tools" ];
+    poly_hash_whitelist = [ "lib/engine/cost_key.ml"; "lib/engine/cost_cache.ml" ];
+    poly_compare_dirs = [ "lib/graph"; "lib/engine"; "lib/core"; "lib/util" ];
+    domain_state_dirs = None;
+    lib_hygiene_dirs = [ "lib" ];
+    lib_hygiene_exempt = [ "lib/experiments" ];
+    obs_scope = "lib";
+    obs_doc = "docs/OBSERVABILITY.md";
+  }
+
+let enabled t rule = List.mem rule t.enabled
+
+let restrict t rules = { t with enabled = List.filter (fun r -> List.mem r rules) t.enabled }
+
+let disable t rules = { t with enabled = List.filter (fun r -> not (List.mem r rules)) t.enabled }
+
+let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
+
+let under_dir ~dir path =
+  let dir = normalize dir and path = normalize path in
+  let dl = String.length dir in
+  String.length path > dl
+  && String.sub path 0 dl = dir
+  && (path.[dl] = '/' || dir = "")
+
+let in_dirs dirs path = List.exists (fun dir -> under_dir ~dir path) dirs
+
+let whitelisted t path = List.mem (normalize path) (List.map normalize t.poly_hash_whitelist)

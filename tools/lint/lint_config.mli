@@ -1,0 +1,40 @@
+(** Lint configuration: enabled rules, rule scopes, audited whitelists.
+    All paths are relative to the lint root, '/'-separated. *)
+
+type t = {
+  enabled : Lint_types.rule list;  (** rules that run *)
+  scan_dirs : string list;  (** root-relative dirs whose [.ml] files are parsed *)
+  poly_hash_whitelist : string list;
+      (** R1: exact files allowed to use default-hash hashtables (audited
+          string/int keys) without a waiver *)
+  poly_compare_dirs : string list;  (** R2: dirs where bare compare/(=) is hot *)
+  domain_state_dirs : string list option;
+      (** R3: dirs holding libraries reachable from [Parallel.run] worker
+          domains; [None] means "derive from the dune library graph"
+          (see {!Dune_scan.domain_state_dirs}) *)
+  lib_hygiene_dirs : string list;  (** R4: dirs that must stay side-effect clean *)
+  lib_hygiene_exempt : string list;
+      (** R4: sub-dirs whose contract is stdout reporting (lib/experiments) *)
+  obs_scope : string;  (** R6: dir whose Obs literals are collected *)
+  obs_doc : string;  (** R6: the catalogue document *)
+}
+
+val default : t
+(** The repo configuration described in [docs/LINTING.md]. *)
+
+val enabled : t -> Lint_types.rule -> bool
+
+val restrict : t -> Lint_types.rule list -> t
+(** Keep only the given rules enabled ([--rules]). *)
+
+val disable : t -> Lint_types.rule list -> t
+(** Turn the given rules off ([--disable]). *)
+
+val under_dir : dir:string -> string -> bool
+(** [under_dir ~dir path]: is [path] strictly below [dir]? *)
+
+val in_dirs : string list -> string -> bool
+(** [under_dir] against any of the dirs. *)
+
+val whitelisted : t -> string -> bool
+(** Is this exact file on the R1 whitelist? *)

@@ -1,0 +1,104 @@
+(* Core vocabulary of the linter: the rule set, findings, and the
+   stable textual ids used in output, waiver comments and CLI flags. *)
+
+type rule =
+  | Poly_hash
+  | Poly_compare
+  | Domain_unsafe_state
+  | Lib_hygiene
+  | Mli_coverage
+  | Obs_catalogue_sync
+  | Parse_error
+
+let all_rules =
+  [
+    Poly_hash;
+    Poly_compare;
+    Domain_unsafe_state;
+    Lib_hygiene;
+    Mli_coverage;
+    Obs_catalogue_sync;
+  ]
+
+let rule_id = function
+  | Poly_hash -> "poly-hash"
+  | Poly_compare -> "poly-compare"
+  | Domain_unsafe_state -> "domain-unsafe-state"
+  | Lib_hygiene -> "lib-hygiene"
+  | Mli_coverage -> "mli-coverage"
+  | Obs_catalogue_sync -> "obs-catalogue-sync"
+  | Parse_error -> "parse-error"
+
+let rule_code = function
+  | Poly_hash -> "R1"
+  | Poly_compare -> "R2"
+  | Domain_unsafe_state -> "R3"
+  | Lib_hygiene -> "R4"
+  | Mli_coverage -> "R5"
+  | Obs_catalogue_sync -> "R6"
+  | Parse_error -> "R0"
+
+let rule_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  List.find_opt (fun r -> rule_id r = s || String.lowercase_ascii (rule_code r) = s) all_rules
+
+let rule_doc = function
+  | Poly_hash ->
+      "Hashtbl.hash / default-hash Hashtbl.create outside whitelisted modules"
+  | Poly_compare ->
+      "bare polymorphic compare/(=) on float-carrying hot-path code"
+  | Domain_unsafe_state ->
+      "unsynchronized module-toplevel mutable state in Parallel-linked libraries"
+  | Lib_hygiene -> "Obj.magic / exit / stdout printing inside lib/"
+  | Mli_coverage -> "every lib/**/*.ml must have a sibling .mli"
+  | Obs_catalogue_sync ->
+      "obs metric/span literals must match docs/OBSERVABILITY.md, both ways"
+  | Parse_error -> "source file failed to parse (not toggleable)"
+
+type finding = {
+  file : string;  (** path relative to the lint root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  rule : rule;
+  message : string;
+  waived : bool;
+}
+
+let finding ?(col = 0) ~file ~line ~rule message =
+  { file; line; col; rule; message; waived = false }
+
+let compare_findings a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (rule_id a.rule) (rule_id b.rule)
+
+let to_line f =
+  Printf.sprintf "%s:%d: [%s] %s%s" f.file f.line (rule_id f.rule) f.message
+    (if f.waived then " (waived)" else "")
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s","waived":%b}|}
+    (json_escape f.file) f.line f.col (rule_id f.rule) (json_escape f.message)
+    f.waived

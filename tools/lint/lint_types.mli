@@ -1,0 +1,51 @@
+(** Rule set, findings, and stable textual ids shared by every lint module. *)
+
+type rule =
+  | Poly_hash  (** R1: polymorphic hashing outside whitelisted modules *)
+  | Poly_compare  (** R2: polymorphic compare/(=) on float-carrying hot paths *)
+  | Domain_unsafe_state  (** R3: toplevel mutable state visible to domains *)
+  | Lib_hygiene  (** R4: [Obj.magic] / [exit] / stdout printing inside [lib/] *)
+  | Mli_coverage  (** R5: [lib/**/*.ml] without a sibling [.mli] *)
+  | Obs_catalogue_sync  (** R6: obs names vs [docs/OBSERVABILITY.md] drift *)
+  | Parse_error  (** internal: a source file failed to parse; never toggleable *)
+
+val all_rules : rule list
+(** The six user-facing rules, in R1..R6 order ([Parse_error] excluded). *)
+
+val rule_id : rule -> string
+(** Stable kebab-case id, e.g. ["poly-hash"] — used in output lines, waiver
+    comments and [--rules]/[--disable]. *)
+
+val rule_code : rule -> string
+(** Short code, e.g. ["R1"] — accepted as an alias wherever [rule_id] is. *)
+
+val rule_of_string : string -> rule option
+(** Parse either a [rule_id] or a [rule_code], case-insensitively. *)
+
+val rule_doc : rule -> string
+(** One-line description for [--list-rules]. *)
+
+type finding = {
+  file : string;  (** path relative to the lint root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  rule : rule;
+  message : string;
+  waived : bool;  (** a matching waiver comment covers this finding *)
+}
+
+val finding :
+  ?col:int -> file:string -> line:int -> rule:rule -> string -> finding
+(** Build an unwaived finding. *)
+
+val compare_findings : finding -> finding -> int
+(** Order by file, line, column, rule — the report order. *)
+
+val to_line : finding -> string
+(** Render as [file:line: [rule-id] message]. *)
+
+val to_json : finding -> string
+(** Render as a single JSON object (no trailing newline). *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON literal. *)

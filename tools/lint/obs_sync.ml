@@ -1,0 +1,177 @@
+(* R6: the obs catalogue cross-check.
+
+   Code side: every string literal passed to Registry.counter /
+   Registry.histogram / Span.with_span under lib/ (collected by Rules).
+   Doc side: docs/OBSERVABILITY.md — metric names are the backticked
+   first cells of table rows in the "Metric catalogue" section; span
+   names are every backticked dotted name in the "Span naming
+   convention" section.
+
+   Checked both directions for metrics (tables are precise), and
+   code->doc only for spans: the span list legitimately names dynamic
+   families like `optimizer.<method>` (matched as a wildcard) and
+   illustrative instances of them, which have no single literal in the
+   code.  Dynamic names (string concatenation) cannot be checked and
+   are only tallied. *)
+
+type catalogue = {
+  metrics : (string * int) list;  (** name, 1-based doc line *)
+  spans : (string * int) list;
+}
+
+let is_dotted_name s =
+  String.length s > 0
+  && s.[0] >= 'a'
+  && s.[0] <= 'z'
+  && String.contains s '.'
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '.' || c = '-' || c = '<' || c = '>')
+       s
+
+(* All `backticked` tokens of a line, left to right. *)
+let backticked line =
+  let out = ref [] in
+  let n = String.length line in
+  let rec go i =
+    if i >= n then ()
+    else if line.[i] = '`' then (
+      match String.index_from_opt line (i + 1) '`' with
+      | None -> ()
+      | Some j ->
+          out := String.sub line (i + 1) (j - i - 1) :: !out;
+          go (j + 1))
+    else go (i + 1)
+  in
+  go 0;
+  List.rev !out
+
+let first_table_cell line =
+  let line = String.trim line in
+  if String.length line = 0 || line.[0] <> '|' then None
+  else
+    match String.index_from_opt line 1 '|' with
+    | None -> None
+    | Some j -> Some (String.sub line 1 (j - 1))
+
+let parse_doc text =
+  let metrics = ref [] and spans = ref [] in
+  let section = ref `Other in
+  List.iteri
+    (fun i line ->
+      let lnum = i + 1 in
+      let trimmed = String.trim line in
+      if String.length trimmed >= 3 && String.sub trimmed 0 3 = "## " then
+        section :=
+          (let t = String.lowercase_ascii trimmed in
+           let has needle =
+             let nl = String.length needle and tl = String.length t in
+             let rec find k =
+               k + nl <= tl && (String.sub t k nl = needle || find (k + 1))
+             in
+             find 0
+           in
+           if has "metric catalogue" then `Metrics
+           else if has "span naming" then `Spans
+           else `Other)
+      else
+        match !section with
+        | `Metrics -> (
+            match first_table_cell line with
+            | None -> ()
+            | Some cell -> (
+                match backticked cell with
+                | [ name ] when is_dotted_name name ->
+                    metrics := (name, lnum) :: !metrics
+                | _ -> ()))
+        | `Spans ->
+            List.iter
+              (fun tok ->
+                if is_dotted_name tok then spans := (tok, lnum) :: !spans)
+              (backticked line)
+        | `Other -> ())
+    (String.split_on_char '\n' text);
+  { metrics = List.rev !metrics; spans = List.rev !spans }
+
+(* Wildcard match: `<...>` segments in doc names match any non-empty
+   run of name characters ([optimizer.<method>] matches
+   [optimizer.k-aware]). *)
+let glob_of_doc_name name =
+  let buf = Buffer.create (String.length name) in
+  let inside = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' ->
+          inside := true;
+          Buffer.add_char buf '*'
+      | '>' -> inside := false
+      | _ when !inside -> ()
+      | c -> Buffer.add_char buf c)
+    name;
+  Buffer.contents buf
+
+let rec glob_match pattern s pi si =
+  if pi = String.length pattern then si = String.length s
+  else
+    match pattern.[pi] with
+    | '*' ->
+        let rec try_from k =
+          k <= String.length s && (glob_match pattern s (pi + 1) k || try_from (k + 1))
+        in
+        try_from (si + 1) (* non-empty match *)
+    | c -> si < String.length s && s.[si] = c && glob_match pattern s (pi + 1) (si + 1)
+
+let doc_name_matches doc_name code_name =
+  if String.contains doc_name '<' then
+    glob_match (glob_of_doc_name doc_name) code_name 0 0
+  else String.equal doc_name code_name
+
+let check ~doc_path catalogue (code : Rules.obs_literal list) =
+  let findings = ref [] in
+  let add ~file ~line message =
+    findings :=
+      Lint_types.finding ~file ~line ~rule:Lint_types.Obs_catalogue_sync message
+      :: !findings
+  in
+  let code_of kind =
+    List.filter (fun (l : Rules.obs_literal) -> l.kind = kind) code
+  in
+  let code_metrics = code_of Rules.Metric in
+  (* cddpd-lint: allow poly-hash — shallow (string, kind) keys *)
+  let seen = Hashtbl.create 64 in
+  (* code -> doc: every literal must be catalogued *)
+  List.iter
+    (fun (l : Rules.obs_literal) ->
+      if not (Hashtbl.mem seen (l.name, l.kind)) then begin
+        Hashtbl.add seen (l.name, l.kind) ();
+        let catalogued =
+          match l.kind with
+          | Rules.Metric -> List.exists (fun (n, _) -> String.equal n l.name) catalogue.metrics
+          | Rules.Span ->
+              List.exists (fun (n, _) -> doc_name_matches n l.name) catalogue.spans
+        in
+        if not catalogued then
+          add ~file:l.file ~line:l.line
+            (Printf.sprintf "obs %s \"%s\" is not catalogued in %s"
+               (match l.kind with Rules.Metric -> "metric" | Rules.Span -> "span")
+               l.name doc_path)
+      end)
+    code;
+  (* doc -> code, metrics only: every catalogued metric must have an emitter *)
+  List.iter
+    (fun (name, line) ->
+      if
+        not
+          (List.exists
+             (fun (l : Rules.obs_literal) -> String.equal l.name name)
+             code_metrics)
+      then
+        add ~file:doc_path ~line
+          (Printf.sprintf
+             "catalogued metric \"%s\" has no emitter left in lib/ — stale entry?"
+             name))
+    catalogue.metrics;
+  List.rev !findings

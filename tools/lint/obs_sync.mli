@@ -1,0 +1,28 @@
+(** R6 (obs-catalogue-sync): cross-check Obs name literals against the
+    catalogue in [docs/OBSERVABILITY.md].
+
+    Metrics are checked in both directions — every
+    [Registry.counter]/[Registry.histogram] literal under [lib/] must
+    appear as a table row in the "Metric catalogue" section, and every
+    table row must still have an emitter.  Spans are checked
+    code->doc only: the "Span naming convention" section may name
+    dynamic families like [optimizer.<method>], whose [<...>] segments
+    match as wildcards. *)
+
+type catalogue = {
+  metrics : (string * int) list;  (** catalogued metric name, 1-based doc line *)
+  spans : (string * int) list;  (** catalogued span name (may contain [<...>]) *)
+}
+
+val parse_doc : string -> catalogue
+(** Extract the catalogue from the markdown text of OBSERVABILITY.md. *)
+
+val doc_name_matches : string -> string -> bool
+(** [doc_name_matches doc code]: literal equality, with [<...>] in the
+    doc name matching any non-empty run of name characters. *)
+
+val check :
+  doc_path:string -> catalogue -> Rules.obs_literal list -> Lint_types.finding list
+(** Produce the drift findings.  Code-side findings carry the emitting
+    file/line (waivable there); doc-side findings point at the stale
+    catalogue row. *)

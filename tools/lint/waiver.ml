@@ -1,0 +1,96 @@
+(* Waiver comments.
+
+   A finding is waived by putting
+
+     (* cddpd-lint: allow <rule-id>[, <rule-id>...] — <reason> *)
+
+   on the offending line, or on the line directly above it (for sites
+   where the offending line has no room left).  Rule ids are the
+   kebab-case names or the R1..R6 codes; the reason is free text after an
+   em-dash / double-dash separator.  Waivers are matched textually, so
+   they work even in files the parser rejects. *)
+
+type t = { by_line : (int, Lint_types.rule list) Hashtbl.t }
+
+let marker = "cddpd-lint:"
+
+(* The rule list runs from "allow" to the end of the comment or to the
+   first reason separator ("—", "--" or a lone "-"). *)
+let parse_rules text =
+  let stop =
+    let candidates =
+      List.filter_map
+        (fun sep ->
+          let rec find i =
+            if i + String.length sep > String.length text then None
+            else if String.sub text i (String.length sep) = sep then Some i
+            else find (i + 1)
+          in
+          find 0)
+        [ "\xe2\x80\x94" (* — *); "--"; "*)" ]
+    in
+    match candidates with [] -> String.length text | l -> List.fold_left min max_int l
+  in
+  String.sub text 0 stop
+  |> String.split_on_char ','
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter_map (fun tok ->
+         match String.trim tok with "" -> None | tok -> Lint_types.rule_of_string tok)
+
+let scan source =
+  (* cddpd-lint: allow poly-hash — int line-number keys, poly-hash is exact on ints *)
+  let by_line = Hashtbl.create 16 in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line ->
+      match
+        let rec find j =
+          if j + String.length marker > String.length line then None
+          else if String.sub line j (String.length marker) = marker then Some j
+          else find (j + 1)
+        in
+        find 0
+      with
+      | None -> ()
+      | Some j ->
+          let rest =
+            String.sub line
+              (j + String.length marker)
+              (String.length line - j - String.length marker)
+          in
+          let rest = String.trim rest in
+          let allow = "allow" in
+          if
+            String.length rest >= String.length allow
+            && String.sub rest 0 (String.length allow) = allow
+          then
+            let rules =
+              parse_rules
+                (String.sub rest (String.length allow)
+                   (String.length rest - String.length allow))
+            in
+            if rules <> [] then Hashtbl.replace by_line (i + 1) rules)
+    lines;
+  { by_line }
+
+let waives_line t ~line ~rule =
+  match Hashtbl.find_opt t.by_line line with
+  | None -> false
+  | Some rules -> List.mem rule rules
+
+let covers t ~line ~rule =
+  waives_line t ~line ~rule || waives_line t ~line:(line - 1) ~rule
+
+let anywhere t ~rule =
+  Hashtbl.fold (fun _ rules acc -> acc || List.mem rule rules) t.by_line false
+
+let apply t findings =
+  List.map
+    (fun (f : Lint_types.finding) ->
+      let waived =
+        match f.rule with
+        | Lint_types.Mli_coverage -> anywhere t ~rule:f.rule
+        | rule -> covers t ~line:f.line ~rule
+      in
+      if waived then { f with waived = true } else f)
+    findings

@@ -1,0 +1,24 @@
+(** Per-line lint waivers.
+
+    Syntax, inside any OCaml comment:
+
+    {v (* cddpd-lint: allow <rule-id>[, <rule-id>...] — <reason> *) v}
+
+    A waiver covers findings of the named rules on its own line and on
+    the line directly below it.  [mli-coverage] waivers (a file-level
+    property) are honoured anywhere in the file.  Matching is textual,
+    so waivers keep working in files the parser cannot read. *)
+
+type t
+
+val scan : string -> t
+(** Collect the waiver comments of one source file. *)
+
+val covers : t -> line:int -> rule:Lint_types.rule -> bool
+(** Is there a waiver for [rule] on [line] or on [line - 1]? *)
+
+val anywhere : t -> rule:Lint_types.rule -> bool
+(** Is there a waiver for [rule] anywhere in the file? *)
+
+val apply : t -> Lint_types.finding list -> Lint_types.finding list
+(** Mark each finding covered by a waiver as [waived]. *)
