@@ -57,22 +57,25 @@ type options = {
   obs_out : string;
   micro_out : string;
   solvers_out : string;
+  experiments_out : string;
   jobs : int option;
+  cell_jobs : int option;
   cost_cache : bool;
 }
 
 let all_experiments =
   [ "table1"; "table2"; "figure3"; "figure4"; "ablation"; "updates"; "views";
-    "space"; "micro"; "solvers" ]
+    "space"; "micro"; "solvers"; "experiments" ]
 
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [table1|table2|figure3|figure4|ablation|updates|views|space|micro|solvers]... \
+     [table1|table2|figure3|figure4|ablation|updates|views|space|micro|solvers|experiments]... \
      [--suite NAME] \
      [--rows N] [--value-range N] [--scale F] [--seed N] [--quick] \
-     [--jobs N] [--no-cost-cache] \
-     [--no-metrics] [--obs-out FILE] [--micro-out FILE] [--solvers-out FILE]";
+     [--jobs N] [--cell-jobs N] [--no-cost-cache] \
+     [--no-metrics] [--obs-out FILE] [--micro-out FILE] [--solvers-out FILE] \
+     [--experiments-out FILE]";
   exit 2
 
 let parse_args () =
@@ -82,7 +85,9 @@ let parse_args () =
   let obs_out = ref "BENCH_obs.json" in
   let micro_out = ref "BENCH_micro.json" in
   let solvers_out = ref "BENCH_solvers.json" in
+  let experiments_out = ref "BENCH_experiments.json" in
   let jobs = ref None in
+  let cell_jobs = ref None in
   let cost_cache = ref true in
   let rec go args =
     match args with
@@ -98,6 +103,14 @@ let parse_args () =
         go rest
     | "--solvers-out" :: v :: rest ->
         solvers_out := v;
+        go rest
+    | "--experiments-out" :: v :: rest ->
+        experiments_out := v;
+        go rest
+    | "--cell-jobs" :: v :: rest ->
+        let j = int_of_string v in
+        if j < 1 then usage ();
+        cell_jobs := Some j;
         go rest
     | "--suite" :: v :: rest ->
         if not (List.mem v all_experiments) then usage ();
@@ -147,7 +160,9 @@ let parse_args () =
     obs_out = !obs_out;
     micro_out = !micro_out;
     solvers_out = !solvers_out;
+    experiments_out = !experiments_out;
     jobs = !jobs;
+    cell_jobs = !cell_jobs;
     cost_cache = !cost_cache;
   }
 
@@ -605,13 +620,255 @@ let write_solvers_json path entries =
   output_string oc "]}\n";
   close_out oc
 
+(* -- experiments suite: parallel cell runner + scan-optimized storage ----- *)
+
+(* A reduced figure3+figure4 sweep (the two paper artifacts dominated by,
+   respectively, engine replay I/O and solver runtime), run through the
+   parallel cell runner under every arm of {cell_jobs} x {readahead
+   on/off}.  Each arm reports the median of [experiments_runs] wall
+   times plus a digest of every deterministic output field; the digests
+   must agree across all arms — that is the bit-identity claim of the
+   cell runner and the logical-I/O-invariance claim of readahead, checked
+   at bench time on every run. *)
+
+let experiments_runs = 3
+let experiments_cell_jobs = [ 1; 4 ]
+let experiments_ks = [ 2; 6; 10 ]
+let experiments_repeats = 2
+let experiments_bulk_rows = 100_000
+
+let experiments_reduced (config : Setup.config) =
+  {
+    config with
+    Setup.rows = min config.Setup.rows 10_000;
+    value_range = min config.Setup.value_range 2_000;
+    scale = Float.min config.Setup.scale 0.1;
+  }
+
+(* %h prints the exact hex representation, so the digest is bit-precise. *)
+let figure3_digest (r : Figure3.result) =
+  String.concat ";"
+    (Printf.sprintf "base=%d" r.Figure3.baseline_io
+    :: List.map
+         (fun m ->
+           Printf.sprintf "%s:%d:%d:%h:%h" m.Figure3.workload
+             m.Figure3.unconstrained_io m.Figure3.constrained_io
+             m.Figure3.relative_unconstrained m.Figure3.relative_constrained)
+         r.Figure3.measurements)
+
+let figure4_cost_digest (r : Figure4.result) =
+  String.concat ";"
+    (Printf.sprintf "uc=%h" r.Figure4.unconstrained_cost
+    :: List.map
+         (fun p ->
+           Printf.sprintf "k%d:%h:%h" p.Figure4.k p.Figure4.kaware_cost
+             p.Figure4.merging_cost)
+         r.Figure4.points)
+
+type sweep_arm = {
+  ex_readahead : int;
+  ex_cell_jobs : int;
+  ex_median_s : float;
+  ex_digest : string;  (** MD5 over the deterministic output fields *)
+}
+
+let experiments_sweep (config : Setup.config) =
+  List.concat_map
+    (fun readahead ->
+      let config = { config with Setup.readahead } in
+      let t0 = Unix.gettimeofday () in
+      let session = Session.create config in
+      Printf.printf "(session readahead=%d loaded in %.1fs)\n%!" readahead
+        (Unix.gettimeofday () -. t0);
+      List.map
+        (fun cell_jobs ->
+          let digest = ref "" in
+          let times =
+            Array.init experiments_runs (fun _ ->
+                let t0 = Unix.gettimeofday () in
+                let f3 = Figure3.run_cells ~cell_jobs session in
+                let f4 =
+                  Figure4.run_cells ~ks:experiments_ks
+                    ~repeats:experiments_repeats ~cell_jobs session
+                in
+                let elapsed = Unix.gettimeofday () -. t0 in
+                digest :=
+                  Digest.to_hex
+                    (Digest.string
+                       (figure3_digest f3 ^ "|" ^ figure4_cost_digest f4));
+                elapsed)
+          in
+          {
+            ex_readahead = readahead;
+            ex_cell_jobs = cell_jobs;
+            ex_median_s = median_of times;
+            ex_digest = !digest;
+          })
+        experiments_cell_jobs)
+    [ Cddpd_storage.Buffer_pool.default_readahead; 0 ]
+
+(* Bulk load vs row-at-a-time load of the same batch into a table with two
+   prebuilt indexes; the loaded states must answer queries identically. *)
+type bulk_result = {
+  bk_bulk_s : float;
+  bk_row_s : float;
+  bk_output_equal : bool;
+}
+
+let experiments_bulk () =
+  let rng = Rng.create 42 in
+  let data =
+    Array.init experiments_bulk_rows (fun _ ->
+        Array.init 4 (fun _ -> Cddpd_storage.Tuple.Int (Rng.int rng 5_000)))
+  in
+  let index columns = Index_def.make ~table:"t" ~columns in
+  let load bulk =
+    let db = Cddpd_engine.Database.create ~pool_capacity:8192 [ Setup.schema ] in
+    Cddpd_engine.Database.build_index db (index [ "a" ]);
+    Cddpd_engine.Database.build_index db (index [ "a"; "b" ]);
+    let t0 = Unix.gettimeofday () in
+    Cddpd_engine.Database.load ~bulk db ~table:"t" data;
+    (Unix.gettimeofday () -. t0, db)
+  in
+  let time_mode bulk =
+    let last_db = ref None in
+    let times =
+      Array.init experiments_runs (fun _ ->
+          let s, db = load bulk in
+          last_db := Some db;
+          s)
+    in
+    (median_of times, Option.get !last_db)
+  in
+  let bk_bulk_s, db_bulk = time_mode true in
+  let bk_row_s, db_row = time_mode false in
+  let probe db sql =
+    let r = Cddpd_engine.Database.execute_sql db sql in
+    List.sort compare r.Cddpd_engine.Database.rows
+  in
+  let bk_output_equal =
+    List.for_all
+      (fun sql -> probe db_bulk sql = probe db_row sql)
+      [
+        "SELECT a, b FROM t WHERE a = 7";
+        "SELECT a FROM t WHERE a BETWEEN 100 AND 120";
+        "SELECT a, COUNT(*) FROM t GROUP BY a";
+      ]
+    && Cddpd_engine.Database.row_count db_bulk "t"
+       = Cddpd_engine.Database.row_count db_row "t"
+  in
+  { bk_bulk_s; bk_row_s; bk_output_equal }
+
+let write_experiments_json path ~(config : Setup.config) arms bulk =
+  let digests_identical =
+    match arms with
+    | first :: rest ->
+        List.for_all (fun a -> String.equal a.ex_digest first.ex_digest) rest
+    | [] -> true
+  in
+  let speedup =
+    let find jobs =
+      List.find_opt
+        (fun a ->
+          a.ex_cell_jobs = jobs
+          && a.ex_readahead = Cddpd_storage.Buffer_pool.default_readahead)
+        arms
+    in
+    match (find 1, find 4) with
+    | Some seq, Some par -> seq.ex_median_s /. par.ex_median_s
+    | _ -> nan
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"schema\":\"cddpd-bench-experiments/1\",\"rows\":%d,\"value_range\":%d,\
+     \"scale\":%.3f,\"seed\":%d,\"runs\":%d,\"cores\":%d,\
+     \"figure4_ks\":[%s],\"figure4_repeats\":%d,\"sweep\":["
+    config.Setup.rows config.Setup.value_range config.Setup.scale
+    config.Setup.seed experiments_runs
+    (Cddpd_util.Parallel.ncpu ())
+    (String.concat "," (List.map string_of_int experiments_ks))
+    experiments_repeats;
+  List.iteri
+    (fun i a ->
+      Printf.fprintf oc
+        "%s{\"readahead\":%d,\"cell_jobs\":%d,\"median_s\":%s,\"digest\":\"%s\"}"
+        (if i = 0 then "" else ",")
+        a.ex_readahead a.ex_cell_jobs (json_float6 a.ex_median_s) a.ex_digest)
+    arms;
+  Printf.fprintf oc
+    "],\"digests_identical\":%b,\"parallel_speedup\":%s,\
+     \"bulk_load\":{\"rows\":%d,\"indexes\":2,\"runs\":%d,\
+     \"bulk_median_s\":%s,\"row_median_s\":%s,\"speedup\":%s,\
+     \"output_equal\":%b}}\n"
+    digests_identical (json_float speedup) experiments_bulk_rows
+    experiments_runs (json_float6 bulk.bk_bulk_s) (json_float6 bulk.bk_row_s)
+    (json_float (bulk.bk_row_s /. bulk.bk_bulk_s))
+    bulk.bk_output_equal;
+  close_out oc
+
+let experiments_suite ~(options : options) () =
+  (* Timed arms must not be skewed by main-domain metric recording. *)
+  let was_enabled = Obs.Registry.enabled () in
+  Obs.Registry.disable ();
+  Fun.protect
+    ~finally:(fun () -> if was_enabled then Obs.Registry.enable ())
+  @@ fun () ->
+  let config = experiments_reduced options.config in
+  let arms = experiments_sweep config in
+  let table =
+    Cddpd_util.Text_table.create
+      [
+        ("readahead", Cddpd_util.Text_table.Right);
+        ("cell jobs", Cddpd_util.Text_table.Right);
+        ("sweep median s", Cddpd_util.Text_table.Right);
+        ("digest", Cddpd_util.Text_table.Left);
+      ]
+  in
+  List.iter
+    (fun a ->
+      Cddpd_util.Text_table.add_row table
+        [
+          string_of_int a.ex_readahead;
+          string_of_int a.ex_cell_jobs;
+          Printf.sprintf "%.2f" a.ex_median_s;
+          String.sub a.ex_digest 0 12;
+        ])
+    arms;
+  Cddpd_util.Text_table.print table;
+  (match arms with
+  | first :: rest ->
+      List.iter
+        (fun a ->
+          if not (String.equal a.ex_digest first.ex_digest) then
+            failwith
+              (Printf.sprintf
+                 "experiments: outputs differ at readahead=%d cell_jobs=%d"
+                 a.ex_readahead a.ex_cell_jobs))
+        rest;
+      Printf.printf "\nall %d arms produced identical outputs\n%!"
+        (List.length arms)
+  | [] -> ());
+  let bulk = experiments_bulk () in
+  Printf.printf
+    "bulk load %d rows, 2 indexes: bulk %.2fs vs row-at-a-time %.2fs \
+     (%.1fx), outputs %s\n%!"
+    experiments_bulk_rows bulk.bk_bulk_s bulk.bk_row_s
+    (bulk.bk_row_s /. bulk.bk_bulk_s)
+    (if bulk.bk_output_equal then "equal" else "DIFFER");
+  if not bulk.bk_output_equal then
+    failwith "experiments: bulk load state differs from row-at-a-time load";
+  write_experiments_json options.experiments_out ~config arms bulk
+
 let () =
-  let ({ experiments; config; metrics; obs_out; micro_out; solvers_out; jobs;
-         cost_cache } as options) =
+  let ({ experiments; config; metrics; obs_out; micro_out; solvers_out;
+         experiments_out = _; jobs; cell_jobs; cost_cache } as options) =
     parse_args ()
   in
   (match jobs with
   | Some j -> Cddpd_util.Parallel.set_default_jobs j
+  | None -> ());
+  (match cell_jobs with
+  | Some j -> Cddpd_experiments.Runner.set_default_cell_jobs j
   | None -> ());
   if not cost_cache then Cddpd_engine.Cost_cache.set_default_enabled false;
   if metrics then Obs.Registry.enable ();
@@ -679,6 +936,11 @@ let () =
           let entries = solvers_suite () in
           write_solvers_json solvers_out entries;
           Printf.printf "\n(wrote solver scaling baseline to %s)\n%!" solvers_out
+      | "experiments" ->
+          banner "Experiments: parallel cell runner + bulk load";
+          experiments_suite ~options ();
+          Printf.printf "\n(wrote experiment engine baseline to %s)\n%!"
+            options.experiments_out
       | _ -> usage ())
     experiments;
   if metrics then begin

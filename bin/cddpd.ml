@@ -71,6 +71,22 @@ let no_cost_cache_arg =
        & info [ "no-cost-cache" ]
            ~doc:"Disable memoization of what-if cost-model calls.")
 
+let cell_jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "cell-jobs" ] ~docv:"N"
+           ~doc:"Domains used to run independent experiment cells \
+                 (distinct from $(b,--jobs), which parallelizes cost-matrix \
+                 construction; default: \\$(b,CDDPD_JOBS) if set, else the \
+                 CPU count).  Results are identical at any value.")
+
+let apply_cell_jobs cell_jobs =
+  match cell_jobs with
+  | Some j when j >= 1 -> Cddpd_experiments.Runner.set_default_cell_jobs j
+  | Some _ ->
+      prerr_endline "cddpd: --cell-jobs must be at least 1";
+      exit 2
+  | None -> ()
+
 (* The knobs are process-global defaults, so they reach every
    Problem.build — including the ones experiments run internally. *)
 let apply_perf_knobs jobs no_cost_cache =
@@ -101,7 +117,7 @@ let scale_arg =
        & info [ "scale" ] ~docv:"F" ~doc:"Workload segment-length multiplier.")
 
 let config_of rows value_range seed scale =
-  { Setup.rows; value_range; seed; scale; pool_capacity = Setup.default_config.Setup.pool_capacity }
+  { Setup.default_config with Setup.rows; value_range; seed; scale }
 
 let method_conv =
   let parse s =
@@ -264,8 +280,10 @@ let simulate_cmd =
 
 (* -- experiment -------------------------------------------------------------- *)
 
-let experiment name rows value_range seed scale jobs no_cost_cache metrics trace =
+let experiment name rows value_range seed scale jobs cell_jobs no_cost_cache metrics
+    trace =
   apply_perf_knobs jobs no_cost_cache;
+  apply_cell_jobs cell_jobs;
   with_obs ~metrics ~trace @@ fun () ->
   let config = config_of rows value_range seed scale in
   let session = lazy (Session.create config) in
@@ -274,26 +292,31 @@ let experiment name rows value_range seed scale jobs no_cost_cache metrics trace
       Cddpd_experiments.Table1.print (Cddpd_experiments.Table1.run ());
       0
   | "table2" ->
-      Cddpd_experiments.Table2.print (Cddpd_experiments.Table2.run (Lazy.force session));
+      Cddpd_experiments.Table2.print
+        (Cddpd_experiments.Table2.run_cells (Lazy.force session));
       0
   | "figure3" ->
-      Cddpd_experiments.Figure3.print (Cddpd_experiments.Figure3.run (Lazy.force session));
+      Cddpd_experiments.Figure3.print
+        (Cddpd_experiments.Figure3.run_cells (Lazy.force session));
       0
   | "figure4" ->
-      Cddpd_experiments.Figure4.print (Cddpd_experiments.Figure4.run (Lazy.force session));
+      Cddpd_experiments.Figure4.print
+        (Cddpd_experiments.Figure4.run_cells (Lazy.force session));
       0
   | "ablation" ->
-      Cddpd_experiments.Ablation.print (Cddpd_experiments.Ablation.run (Lazy.force session));
+      Cddpd_experiments.Ablation.print
+        (Cddpd_experiments.Ablation.run_cells (Lazy.force session));
       0
   | "updates" ->
-      Cddpd_experiments.Updates.print (Cddpd_experiments.Updates.run (Lazy.force session));
+      Cddpd_experiments.Updates.print
+        (Cddpd_experiments.Updates.run_cells (Lazy.force session));
       0
   | "views" ->
       Cddpd_experiments.Views.print (Cddpd_experiments.Views.run (Lazy.force session));
       0
   | "space" ->
       Cddpd_experiments.Space_bound.print
-        (Cddpd_experiments.Space_bound.run (Lazy.force session));
+        (Cddpd_experiments.Space_bound.run_cells (Lazy.force session));
       0
   | other ->
       Printf.eprintf "cddpd: unknown experiment %s (table1|table2|figure3|figure4|ablation|updates|views|space)\n"
@@ -309,7 +332,8 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Reproduce one table or figure of the paper.")
     Term.(
       const experiment $ experiment_name $ rows_arg $ value_range_arg $ seed_arg
-      $ scale_arg $ jobs_arg $ no_cost_cache_arg $ metrics_arg $ trace_spans_arg)
+      $ scale_arg $ jobs_arg $ cell_jobs_arg $ no_cost_cache_arg $ metrics_arg
+      $ trace_spans_arg)
 
 (* -- main ---------------------------------------------------------------------- *)
 

@@ -26,10 +26,11 @@ type t = {
   table_order : string list;
 }
 
-let create ?(pool_capacity = 256) ?(params = Cost_model.default_params) schemas =
-  if schemas = [] then invalid_arg "Database.create: no tables";
+let create ?(pool_capacity = 256) ?readahead ?(params = Cost_model.default_params)
+    schemas =
+  (match schemas with [] -> invalid_arg "Database.create: no tables" | _ :: _ -> ());
   let disk = Disk.create () in
-  let pool = Buffer_pool.create ~capacity:pool_capacity disk in
+  let pool = Buffer_pool.create ~capacity:pool_capacity ?readahead disk in
   (* cddpd-lint: allow poly-hash — string table-name keys *)
   let tables = Hashtbl.create 8 in
   List.iter
@@ -96,7 +97,11 @@ let table_stats t name =
       stats
 
 let analyze t =
-  Hashtbl.iter (fun _ state -> state.stats <- Some (collect_stats state)) t.tables
+  List.iter
+    (fun name ->
+      let state = table_state t name in
+      state.stats <- Some (collect_stats state))
+    t.table_order
 
 (* -- loading -------------------------------------------------------------- *)
 
@@ -108,23 +113,61 @@ let insert_row state tuple =
   List.iter (fun index -> Index.insert_entry index tuple rid) state.indexes;
   List.iter (fun view -> Mat_view.apply_insert view tuple) state.views
 
-let load t ~table rows =
+let validate_row state tuple =
+  match Schema.validate_tuple state.schema tuple with
+  | Ok () -> ()
+  | Error message -> invalid_arg ("Database.load: " ^ message)
+
+(* Bulk path: append every row to the heap first, then rebuild each
+   existing index ([Index.build]: one heap scan, sort, [Btree.bulk_load])
+   and materialized view from scratch, instead of descending a tree per
+   row per structure.  Structure list order is preserved; old tree pages
+   are not reclaimed, the same convention as [drop_index].  All rows are
+   validated up front, so a bad row rejects the whole batch before any
+   mutation (the row-at-a-time path fails mid-way instead). *)
+let bulk_load t state rows =
+  Array.iter (validate_row state) rows;
+  let heap_was_empty = Heap_file.n_tuples state.heap = 0 in
+  let rids = Array.map (fun tuple -> Heap_file.insert state.heap tuple) rows in
+  state.indexes <-
+    List.map
+      (fun i ->
+        (* When the batch is the whole heap, build each tree straight from
+           the in-memory rows and the rids just assigned — no heap rescan,
+           no per-row tuple decode. *)
+        if heap_was_empty then
+          Index.build_of_rows t.pool state.schema (Index.def i) ~rows ~rids
+        else Index.build t.pool state.schema state.heap (Index.def i))
+      state.indexes;
+  state.views <-
+    List.map (fun v -> Mat_view.build t.pool state.schema state.heap (Mat_view.def v)) state.views
+
+let load ?(bulk = true) t ~table rows =
   let state = table_state t table in
-  Array.iter (insert_row state) rows;
-  state.stats <- Some (collect_stats state)
+  (match (bulk, state.indexes, state.views) with
+  | false, _, _ | true, [], [] -> Array.iter (insert_row state) rows
+  | true, _, _ -> bulk_load t state rows);
+  (* Invalidate rather than recompute: statistics are rebuilt on the first
+     [table_stats] call, the same convention as the DML paths.  Loading a
+     table that is never analyzed costs no histogram pass. *)
+  state.stats <- None
 
 (* -- physical design ------------------------------------------------------ *)
 
+(* Iterate in declared table order (not Hashtbl order) so the resulting
+   design — and anything derived from it, like migration sequences — is
+   deterministic across processes and hash seeds. *)
 let current_design t =
-  Hashtbl.fold
-    (fun _ state acc ->
+  List.fold_left
+    (fun acc name ->
+      let state = table_state t name in
       let acc =
         List.fold_left
           (fun acc index -> Design.add (Index.def index) acc)
           acc state.indexes
       in
       List.fold_left (fun acc view -> Design.add_view (Mat_view.def view) acc) acc state.views)
-    t.tables Design.empty
+    Design.empty t.table_order
 
 let build_index t def =
   let state = table_state t (Index_def.table def) in

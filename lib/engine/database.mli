@@ -10,11 +10,14 @@ type t
 
 val create :
   ?pool_capacity:int ->
+  ?readahead:int ->
   ?params:Cost_model.params ->
   Cddpd_catalog.Schema.table list ->
   t
 (** A fresh database with the given schema.  [pool_capacity] is the buffer
-    pool size in pages (default 256). *)
+    pool size in pages (default 256); [readahead] is the pool's sequential
+    prefetch budget (see {!Cddpd_storage.Buffer_pool.create}; [0]
+    disables readahead — logical I/O is unaffected either way). *)
 
 val params : t -> Cost_model.params
 
@@ -22,9 +25,16 @@ val schema : t -> string -> Cddpd_catalog.Schema.table option
 
 val tables : t -> Cddpd_catalog.Schema.table list
 
-val load : t -> table:string -> Cddpd_storage.Tuple.t array -> unit
-(** Bulk-append tuples, maintaining any existing indexes, then refresh the
-    table's statistics.  Raises [Invalid_argument] on schema mismatch. *)
+val load : ?bulk:bool -> t -> table:string -> Cddpd_storage.Tuple.t array -> unit
+(** Bulk-append tuples, maintaining any existing indexes and views, and
+    invalidate the table's statistics (recomputed lazily at the next
+    {!table_stats}/{!analyze}).  With [bulk] (the default) and at least
+    one existing structure, rows go heap-first and each structure is then
+    rebuilt once via a sorted bulk load — same resulting logical state as
+    the row-at-a-time path ([bulk:false]), built in O(n log n) instead of
+    one tree descent per row per structure; the bulk path also validates
+    every row before mutating anything.  Raises [Invalid_argument] on
+    schema mismatch. *)
 
 val row_count : t -> string -> int
 
@@ -38,6 +48,8 @@ val table_stats : t -> string -> Table_stats.t
 (** {1 Physical design} *)
 
 val current_design : t -> Cddpd_catalog.Design.t
+(** The materialised design, assembled in declared table order so the
+    result is deterministic across processes and hash seeds. *)
 
 val build_index : t -> Cddpd_catalog.Index_def.t -> unit
 (** Materialise an index (no-op if already present). *)

@@ -13,8 +13,25 @@ val build :
   Cddpd_storage.Heap_file.t ->
   Cddpd_catalog.Index_def.t ->
   t
-(** Scan the heap, sort, and bulk-load the tree.  Raises [Invalid_argument]
-    if the definition references a missing or non-integer column. *)
+(** Scan the heap, sort, and bulk-load the tree.  The sort packs each key
+    into a single word whenever the observed component ranges fit 62 bits
+    (they essentially always do) and sorts the packed ints monomorphically
+    ({!Cddpd_util.Int_sort}).  Raises [Invalid_argument] if the definition
+    references a missing or non-integer column. *)
+
+val build_of_rows :
+  Cddpd_storage.Buffer_pool.t ->
+  Cddpd_catalog.Schema.table ->
+  Cddpd_catalog.Index_def.t ->
+  rows:Cddpd_storage.Tuple.t array ->
+  rids:Cddpd_storage.Heap_file.rid array ->
+  t
+(** Like {!build}, but over an in-memory batch of (row, rid) pairs instead
+    of a heap scan — the bulk-load fast path for a table whose heap holds
+    exactly these rows.  The caller is responsible for that invariant;
+    rows already in the heap but absent from the batch are simply missing
+    from the tree.  Raises [Invalid_argument] on length mismatch or a bad
+    column. *)
 
 val def : t -> Cddpd_catalog.Index_def.t
 

@@ -22,25 +22,14 @@ let replay (session : Session.t) steps schedule =
   let report = Simulator.run db ~steps ~schedule in
   report.Simulator.total_logical_io
 
-let run (session : Session.t) =
-  let table2 = Table2.run session in
-  let schedule_unconstrained = table2.Table2.schedule_unconstrained in
-  let schedule_k2 = table2.Table2.schedule_k2 in
-  let workloads =
-    [
-      ("W1", session.Session.steps_w1);
-      ("W2", session.Session.steps_w2);
-      ("W3", session.Session.steps_w3);
-    ]
-  in
-  let raw =
-    List.map
-      (fun (name, steps) ->
-        let unconstrained_io = replay session steps schedule_unconstrained in
-        let constrained_io = replay session steps schedule_k2 in
-        (name, unconstrained_io, constrained_io))
-      workloads
-  in
+let workloads (session : Session.t) =
+  [
+    ("W1", session.Session.steps_w1);
+    ("W2", session.Session.steps_w2);
+    ("W3", session.Session.steps_w3);
+  ]
+
+let assemble raw =
   let baseline_io =
     match raw with
     | ("W1", io, _) :: _ -> io
@@ -60,6 +49,56 @@ let run (session : Session.t) =
       raw
   in
   { measurements; baseline_io }
+
+let run (session : Session.t) =
+  let table2 = Table2.run session in
+  let schedule_unconstrained = table2.Table2.schedule_unconstrained in
+  let schedule_k2 = table2.Table2.schedule_k2 in
+  let raw =
+    List.map
+      (fun (name, steps) ->
+        let unconstrained_io = replay session steps schedule_unconstrained in
+        let constrained_io = replay session steps schedule_k2 in
+        (name, unconstrained_io, constrained_io))
+      (workloads session)
+  in
+  assemble raw
+
+(* A replay cell builds its own database from the session's config (a
+   byte-identical replica of the session's — same data seed) and replays
+   one (workload, schedule) pair on it.  Logical I/O counts one access per
+   fetch whether it hits or misses, so the fresh pool's different
+   residency cannot change the reported numbers: run_cells ≡ run. *)
+let replay_fresh config steps schedule =
+  let db = Setup.make_database config in
+  let report = Simulator.run db ~steps ~schedule in
+  report.Simulator.total_logical_io
+
+let run_cells ?cell_jobs (session : Session.t) =
+  (* The two design schedules are a shared prerequisite of every replay
+     cell; compute them once on the main domain. *)
+  let table2 = Table2.run session in
+  let schedule_unconstrained = table2.Table2.schedule_unconstrained in
+  let schedule_k2 = table2.Table2.schedule_k2 in
+  let config = session.Session.config in
+  let cells =
+    List.concat_map
+      (fun (name, steps) ->
+        [
+          Runner.cell (name ^ "/unconstrained") (fun _ctx ->
+              replay_fresh config steps schedule_unconstrained);
+          Runner.cell (name ^ "/k2") (fun _ctx -> replay_fresh config steps schedule_k2);
+        ])
+      (workloads session)
+  in
+  let ios = Runner.run ?cell_jobs ~seed:config.Setup.seed cells in
+  let raw =
+    match ios with
+    | [ w1u; w1c; w2u; w2c; w3u; w3c ] ->
+        [ ("W1", w1u, w1c); ("W2", w2u, w2c); ("W3", w3u, w3c) ]
+    | _ -> failwith "Figure3: unexpected cell count"
+  in
+  assemble raw
 
 let print result =
   print_endline

@@ -26,4 +26,11 @@ type result = {
 
 val run : Session.t -> result
 
+val run_cells : ?cell_jobs:int -> Session.t -> result
+(** Same result as {!run}, computed as six {!Runner} cells (workload ×
+    schedule), each replaying against its own freshly built database —
+    bit-identical to {!run} because logical I/O is independent of buffer
+    residency.  The Table 2 schedules the replays need are computed on
+    the main domain first. *)
+
 val print : result -> unit

@@ -1,5 +1,6 @@
 module Solution = Cddpd_core.Solution
 module Optimizer = Cddpd_core.Optimizer
+module Problem = Cddpd_core.Problem
 module Text_table = Cddpd_util.Text_table
 
 type point = {
@@ -8,11 +9,14 @@ type point = {
   merging_relative : float;
   kaware_seconds : float;
   merging_seconds : float;
+  kaware_cost : float;
+  merging_cost : float;
 }
 
 type result = {
   points : point list;
   unconstrained_seconds : float;
+  unconstrained_cost : float;
   repeats : int;
 }
 
@@ -32,29 +36,75 @@ let time_batched ~repeats f =
 
 let default_ks = [ 2; 4; 6; 8; 10; 12; 14; 16; 18 ]
 
-let run ?(ks = default_ks) ?(repeats = 32) (session : Session.t) =
-  let problem = session.Session.problem_w1 in
-  let solve method_name k () =
-    Optimizer.solve problem ~method_name ?k ()
-  in
-  let unconstrained_seconds =
-    time_batched ~repeats (solve Solution.Unconstrained None)
-  in
+let cost_of = function
+  | Ok s -> s.Solution.cost
+  | Error (Optimizer.Infeasible | Optimizer.Ranking_gave_up _) -> infinity
+
+(* One (timing, cost) measurement of both constrained solvers at a given
+   k.  The costs are deterministic — the wall-clock medians are not —
+   which is what lets parallel and sequential runs of this experiment be
+   cross-checked at all. *)
+let measure_point ~repeats problem k =
+  let solve method_name k () = Optimizer.solve problem ~method_name ?k () in
+  let kaware_seconds = time_batched ~repeats (solve Solution.Kaware (Some k)) in
+  let merging_seconds = time_batched ~repeats (solve Solution.Merging (Some k)) in
+  let kaware_cost = cost_of (solve Solution.Kaware (Some k) ()) in
+  let merging_cost = cost_of (solve Solution.Merging (Some k) ()) in
+  (kaware_seconds, merging_seconds, kaware_cost, merging_cost)
+
+let assemble ~repeats ~ks ~unconstrained_seconds ~unconstrained_cost measured =
   let points =
-    List.map
-      (fun k ->
-        let kaware_seconds = time_batched ~repeats (solve Solution.Kaware (Some k)) in
-        let merging_seconds = time_batched ~repeats (solve Solution.Merging (Some k)) in
+    List.map2
+      (fun k (kaware_seconds, merging_seconds, kaware_cost, merging_cost) ->
         {
           k;
           kaware_seconds;
           merging_seconds;
+          kaware_cost;
+          merging_cost;
           kaware_relative = kaware_seconds /. unconstrained_seconds;
           merging_relative = merging_seconds /. unconstrained_seconds;
         })
+      ks measured
+  in
+  { points; unconstrained_seconds; unconstrained_cost; repeats }
+
+let run ?(ks = default_ks) ?(repeats = 32) (session : Session.t) =
+  let problem = session.Session.problem_w1 in
+  let solve method_name k () = Optimizer.solve problem ~method_name ?k () in
+  let unconstrained_seconds =
+    time_batched ~repeats (solve Solution.Unconstrained None)
+  in
+  let unconstrained_cost = cost_of (solve Solution.Unconstrained None ()) in
+  let measured = List.map (measure_point ~repeats problem) ks in
+  assemble ~repeats ~ks ~unconstrained_seconds ~unconstrained_cost measured
+
+let run_cells ?(ks = default_ks) ?(repeats = 32) ?cell_jobs (session : Session.t) =
+  let problem = session.Session.problem_w1 in
+  (* Force the memoized sequence graph on the main domain so solver cells
+     share it read-only (Lazy.force is not safe to race). *)
+  ignore (Problem.to_graph problem);
+  let solve method_name k () = Optimizer.solve problem ~method_name ?k () in
+  let baseline_cell =
+    Runner.cell "unconstrained" (fun _ctx ->
+        let seconds = time_batched ~repeats (solve Solution.Unconstrained None) in
+        let cost = cost_of (solve Solution.Unconstrained None ()) in
+        (seconds, 0.0, cost, 0.0))
+  in
+  let point_cells =
+    List.map
+      (fun k ->
+        Runner.cell (Printf.sprintf "k=%d" k) (fun _ctx ->
+            measure_point ~repeats problem k))
       ks
   in
-  { points; unconstrained_seconds; repeats }
+  match
+    Runner.run ?cell_jobs ~seed:session.Session.config.Setup.seed
+      (baseline_cell :: point_cells)
+  with
+  | (unconstrained_seconds, _, unconstrained_cost, _) :: measured ->
+      assemble ~repeats ~ks ~unconstrained_seconds ~unconstrained_cost measured
+  | [] -> failwith "Figure4: unexpected cell count"
 
 let print result =
   print_endline
@@ -67,6 +117,7 @@ let print result =
         ("merging", Text_table.Right);
         ("k-aware (us)", Text_table.Right);
         ("merging (us)", Text_table.Right);
+        ("merging cost overhead", Text_table.Right);
       ]
   in
   List.iter
@@ -78,6 +129,9 @@ let print result =
           Printf.sprintf "%.0f%%" (p.merging_relative *. 100.);
           Printf.sprintf "%.1f" (p.kaware_seconds *. 1e6);
           Printf.sprintf "%.1f" (p.merging_seconds *. 1e6);
+          (if p.kaware_cost = infinity || p.merging_cost = infinity then "-"
+           else
+             Printf.sprintf "%+.2f%%" (((p.merging_cost /. p.kaware_cost) -. 1.0) *. 100.));
         ])
     result.points;
   Text_table.print table;

@@ -13,13 +13,28 @@ type config = {
   scale : float;
   seed : int;
   pool_capacity : int;
+  readahead : int;
 }
 
 let default_config =
-  { rows = 100_000; value_range = 20_000; scale = 1.0; seed = 20080407; pool_capacity = 16384 }
+  {
+    rows = 100_000;
+    value_range = 20_000;
+    scale = 1.0;
+    seed = 20080407;
+    pool_capacity = 16384;
+    readahead = Cddpd_storage.Buffer_pool.default_readahead;
+  }
 
 let test_config =
-  { rows = 5_000; value_range = 1_000; scale = 0.04; seed = 20080407; pool_capacity = 1024 }
+  {
+    rows = 5_000;
+    value_range = 1_000;
+    scale = 0.04;
+    seed = 20080407;
+    pool_capacity = 1024;
+    readahead = Cddpd_storage.Buffer_pool.default_readahead;
+  }
 
 let table_name = "t"
 
@@ -47,12 +62,18 @@ let paper_candidates =
 let paper_space = Config_space.single_index paper_candidates
 
 let make_database config =
-  let db = Database.create ~pool_capacity:config.pool_capacity [ schema ] in
+  let db =
+    Database.create ~pool_capacity:config.pool_capacity ~readahead:config.readahead
+      [ schema ]
+  in
   let rows =
     Data_gen.uniform_rows ~columns:4 ~rows:config.rows ~value_range:config.value_range
       ~seed:config.seed
   in
   Database.load db ~table:table_name rows;
+  (* Resolve statistics now (load leaves them lazy) so replays measured
+     against this database never pay the histogram scan mid-measurement. *)
+  Database.analyze db;
   db
 
 let workload config name = Cddpd_workload.Workloads.by_name name ~scale:config.scale ()

@@ -74,6 +74,25 @@ let run ?bounds (session : Session.t) =
   let bounds = match bounds with Some b -> b | None -> default_bounds session in
   { points = List.map (measure session) bounds }
 
+let bound_label = function
+  | None -> "unbounded"
+  | Some b -> Printf.sprintf "b=%d" b
+
+let run_cells ?bounds ?cell_jobs (session : Session.t) =
+  (* default_bounds resolves the shared table statistics on the main
+     domain, making [Database.table_stats] a pure read for the cells
+     (each cell builds its own problem, but against the session's db
+     stats). *)
+  let bounds = match bounds with Some b -> b | None -> default_bounds session in
+  ignore (Database.table_stats session.Session.db Setup.table_name);
+  let cells =
+    List.map
+      (fun bound ->
+        Runner.cell (bound_label bound) (fun _ctx -> measure session bound))
+      bounds
+  in
+  { points = Runner.run ?cell_jobs ~seed:session.Session.config.Setup.seed cells }
+
 let print result =
   print_endline
     "Space-bound sweep: optimal k=2 cost under SIZE(C) <= b (<=2 structures/config)";

@@ -25,4 +25,9 @@ val run : ?bounds:int option list -> Session.t -> result
     single-column index, one composite index, two composites, and
     unbounded. *)
 
+val run_cells : ?bounds:int option list -> ?cell_jobs:int -> Session.t -> result
+(** {!run} as one {!Runner} cell per bound (each builds its own problem
+    over the pre-resolved session statistics).  Identical result modulo
+    nothing — every reported field is deterministic. *)
+
 val print : result -> unit

@@ -27,12 +27,8 @@ let solve_exn problem ~method_name ?k () =
   | Error Optimizer.Infeasible -> failwith "Table2: infeasible"
   | Error (Optimizer.Ranking_gave_up _) -> failwith "Table2: ranking gave up"
 
-let run (session : Session.t) =
+let assemble (session : Session.t) unconstrained constrained =
   let problem = session.Session.problem_w1 in
-  let unconstrained = solve_exn problem ~method_name:Solution.Unconstrained () in
-  let constrained =
-    solve_exn problem ~method_name:Solution.Kaware ~k:Workloads.major_shift_count ()
-  in
   let schedule_unconstrained = Solution.schedule problem unconstrained in
   let schedule_k2 = Solution.schedule problem constrained in
   let per_segment =
@@ -53,6 +49,33 @@ let run (session : Session.t) =
         })
   in
   { rows; unconstrained; constrained; schedule_unconstrained; schedule_k2 }
+
+let run (session : Session.t) =
+  let problem = session.Session.problem_w1 in
+  let unconstrained = solve_exn problem ~method_name:Solution.Unconstrained () in
+  let constrained =
+    solve_exn problem ~method_name:Solution.Kaware ~k:Workloads.major_shift_count ()
+  in
+  assemble session unconstrained constrained
+
+let run_cells ?cell_jobs (session : Session.t) =
+  let problem = session.Session.problem_w1 in
+  (* Force the memoized sequence graph on the main domain so solver cells
+     share it read-only (Lazy.force is not safe to race). *)
+  ignore (Cddpd_core.Problem.to_graph problem);
+  let solutions =
+    Runner.run ?cell_jobs ~seed:session.Session.config.Setup.seed
+      [
+        Runner.cell "unconstrained" (fun _ctx ->
+            solve_exn problem ~method_name:Solution.Unconstrained ());
+        Runner.cell "kaware/k2" (fun _ctx ->
+            solve_exn problem ~method_name:Solution.Kaware
+              ~k:Workloads.major_shift_count ());
+      ]
+  in
+  match solutions with
+  | [ unconstrained; constrained ] -> assemble session unconstrained constrained
+  | _ -> failwith "Table2: unexpected cell count"
 
 let print result =
   print_endline "Table 2: Dynamic Workloads and Physical Designs (designs from W1)";

@@ -26,4 +26,9 @@ type result = {
 
 val run : Session.t -> result
 
+val run_cells : ?cell_jobs:int -> Session.t -> result
+(** {!run} as two {!Runner} solver cells over the session's (pre-forced)
+    problem graph.  Identical result modulo the solutions' [elapsed]
+    wall-clock fields. *)
+
 val print : result -> unit

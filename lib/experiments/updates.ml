@@ -59,6 +59,21 @@ let measure (session : Session.t) fraction =
 let run ?(fractions = [ 0.0; 0.1; 0.3; 0.5; 0.8 ]) session =
   { points = List.map (measure session) fractions }
 
+let run_cells ?(fractions = [ 0.0; 0.1; 0.3; 0.5; 0.8 ]) ?cell_jobs
+    (session : Session.t) =
+  (* Resolve the shared table statistics on the main domain so each
+     cell's problem build reads them without racing the memo. *)
+  ignore (Database.table_stats session.Session.db Setup.table_name);
+  let cells =
+    List.map
+      (fun fraction ->
+        Runner.cell
+          (Printf.sprintf "update-fraction=%.2f" fraction)
+          (fun _ctx -> measure session fraction))
+      fractions
+  in
+  { points = Runner.run ?cell_jobs ~seed:session.Session.config.Setup.seed cells }
+
 let print result =
   print_endline "Updates ablation: blending UPDATEs into W1 (k = 2 designs)";
   let table =

@@ -21,4 +21,10 @@ type result = { points : point list }
 val run : ?fractions:float list -> Session.t -> result
 (** Default fractions: 0, 0.1, 0.3, 0.5, 0.8. *)
 
+val run_cells : ?fractions:float list -> ?cell_jobs:int -> Session.t -> result
+(** {!run} as one {!Runner} cell per update fraction (each blends its own
+    workload and builds its own problem over the pre-resolved session
+    statistics).  Identical result — every reported field is
+    deterministic. *)
+
 val print : result -> unit

@@ -6,8 +6,8 @@ let name t = t.name
 
 let value t = t.value
 
-let incr t = if !Switch.on then t.value <- t.value + 1
+let incr t = if Switch.active () then t.value <- t.value + 1
 
-let add t n = if !Switch.on then t.value <- t.value + n
+let add t n = if Switch.active () then t.value <- t.value + n
 
 let reset t = t.value <- 0

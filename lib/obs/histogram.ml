@@ -27,7 +27,7 @@ let grow t =
   t.samples <- bigger
 
 let observe t x =
-  if !Switch.on then begin
+  if Switch.active () then begin
     if t.count >= Array.length t.samples then grow t;
     t.samples.(t.count) <- x;
     t.count <- t.count + 1;

@@ -43,7 +43,7 @@ let find_child parent name =
       c
 
 let with_span name f =
-  if not !Switch.on then f ()
+  if not (Switch.active ()) then f ()
   else begin
     let parent = match !stack with node :: _ -> node | [] -> root in
     let node = find_child parent name in

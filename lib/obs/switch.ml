@@ -5,3 +5,10 @@
 
 (* cddpd-lint: allow domain-unsafe-state — single monotone-per-run bool set on the main domain before solves; racy worker reads only skip instrumentation *)
 let on = ref false
+
+(* Counter cells, histogram sample arrays and the span stack are plain
+   unsynchronized state, so recording is restricted to the main domain:
+   worker domains (experiment cells, parallel problem builds) skip
+   instrumentation instead of corrupting it.  The short-circuit keeps the
+   disabled path at one boolean load. *)
+let active () = !on && Domain.is_main_domain ()

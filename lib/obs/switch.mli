@@ -1,10 +1,17 @@
 (** The single process-wide instrumentation on/off flag.
 
     Every recording call ([Counter.incr], [Histogram.observe],
-    [Span.with_span]) reads it first, so a disabled run costs one
+    [Span.with_span]) checks {!active} first, so a disabled run costs one
     boolean load per call site.  It lives in its own module so the
     metric types and the registry can both see it without a dependency
     cycle.  Toggle it through {!Registry.enable} / {!Registry.disable}
     rather than directly; it is only written from the main domain. *)
 
 val on : bool ref
+
+val active : unit -> bool
+(** [on] and running on the main domain.  Counters, histograms and spans
+    are unsynchronized, so recording off the main domain is suppressed
+    rather than racy: with parallel experiment cells or worker-domain
+    solves, process-wide metrics reflect main-domain work only (per-pool
+    and per-disk {e stats} are still complete — each cell owns its own). *)

@@ -6,6 +6,8 @@ let m_hits = Obs.Registry.counter "buffer_pool.hits"
 let m_misses = Obs.Registry.counter "buffer_pool.misses"
 let m_evictions = Obs.Registry.counter "buffer_pool.evictions"
 let m_write_backs = Obs.Registry.counter "buffer_pool.write_backs"
+let m_scan_fetches = Obs.Registry.counter "buffer_pool.scan_fetches"
+let m_readahead_pages = Obs.Registry.counter "buffer_pool.readahead_pages"
 
 type frame = {
   mutable pid : int; (* -1 when the frame is empty *)
@@ -23,28 +25,53 @@ type t = {
   table : (int, frame) Hashtbl.t;
   mutable free : int list; (* indices of empty frames *)
   mutable hand : int; (* clock hand *)
+  readahead : int; (* max pages prefetched per sequential miss; 0 = off *)
+  (* One-entry memo: the frame returned by the most recent fetch.  Checking
+     [last.pid = pid] is sound without any invalidation hook because
+     [evict] resets [pid] to -1 before a frame is reused and [pid] is only
+     ever set together with the matching [table] insertion — so a matching
+     pid proves the frame still holds that page. *)
+  mutable last : frame;
   mutable hit_count : int;
   mutable miss_count : int;
   mutable eviction_count : int;
+  mutable scan_fetch_count : int;
+  mutable readahead_count : int;
 }
 
-type stats = { hits : int; misses : int; evictions : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  scan_fetches : int;
+  readahead_pages : int;
+}
 
-let create ?(capacity = 256) disk =
+let default_readahead = 8
+
+let create ?(capacity = 256) ?(readahead = default_readahead) disk =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity <= 0";
+  if readahead < 0 then invalid_arg "Buffer_pool.create: readahead < 0";
   let make_frame _ =
     { pid = -1; buffer = Page.create (); pins = 0; dirty = false; referenced = false }
   in
+  let frames = Array.init capacity make_frame in
   {
     disk;
-    frames = Array.init capacity make_frame;
+    frames;
     (* cddpd-lint: allow poly-hash — int page-id keys *)
     table = Hashtbl.create (capacity * 2);
     free = List.init capacity (fun i -> i);
     hand = 0;
+    (* A prefetch batch must never be forced to evict its own leader, so
+       leave headroom for the pinned leader plus one victim slot. *)
+    readahead = min readahead (max 0 (capacity - 2));
+    last = make_frame 0 (* dummy: pid = -1 never matches a real fetch *);
     hit_count = 0;
     miss_count = 0;
     eviction_count = 0;
+    scan_fetch_count = 0;
+    readahead_count = 0;
   }
 
 let capacity t = Array.length t.frames
@@ -56,32 +83,58 @@ let write_back t frame =
     frame.dirty <- false
   end
 
-(* Clock (second-chance) replacement: take a free frame if any; otherwise
-   sweep the hand, clearing reference bits, until an unpinned,
-   unreferenced frame is found.  Amortised O(1) per miss. *)
+(* Clock (second-chance) sweep: advance the hand, clearing reference bits,
+   until an unpinned, unreferenced frame is found.  Amortised O(1) per
+   miss.  Two full sweeps guarantee we revisit every frame after clearing
+   its reference bit; only pins can then keep a frame unavailable. *)
+let clock_sweep t =
+  let n = Array.length t.frames in
+  let rec sweep remaining =
+    if remaining = 0 then failwith "Buffer_pool: all frames are pinned"
+    else begin
+      let frame = t.frames.(t.hand) in
+      t.hand <- (t.hand + 1) mod n;
+      if frame.pins > 0 then sweep (remaining - 1)
+      else if frame.referenced then begin
+        frame.referenced <- false;
+        sweep (remaining - 1)
+      end
+      else frame
+    end
+  in
+  sweep (2 * n)
+
 let victim t =
+  match t.free with
+  | i :: rest ->
+      t.free <- rest;
+      t.frames.(i)
+  | [] -> clock_sweep t
+
+(* Scan-resistant victim selection for sequential loads: take a free frame
+   or an already-unreferenced unpinned frame, but never clear reference
+   bits while searching.  Because sequential fetches leave their own
+   frames unreferenced, a scan recycles its own trail of frames instead of
+   demoting (and eventually flushing) the referenced working set.  If one
+   full revolution finds nothing (everything referenced or pinned), fall
+   back to the normal clearing sweep so the fetch still terminates. *)
+let seq_victim t =
   match t.free with
   | i :: rest ->
       t.free <- rest;
       t.frames.(i)
   | [] ->
       let n = Array.length t.frames in
-      (* Two full sweeps guarantee we revisit every frame after clearing
-         its reference bit; only pins can then keep a frame unavailable. *)
       let rec sweep remaining =
-        if remaining = 0 then failwith "Buffer_pool: all frames are pinned"
+        if remaining = 0 then clock_sweep t
         else begin
           let frame = t.frames.(t.hand) in
           t.hand <- (t.hand + 1) mod n;
-          if frame.pins > 0 then sweep (remaining - 1)
-          else if frame.referenced then begin
-            frame.referenced <- false;
-            sweep (remaining - 1)
-          end
-          else frame
+          if frame.pins = 0 && not frame.referenced then frame
+          else sweep (remaining - 1)
         end
       in
-      sweep (2 * n)
+      sweep n
 
 let evict t frame =
   if frame.pid <> -1 then begin
@@ -92,26 +145,100 @@ let evict t frame =
     Obs.Counter.incr m_evictions
   end
 
+let record_hit t frame =
+  t.hit_count <- t.hit_count + 1;
+  Obs.Counter.incr m_hits;
+  frame.pins <- frame.pins + 1
+
 let fetch t pid =
-  match Hashtbl.find_opt t.table pid with
-  | Some frame ->
-      t.hit_count <- t.hit_count + 1;
-      Obs.Counter.incr m_hits;
-      frame.pins <- frame.pins + 1;
-      frame.referenced <- true;
-      frame
-  | None ->
-      t.miss_count <- t.miss_count + 1;
-      Obs.Counter.incr m_misses;
-      let frame = victim t in
+  let last = t.last in
+  if last.pid = pid then begin
+    record_hit t last;
+    last.referenced <- true;
+    last
+  end
+  else
+    let frame =
+      match Hashtbl.find_opt t.table pid with
+      | Some frame ->
+          record_hit t frame;
+          frame.referenced <- true;
+          frame
+      | None ->
+          t.miss_count <- t.miss_count + 1;
+          Obs.Counter.incr m_misses;
+          let frame = victim t in
+          evict t frame;
+          Disk.read_into t.disk pid frame.buffer;
+          frame.pid <- pid;
+          frame.pins <- 1;
+          frame.dirty <- false;
+          frame.referenced <- true;
+          Hashtbl.replace t.table pid frame;
+          frame
+    in
+    t.last <- frame;
+    frame
+
+(* Prefetch the next non-resident pages of [run] into unpinned,
+   unreferenced frames (first in line for recycling), reading them from
+   disk in one batch.  Called with the leader frame pinned, so the batch
+   cannot evict it.  In a pathologically small pool a prefetched frame may
+   be recycled before its page is consumed — the page is then simply a
+   regular miss later; correctness and logical-I/O accounting are
+   unaffected. *)
+let readahead_batch t ~run ~pos =
+  let stop = min (Array.length run - 1) (pos + t.readahead) in
+  let batch = ref [] in
+  for j = pos + 1 to stop do
+    let pid = run.(j) in
+    if not (Hashtbl.mem t.table pid) then begin
+      let frame = seq_victim t in
       evict t frame;
-      Disk.read_into t.disk pid frame.buffer;
       frame.pid <- pid;
-      frame.pins <- 1;
+      frame.pins <- 0;
       frame.dirty <- false;
-      frame.referenced <- true;
+      frame.referenced <- false;
       Hashtbl.replace t.table pid frame;
-      frame
+      batch := (pid, frame.buffer) :: !batch;
+      t.readahead_count <- t.readahead_count + 1;
+      Obs.Counter.incr m_readahead_pages
+    end
+  done;
+  match !batch with [] -> () | pairs -> Disk.read_batch t.disk (List.rev pairs)
+
+let fetch_sequential t ~run ~pos =
+  let pid = run.(pos) in
+  t.scan_fetch_count <- t.scan_fetch_count + 1;
+  Obs.Counter.incr m_scan_fetches;
+  let last = t.last in
+  if last.pid = pid then begin
+    record_hit t last;
+    (* scan fetches never set the reference bit *)
+    last
+  end
+  else
+    let frame =
+      match Hashtbl.find_opt t.table pid with
+      | Some frame ->
+          record_hit t frame;
+          frame
+      | None ->
+          t.miss_count <- t.miss_count + 1;
+          Obs.Counter.incr m_misses;
+          let frame = seq_victim t in
+          evict t frame;
+          Disk.read_into t.disk pid frame.buffer;
+          frame.pid <- pid;
+          frame.pins <- 1;
+          frame.dirty <- false;
+          frame.referenced <- false;
+          Hashtbl.replace t.table pid frame;
+          if t.readahead > 0 then readahead_batch t ~run ~pos;
+          frame
+    in
+    t.last <- frame;
+    frame
 
 let allocate t =
   let pid = Disk.allocate t.disk in
@@ -123,6 +250,7 @@ let allocate t =
   frame.dirty <- true;
   frame.referenced <- true;
   Hashtbl.replace t.table pid frame;
+  t.last <- frame;
   frame
 
 let page frame = frame.buffer
@@ -150,9 +278,18 @@ let drop_cache t =
       end)
     t.frames
 
-let stats t = { hits = t.hit_count; misses = t.miss_count; evictions = t.eviction_count }
+let stats t =
+  {
+    hits = t.hit_count;
+    misses = t.miss_count;
+    evictions = t.eviction_count;
+    scan_fetches = t.scan_fetch_count;
+    readahead_pages = t.readahead_count;
+  }
 
 let reset_stats t =
   t.hit_count <- 0;
   t.miss_count <- 0;
-  t.eviction_count <- 0
+  t.eviction_count <- 0;
+  t.scan_fetch_count <- 0;
+  t.readahead_count <- 0

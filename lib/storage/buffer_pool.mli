@@ -8,19 +8,20 @@
 
     {2 Pin/unpin discipline}
 
-    Every handle returned by {!fetch} or {!allocate} holds one pin; the
-    caller must {!unpin} it exactly once, after which the handle must not
-    be used again (its frame may be reassigned to another page at any later
-    miss).  Pins nest: fetching an already-pinned page increments its pin
-    count, and the frame is only evictable when the count returns to zero.
-    Holding many pins concurrently risks [Failure] on a miss — eviction
-    needs at least one unpinned frame — so access methods pin briefly:
-    fetch, read/write, unpin.  Mutating a pinned page's buffer is only
-    durable if {!mark_dirty} is called before the pin is released.
+    Every handle returned by {!fetch}, {!fetch_sequential} or {!allocate}
+    holds one pin; the caller must {!unpin} it exactly once, after which
+    the handle must not be used again (its frame may be reassigned to
+    another page at any later miss).  Pins nest: fetching an
+    already-pinned page increments its pin count, and the frame is only
+    evictable when the count returns to zero.  Holding many pins
+    concurrently risks [Failure] on a miss — eviction needs at least one
+    unpinned frame — so access methods pin briefly: fetch, read/write,
+    unpin.  Mutating a pinned page's buffer is only durable if
+    {!mark_dirty} is called before the pin is released.
 
     {2 Clock-sweep eviction policy}
 
-    Frames form a circular list with a sweep hand.  A page access sets the
+    Frames form a circular list with a sweep hand.  A {!fetch} sets the
     frame's reference bit; a miss with no free frame advances the hand,
     skipping pinned frames and clearing reference bits, and takes the first
     unpinned frame whose bit is already clear.  Each frame therefore
@@ -31,12 +32,36 @@
     frame writes the page back first ({e write-back}, not write-through:
     clean evictions cost no disk write).
 
+    {2 Sequential scans}
+
+    {!fetch_sequential} is the scan hot path used by
+    [Heap_file.iter]/[iter_slices].  It differs from {!fetch} in three
+    ways, none of which change logical-I/O accounting (a scan fetch is
+    still exactly one hit or one miss):
+
+    - {e scan resistance}: sequential fetches never set the reference
+      bit, and their victim search takes only frames that are already
+      unreferenced — without clearing anyone else's bit.  A scan larger
+      than the pool therefore recycles its own trail of frames and cannot
+      flush the referenced working set.  (If every frame is referenced or
+      pinned, the search falls back to the normal clearing sweep so the
+      fetch still terminates.)
+    - {e readahead}: a sequential miss prefetches up to the pool's
+      readahead budget of upcoming non-resident pages of the scan's page
+      run in one {!Disk.read_batch}, so they are hits when the scan
+      reaches them.  Prefetched frames sit unpinned and unreferenced.
+    - {e last-page memo}: consecutive fetches of the same page (common
+      when a scan re-reads the tail page) skip the hash-table probe via a
+      one-entry memo.  The memo needs no invalidation: it is validated by
+      the frame's page id, which eviction resets.
+
     {2 Observability}
 
     When instrumentation is enabled ({!Cddpd_obs.Registry.enable}), every
     pool also feeds the process-wide counters [buffer_pool.hits],
-    [buffer_pool.misses], [buffer_pool.evictions] and
-    [buffer_pool.write_backs]; {!stats} remains the per-pool view. *)
+    [buffer_pool.misses], [buffer_pool.evictions],
+    [buffer_pool.write_backs], [buffer_pool.scan_fetches] and
+    [buffer_pool.readahead_pages]; {!stats} remains the per-pool view. *)
 
 type t
 
@@ -44,11 +69,24 @@ type handle
 (** A pinned page.  The underlying buffer stays valid until {!unpin};
     after that the handle is dead and must not be reused. *)
 
-type stats = { hits : int; misses : int; evictions : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  scan_fetches : int;  (** calls to {!fetch_sequential} (each also a hit or miss) *)
+  readahead_pages : int;  (** pages prefetched ahead of sequential misses *)
+}
 
-val create : ?capacity:int -> Disk.t -> t
-(** [create ?capacity disk] makes a pool holding at most [capacity] pages
-    (default 256).  Raises [Invalid_argument] if [capacity <= 0]. *)
+val default_readahead : int
+(** Default readahead budget (pages prefetched per sequential miss). *)
+
+val create : ?capacity:int -> ?readahead:int -> Disk.t -> t
+(** [create ?capacity ?readahead disk] makes a pool holding at most
+    [capacity] pages (default 256).  [readahead] bounds how many upcoming
+    pages a sequential miss prefetches (default {!default_readahead};
+    [0] disables readahead; internally clamped to [capacity - 2] so a
+    batch can never evict its own pinned leader).  Raises
+    [Invalid_argument] if [capacity <= 0] or [readahead < 0]. *)
 
 val capacity : t -> int
 (** The number of frames. *)
@@ -58,6 +96,14 @@ val fetch : t -> int -> handle
     costs no disk I/O).  Fetching a page that is already pinned returns
     the same frame with its pin count incremented.  Raises [Failure] if a
     miss finds every frame pinned. *)
+
+val fetch_sequential : t -> run:int array -> pos:int -> handle
+(** [fetch_sequential t ~run ~pos] pins page [run.(pos)] as part of a
+    sequential scan over the page run [run] (scan order, one array per
+    scan) — scan-resistant eviction plus readahead of [run.(pos+1 ...)]
+    on a miss; see the module preamble.  Exactly one hit or one miss is
+    counted, like {!fetch}.  Raises [Failure] if a miss finds every frame
+    pinned. *)
 
 val allocate : t -> handle
 (** Allocate a fresh zeroed page on the disk and pin it (dirty), without a
@@ -87,7 +133,7 @@ val drop_cache : t -> unit
     frame is still pinned. *)
 
 val stats : t -> stats
-(** Cumulative hit/miss/eviction counts. *)
+(** Cumulative per-pool counters. *)
 
 val reset_stats : t -> unit
 (** Zero the counters. *)

@@ -136,30 +136,49 @@ let delete t rid =
         true
       end)
 
-let iter_raw t f =
-  let pages_in_order = List.rev t.pages in
+(* Full scans materialize the page run once (oldest first) and go through
+   the pool's sequential path: scan-resistant eviction plus readahead, no
+   per-page allocation beyond the run array itself. *)
+let scan_run t =
+  let n = t.page_count in
+  let run = Array.make n (-1) in
+  let i = ref (n - 1) in
   List.iter
     (fun pid ->
-      with_page t pid (fun _handle page ->
-          for slot = 0 to slot_count page - 1 do
-            let len = slot_length page slot in
-            if len > 0 then
-              f { page = pid; slot } (Page.get_bytes page ~pos:(slot_offset page slot) ~len)
-          done))
-    pages_in_order
+      run.(!i) <- pid;
+      decr i)
+    t.pages;
+  run
+
+let scan_pages t f =
+  let run = scan_run t in
+  Array.iteri
+    (fun pos pid ->
+      let handle = Buffer_pool.fetch_sequential t.pool ~run ~pos in
+      let finish () = Buffer_pool.unpin t.pool handle in
+      (try f pid (Buffer_pool.page handle)
+       with exn ->
+         finish ();
+         raise exn);
+      finish ())
+    run
+
+let iter_raw t f =
+  scan_pages t (fun pid page ->
+      for slot = 0 to slot_count page - 1 do
+        let len = slot_length page slot in
+        if len > 0 then
+          f { page = pid; slot } (Page.get_bytes page ~pos:(slot_offset page slot) ~len)
+      done)
 
 let iter t f = iter_raw t (fun rid data -> f rid (Tuple.decode data))
 
 let iter_slices t f =
-  let pages_in_order = List.rev t.pages in
-  List.iter
-    (fun pid ->
-      with_page t pid (fun _handle page ->
-          let buf = Page.to_bytes page in
-          for slot = 0 to slot_count page - 1 do
-            if slot_length page slot > 0 then f buf (slot_offset page slot)
-          done))
-    pages_in_order
+  scan_pages t (fun _pid page ->
+      let buf = Page.to_bytes page in
+      for slot = 0 to slot_count page - 1 do
+        if slot_length page slot > 0 then f buf (slot_offset page slot)
+      done)
 
 let fold t ~init ~f =
   let acc = ref init in

@@ -31,7 +31,10 @@ val delete : t -> rid -> bool
 (** Clear the slot; returns whether a live tuple was there. *)
 
 val iter : t -> (rid -> Tuple.t -> unit) -> unit
-(** Full scan in storage order, skipping deleted slots. *)
+(** Full scan in storage order, skipping deleted slots.  All full scans
+    ({!iter}, {!iter_raw}, {!iter_slices}, {!fold}) go through
+    {!Buffer_pool.fetch_sequential}: scan-resistant eviction plus
+    readahead, with unchanged logical-I/O accounting. *)
 
 val iter_raw : t -> (rid -> bytes -> unit) -> unit
 (** Full scan passing the encoded record instead of decoding it — fields

@@ -19,6 +19,12 @@ val ncpu : unit -> int
 (** [Domain.recommended_domain_count ()]: hardware parallelism available
     to this process. *)
 
+val env_jobs : unit -> int option
+(** A positive integer parse of the [CDDPD_JOBS] environment variable, if
+    any — exposed so other job pools (e.g. the experiment cell runner)
+    can honor the same variable without coupling to this module's
+    {!set_default_jobs} state. *)
+
 val default_jobs : unit -> int
 (** The process-wide default degree of parallelism: the last
     {!set_default_jobs} value if any, else a positive integer parse of

@@ -161,6 +161,89 @@ let test_ablation () =
   Alcotest.(check bool) "online >= offline optimum" true
     (online.Ablation.cost >= result.Ablation.unconstrained_cost)
 
+(* -- parallel cell runner equivalence ---------------------------------------
+   Every run_cells entry point must reproduce its sequential run exactly
+   (modulo wall-clock fields, which are masked out below) at every
+   cell-jobs width: cells join in declaration order and each cell's
+   randomness comes from a (seed, index)-determined stream. *)
+
+let jobs_list = [ 1; 2; 4 ]
+
+let check_for_jobs name f =
+  List.iter
+    (fun jobs ->
+      if not (f jobs) then Alcotest.failf "%s differs at cell_jobs=%d" name jobs)
+    jobs_list
+
+let test_figure3_cells_bit_identical () =
+  let s = Lazy.force session in
+  let seq = Figure3.run s in
+  check_for_jobs "figure3" (fun jobs -> Figure3.run_cells ~cell_jobs:jobs s = seq)
+
+let test_table2_cells_equal () =
+  let s = Lazy.force session in
+  let seq = Table2.run s in
+  let mask (r : Table2.result) =
+    ( r.Table2.rows,
+      r.Table2.unconstrained.Solution.cost,
+      r.Table2.unconstrained.Solution.changes,
+      r.Table2.constrained.Solution.cost,
+      r.Table2.constrained.Solution.changes )
+  in
+  let schedules_equal a b =
+    Array.length a = Array.length b && Array.for_all2 Design.equal a b
+  in
+  check_for_jobs "table2" (fun jobs ->
+      let par = Table2.run_cells ~cell_jobs:jobs s in
+      mask par = mask seq
+      && schedules_equal par.Table2.schedule_k2 seq.Table2.schedule_k2
+      && schedules_equal par.Table2.schedule_unconstrained
+           seq.Table2.schedule_unconstrained)
+
+let test_figure4_cells_costs_equal () =
+  let s = Lazy.force session in
+  let ks = [ 2; 6 ] in
+  let mask (r : Figure4.result) =
+    ( r.Figure4.unconstrained_cost,
+      List.map
+        (fun p -> (p.Figure4.k, p.Figure4.kaware_cost, p.Figure4.merging_cost))
+        r.Figure4.points )
+  in
+  let seq = mask (Figure4.run ~ks ~repeats:2 s) in
+  check_for_jobs "figure4" (fun jobs ->
+      mask (Figure4.run_cells ~ks ~repeats:2 ~cell_jobs:jobs s) = seq)
+
+let test_ablation_cells_equal () =
+  let s = Lazy.force session in
+  let ks = [ 0; 2 ] in
+  let mask (r : Ablation.result) =
+    ( r.Ablation.unconstrained_cost,
+      List.map
+        (fun e ->
+          ( e.Ablation.method_label,
+            e.Ablation.k,
+            e.Ablation.cost,
+            e.Ablation.changes,
+            e.Ablation.optimality_gap ))
+        r.Ablation.entries )
+  in
+  let seq = mask (Ablation.run ~ks s) in
+  check_for_jobs "ablation" (fun jobs ->
+      mask (Ablation.run_cells ~ks ~cell_jobs:jobs s) = seq)
+
+let test_updates_cells_equal () =
+  let s = Lazy.force session in
+  let fractions = [ 0.0; 0.3 ] in
+  let seq = Cddpd_experiments.Updates.run ~fractions s in
+  check_for_jobs "updates" (fun jobs ->
+      Cddpd_experiments.Updates.run_cells ~fractions ~cell_jobs:jobs s = seq)
+
+let test_space_bound_cells_equal () =
+  let s = Lazy.force session in
+  let seq = Cddpd_experiments.Space_bound.run s in
+  check_for_jobs "space" (fun jobs ->
+      Cddpd_experiments.Space_bound.run_cells ~cell_jobs:jobs s = seq)
+
 let () =
   Alcotest.run "experiments"
     [
@@ -177,4 +260,19 @@ let () =
       ("updates", [ Alcotest.test_case "update-share ablation" `Quick test_updates ]);
       ("views", [ Alcotest.test_case "view scheduling" `Slow test_views ]);
       ("space", [ Alcotest.test_case "SIZE bound sweep" `Quick test_space_bound ]);
+      ( "cells",
+        [
+          Alcotest.test_case "figure3 parallel = sequential (bit-identical)" `Slow
+            test_figure3_cells_bit_identical;
+          Alcotest.test_case "table2 parallel = sequential" `Quick
+            test_table2_cells_equal;
+          Alcotest.test_case "figure4 parallel costs = sequential" `Quick
+            test_figure4_cells_costs_equal;
+          Alcotest.test_case "ablation parallel = sequential" `Quick
+            test_ablation_cells_equal;
+          Alcotest.test_case "updates parallel = sequential" `Quick
+            test_updates_cells_equal;
+          Alcotest.test_case "space-bound parallel = sequential" `Quick
+            test_space_bound_cells_equal;
+        ] );
     ]

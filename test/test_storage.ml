@@ -183,6 +183,151 @@ let test_pool_drop_cache () =
   Buffer_pool.unpin pool h;
   Alcotest.(check int) "cold fetch hits disk" (reads_before + 1) (Disk.stats d).Disk.reads
 
+(* -- Buffer_pool: sequential scans ------------------------------------------- *)
+
+(* Allocate [n] pages, stamping page i with value i so reads are checkable. *)
+let make_stamped_disk n =
+  let d = Disk.create () in
+  let buf = Page.create () in
+  for i = 0 to n - 1 do
+    let pid = Disk.allocate d in
+    Page.set_i64 buf 0 i;
+    Disk.write_from d pid buf
+  done;
+  d
+
+let scan_run n = Array.init n (fun i -> i)
+
+let test_pool_readahead_accounting () =
+  (* 16-page scan, pool big enough, readahead 8: pos 0 misses and
+     prefetches 1..8; pos 9 misses and prefetches 10..15 (clipped to the
+     run); everything else hits.  hits + misses = 16 fetches, and every
+     page was read from disk exactly once. *)
+  let n = 16 in
+  let d = make_stamped_disk n in
+  let pool = Buffer_pool.create ~capacity:32 ~readahead:8 d in
+  let run = scan_run n in
+  for pos = 0 to n - 1 do
+    let h = Buffer_pool.fetch_sequential pool ~run ~pos in
+    Alcotest.(check int) "page content" pos (Page.get_i64 (Buffer_pool.page h) 0);
+    Buffer_pool.unpin pool h
+  done;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "misses" 2 s.Buffer_pool.misses;
+  Alcotest.(check int) "hits" 14 s.Buffer_pool.hits;
+  Alcotest.(check int) "scan_fetches" n s.Buffer_pool.scan_fetches;
+  Alcotest.(check int) "readahead_pages" 14 s.Buffer_pool.readahead_pages;
+  Alcotest.(check int) "disk reads" n (Disk.stats d).Disk.reads
+
+let test_pool_readahead_disabled () =
+  let n = 8 in
+  let d = make_stamped_disk n in
+  let pool = Buffer_pool.create ~capacity:16 ~readahead:0 d in
+  let run = scan_run n in
+  for pos = 0 to n - 1 do
+    Buffer_pool.unpin pool (Buffer_pool.fetch_sequential pool ~run ~pos)
+  done;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "all misses" n s.Buffer_pool.misses;
+  Alcotest.(check int) "no readahead" 0 s.Buffer_pool.readahead_pages
+
+let test_pool_scan_resistance () =
+  (* A referenced two-page working set survives a 100-page scan through
+     an 8-frame pool: sequential fetches recycle their own (unreferenced)
+     trail instead of clearing the working set's reference bits. *)
+  let total = 102 in
+  let d = make_stamped_disk total in
+  let pool = Buffer_pool.create ~capacity:8 ~readahead:4 d in
+  let hot0 = 100 and hot1 = 101 in
+  Buffer_pool.unpin pool (Buffer_pool.fetch pool hot0);
+  Buffer_pool.unpin pool (Buffer_pool.fetch pool hot1);
+  let run = scan_run 100 in
+  for pos = 0 to 99 do
+    let h = Buffer_pool.fetch_sequential pool ~run ~pos in
+    Alcotest.(check int) "scan content" pos (Page.get_i64 (Buffer_pool.page h) 0);
+    Buffer_pool.unpin pool h
+  done;
+  let before = Buffer_pool.stats pool in
+  Buffer_pool.unpin pool (Buffer_pool.fetch pool hot0);
+  Buffer_pool.unpin pool (Buffer_pool.fetch pool hot1);
+  let after = Buffer_pool.stats pool in
+  Alcotest.(check int) "working set still resident (no new misses)"
+    before.Buffer_pool.misses after.Buffer_pool.misses;
+  Alcotest.(check int) "working set hits" (before.Buffer_pool.hits + 2)
+    after.Buffer_pool.hits
+
+let test_pool_scan_logical_io_invariant () =
+  (* Readahead changes the hit/miss split, never the total: a scan of n
+     pages counts exactly n logical fetches either way. *)
+  let n = 40 in
+  let count readahead =
+    let d = make_stamped_disk n in
+    let pool = Buffer_pool.create ~capacity:64 ~readahead d in
+    let run = scan_run n in
+    for pos = 0 to n - 1 do
+      Buffer_pool.unpin pool (Buffer_pool.fetch_sequential pool ~run ~pos)
+    done;
+    let s = Buffer_pool.stats pool in
+    s.Buffer_pool.hits + s.Buffer_pool.misses
+  in
+  Alcotest.(check int) "readahead off" n (count 0);
+  Alcotest.(check int) "readahead on" n (count 8)
+
+let test_pool_memo_same_page () =
+  (* Consecutive fetches of the same page go through the one-entry memo:
+     still one hit each, correct pin accounting. *)
+  let d = make_stamped_disk 4 in
+  let pool = Buffer_pool.create ~capacity:4 ~readahead:0 d in
+  let run = scan_run 4 in
+  let h1 = Buffer_pool.fetch_sequential pool ~run ~pos:2 in
+  let h2 = Buffer_pool.fetch_sequential pool ~run ~pos:2 in
+  Alcotest.(check int) "same frame content" 2 (Page.get_i64 (Buffer_pool.page h2) 0);
+  Buffer_pool.unpin pool h1;
+  Buffer_pool.unpin pool h2;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "one miss" 1 s.Buffer_pool.misses;
+  Alcotest.(check int) "one memo hit" 1 s.Buffer_pool.hits
+
+let test_pool_memo_survives_eviction () =
+  (* Capacity-1 pool: the single frame is reassigned on every fetch of a
+     new page, so the memo must never serve a stale frame. *)
+  let d = make_stamped_disk 3 in
+  let pool = Buffer_pool.create ~capacity:1 ~readahead:0 d in
+  let run = scan_run 3 in
+  let check pos =
+    let h = Buffer_pool.fetch_sequential pool ~run ~pos in
+    Alcotest.(check int)
+      (Printf.sprintf "page %d content" pos)
+      pos
+      (Page.get_i64 (Buffer_pool.page h) 0);
+    Buffer_pool.unpin pool h
+  in
+  check 0;
+  check 1;
+  (* Back to page 0: the memo points at a frame now holding page 1 and
+     must be bypassed. *)
+  check 0;
+  check 2;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "every fetch missed" 4 s.Buffer_pool.misses;
+  Alcotest.(check int) "no stale hits" 0 s.Buffer_pool.hits
+
+let test_pool_heap_scan_uses_sequential_path () =
+  (* Heap_file full scans go through fetch_sequential. *)
+  let d = Disk.create () in
+  let pool = Buffer_pool.create ~capacity:64 d in
+  let heap = Heap_file.create pool in
+  for i = 0 to 999 do
+    ignore (Heap_file.insert heap [| Tuple.Int i |])
+  done;
+  Buffer_pool.reset_stats pool;
+  let seen = ref 0 in
+  Heap_file.iter heap (fun _ _ -> incr seen);
+  Alcotest.(check int) "all rows" 1000 !seen;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "scan fetches = heap pages" (Heap_file.n_pages heap)
+    s.Buffer_pool.scan_fetches
+
 (* -- Tuple ------------------------------------------------------------------ *)
 
 let tuple_testable = Alcotest.testable (fun ppf t -> Tuple.pp ppf t) Tuple.equal
@@ -376,6 +521,16 @@ let () =
           Alcotest.test_case "double unpin" `Quick test_pool_double_unpin;
           Alcotest.test_case "allocate reads nothing" `Quick test_pool_allocate_no_read;
           Alcotest.test_case "drop_cache forces cold reads" `Quick test_pool_drop_cache;
+          Alcotest.test_case "readahead accounting" `Quick test_pool_readahead_accounting;
+          Alcotest.test_case "readahead disabled" `Quick test_pool_readahead_disabled;
+          Alcotest.test_case "scan resistance" `Quick test_pool_scan_resistance;
+          Alcotest.test_case "scan logical I/O invariant" `Quick
+            test_pool_scan_logical_io_invariant;
+          Alcotest.test_case "memo same-page fetches" `Quick test_pool_memo_same_page;
+          Alcotest.test_case "memo survives eviction" `Quick
+            test_pool_memo_survives_eviction;
+          Alcotest.test_case "heap scan uses sequential path" `Quick
+            test_pool_heap_scan_uses_sequential_path;
         ] );
       ( "tuple",
         [

@@ -95,6 +95,27 @@ let test_rng_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 (fun i -> i)) sorted
 
+(* The experiment runner pre-splits one stream per cell from a master
+   generator in declaration order; determinism of the parallel fan-out
+   requires the i-th split stream to depend only on (seed, i). *)
+let rng_split_streams_prop =
+  QCheck.Test.make ~name:"split streams depend only on (seed, index)" ~count:200
+    QCheck.(pair small_nat (int_bound 5))
+    (fun (seed, extra) ->
+      let streams k =
+        let master = Rng.create seed in
+        Array.init k (fun _ -> Rng.split master)
+      in
+      let draws rng = List.init 8 (fun _ -> Rng.next_int64 rng) in
+      let short = Array.map draws (streams 4) in
+      let long = Array.map draws (streams (5 + extra)) in
+      (* Splitting more streams later must leave earlier streams untouched. *)
+      let stable = Array.for_all2 ( = ) short (Array.sub long 0 4) in
+      (* Streams must not collide with each other. *)
+      let all = Array.to_list long in
+      let distinct = List.length (List.sort_uniq compare all) = List.length all in
+      stable && distinct)
+
 (* -- Stats ----------------------------------------------------------------- *)
 
 let test_stats_mean () = check_float "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
@@ -253,6 +274,7 @@ let () =
           Alcotest.test_case "weighted pick" `Slow test_rng_pick_weighted;
           Alcotest.test_case "weighted pick invalid" `Quick test_rng_pick_weighted_invalid;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          QCheck_alcotest.to_alcotest rng_split_streams_prop;
         ] );
       ( "stats",
         [
