@@ -5,11 +5,13 @@
 #   make check        tier-1 gate: build + tests + lint
 #   make lint         run cddpd-lint over lib/ bin/ bench/ tools/
 #   make bench-smoke  quick perf sanity
+#   make serve-smoke  replay a canned trace through `cddpd serve --once`
+#                     and assert the cddpd-serve/1 JSON status
 
 DUNE ?= dune
 JOBS ?=
 
-.PHONY: all build check test lint bench-smoke bench clean
+.PHONY: all build check test lint bench-smoke bench serve-smoke clean
 
 all: build
 
@@ -38,6 +40,30 @@ bench-smoke:
 bench:
 	$(DUNE) exec bench/main.exe -- $(if $(JOBS),--jobs $(JOBS)) all
 
+# End-to-end smoke of the online advisor (docs/SERVE.md): generate a
+# short drifting trace, serve it once, and assert the machine-readable
+# status against the cddpd-serve/1 golden schema — every key, plus the
+# invariant that the drifting trace actually triggered the loop.
+serve-smoke:
+	$(DUNE) build bin/cddpd.exe
+	$(DUNE) exec bin/cddpd.exe -- generate --workload W1 --scale 0.2 --value-range 1000 -o _serve_smoke_trace.sql
+	$(DUNE) exec bin/cddpd.exe -- serve --once --input _serve_smoke_trace.sql \
+	  --rows 5000 --value-range 1000 --window 100 $(if $(JOBS),--jobs $(JOBS)) \
+	  --status > _serve_smoke_status.json
+	@grep -q '"schema":"cddpd-serve/1"' _serve_smoke_status.json
+	@for key in regime windows statements residual_statements drift_events \
+	  reoptimizations deployments rejections rollbacks exec_logical_io \
+	  trans_logical_io final_design; do \
+	    grep -q "\"$$key\":" _serve_smoke_status.json \
+	      || { echo "serve-smoke: missing key $$key"; exit 1; }; \
+	  done
+	@grep -q '"drift_events":0' _serve_smoke_status.json \
+	  && { echo "serve-smoke: expected drift on the canned trace"; exit 1; } || true
+	@grep -q '"deployments":0' _serve_smoke_status.json \
+	  && { echo "serve-smoke: expected at least one deployment"; exit 1; } || true
+	@echo "serve-smoke: OK $$(cat _serve_smoke_status.json)"
+	@rm -f _serve_smoke_trace.sql _serve_smoke_status.json
+
 clean:
 	$(DUNE) clean
-	rm -f BENCH_micro.json BENCH_obs.json
+	rm -f BENCH_micro.json BENCH_obs.json _serve_smoke_trace.sql _serve_smoke_status.json

@@ -5,7 +5,8 @@
    Usage:
      main.exe [table1] [table2] [figure3] [figure4] [ablation] [updates]
               [views] [space] [micro]
-              [--rows N] [--value-range N] [--scale F] [--seed N] [--quick]
+              [--rows N] [--value-range N] [--scale F] [--seed N]
+              [--readahead N] [--quick]
               [--jobs N] [--no-cost-cache]
               [--no-metrics] [--obs-out FILE] [--micro-out FILE]
    With no experiment named, everything runs.  --quick shrinks the instance
@@ -72,7 +73,7 @@ let usage () =
     "usage: main.exe \
      [table1|table2|figure3|figure4|ablation|updates|views|space|micro|solvers|experiments]... \
      [--suite NAME] \
-     [--rows N] [--value-range N] [--scale F] [--seed N] [--quick] \
+     [--rows N] [--value-range N] [--scale F] [--seed N] [--readahead N] [--quick] \
      [--jobs N] [--cell-jobs N] [--no-cost-cache] \
      [--no-metrics] [--obs-out FILE] [--micro-out FILE] [--solvers-out FILE] \
      [--experiments-out FILE]";
@@ -135,6 +136,11 @@ let parse_args () =
         go rest
     | "--seed" :: v :: rest ->
         config := { !config with Setup.seed = int_of_string v };
+        go rest
+    | "--readahead" :: v :: rest ->
+        let r = int_of_string v in
+        if r < 0 then usage ();
+        config := { !config with Setup.readahead = r };
         go rest
     | "--quick" :: rest ->
         config :=

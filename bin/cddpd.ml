@@ -5,6 +5,7 @@
      recommend   recommend a (constrained) dynamic physical design for a trace
      simulate    replay a trace under the recommended design and report I/O
      experiment  reproduce a table/figure of the paper
+     serve       online continuous advisor over a statement stream (docs/SERVE.md)
 
    Every subcommand also accepts --metrics (print a snapshot of all
    observability counters/histograms after the run) and --trace (print the
@@ -21,6 +22,8 @@ module Trace = Cddpd_workload.Trace
 module Spec = Cddpd_workload.Spec
 module Workloads = Cddpd_workload.Workloads
 module Advisor = Cddpd_core.Advisor
+module Server = Cddpd_serve.Server
+module Guard = Cddpd_serve.Guard
 module Solution = Cddpd_core.Solution
 module Problem = Cddpd_core.Problem
 module Simulator = Cddpd_core.Simulator
@@ -116,8 +119,20 @@ let scale_arg =
   Arg.(value & opt float 1.0
        & info [ "scale" ] ~docv:"F" ~doc:"Workload segment-length multiplier.")
 
-let config_of rows value_range seed scale =
-  { Setup.default_config with Setup.rows; value_range; seed; scale }
+let readahead_arg =
+  Arg.(value & opt int Setup.default_config.Setup.readahead
+       & info [ "readahead" ] ~docv:"N"
+           ~doc:"Buffer-pool sequential prefetch budget in pages (0 disables \
+                 readahead; logical I/O is unaffected either way, see \
+                 docs/PERFORMANCE.md).")
+
+let config_of ?readahead rows value_range seed scale =
+  let readahead =
+    match readahead with
+    | Some r -> r
+    | None -> Setup.default_config.Setup.readahead
+  in
+  { Setup.default_config with Setup.rows; value_range; seed; scale; readahead }
 
 let method_conv =
   let parse s =
@@ -194,10 +209,10 @@ let load_trace path =
       exit 1
 
 let with_recommendation trace_path segment k method_name rows value_range seed
-    ~max_paths ~max_queue f =
+    readahead ~max_paths ~max_queue f =
   let statements = load_trace trace_path in
   let steps = Trace.segment statements ~size:segment in
-  let config = config_of rows value_range seed 1.0 in
+  let config = config_of ~readahead rows value_range seed 1.0 in
   let db = Setup.make_database config in
   let request =
     { (Advisor.default_request ~steps ~table:Setup.table_name) with
@@ -233,12 +248,12 @@ let print_schedule steps recommendation segment =
   Text_table.print table;
   Format.printf "%a@." Solution.pp recommendation.Advisor.solution
 
-let recommend input segment k method_name rows value_range seed jobs no_cost_cache
-    max_paths max_queue metrics trace =
+let recommend input segment k method_name rows value_range seed readahead jobs
+    no_cost_cache max_paths max_queue metrics trace =
   apply_perf_knobs jobs no_cost_cache;
   with_obs ~metrics ~trace @@ fun () ->
-  with_recommendation input segment k method_name rows value_range seed ~max_paths
-    ~max_queue (fun _db steps recommendation ->
+  with_recommendation input segment k method_name rows value_range seed readahead
+    ~max_paths ~max_queue (fun _db steps recommendation ->
       print_schedule steps recommendation segment;
       0)
 
@@ -253,15 +268,16 @@ let recommend_cmd =
     (Cmd.info "recommend"
        ~doc:"Recommend a change-constrained dynamic physical design for a trace.")
     Term.(const recommend $ input_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
-          $ value_range_arg $ seed_arg $ jobs_arg $ no_cost_cache_arg
-          $ max_paths_arg $ max_queue_arg $ metrics_arg $ trace_spans_arg)
+          $ value_range_arg $ seed_arg $ readahead_arg $ jobs_arg
+          $ no_cost_cache_arg $ max_paths_arg $ max_queue_arg $ metrics_arg
+          $ trace_spans_arg)
 
-let simulate input segment k method_name rows value_range seed jobs no_cost_cache
-    max_paths max_queue metrics trace =
+let simulate input segment k method_name rows value_range seed readahead jobs
+    no_cost_cache max_paths max_queue metrics trace =
   apply_perf_knobs jobs no_cost_cache;
   with_obs ~metrics ~trace @@ fun () ->
-  with_recommendation input segment k method_name rows value_range seed ~max_paths
-    ~max_queue (fun db steps recommendation ->
+  with_recommendation input segment k method_name rows value_range seed readahead
+    ~max_paths ~max_queue (fun db steps recommendation ->
       print_schedule steps recommendation segment;
       let report = Simulator.run db ~steps ~schedule:recommendation.Advisor.schedule in
       Printf.printf
@@ -275,17 +291,18 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Recommend a design for a trace, then replay the trace under it.")
     Term.(const simulate $ input_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
-          $ value_range_arg $ seed_arg $ jobs_arg $ no_cost_cache_arg
-          $ max_paths_arg $ max_queue_arg $ metrics_arg $ trace_spans_arg)
+          $ value_range_arg $ seed_arg $ readahead_arg $ jobs_arg
+          $ no_cost_cache_arg $ max_paths_arg $ max_queue_arg $ metrics_arg
+          $ trace_spans_arg)
 
 (* -- experiment -------------------------------------------------------------- *)
 
-let experiment name rows value_range seed scale jobs cell_jobs no_cost_cache metrics
-    trace =
+let experiment name rows value_range seed scale readahead jobs cell_jobs
+    no_cost_cache metrics trace =
   apply_perf_knobs jobs no_cost_cache;
   apply_cell_jobs cell_jobs;
   with_obs ~metrics ~trace @@ fun () ->
-  let config = config_of rows value_range seed scale in
+  let config = config_of ~readahead rows value_range seed scale in
   let session = lazy (Session.create config) in
   match String.lowercase_ascii name with
   | "table1" ->
@@ -332,12 +349,202 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Reproduce one table or figure of the paper.")
     Term.(
       const experiment $ experiment_name $ rows_arg $ value_range_arg $ seed_arg
-      $ scale_arg $ jobs_arg $ cell_jobs_arg $ no_cost_cache_arg $ metrics_arg
-      $ trace_spans_arg)
+      $ scale_arg $ readahead_arg $ jobs_arg $ cell_jobs_arg $ no_cost_cache_arg
+      $ metrics_arg $ trace_spans_arg)
+
+(* -- serve ------------------------------------------------------------------- *)
+
+let serve_defaults = Server.default_config ~table:Setup.table_name
+
+let regime_conv =
+  let parse s =
+    match Server.regime_of_string s with Ok r -> Ok r | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    (parse, fun ppf r -> Format.pp_print_string ppf (Server.regime_to_string r))
+
+let regime_arg =
+  Arg.(value & opt regime_conv serve_defaults.Server.regime
+       & info [ "regime" ] ~docv:"REGIME"
+           ~doc:"Control regime: continuous (constrained re-optimization with \
+                 guard and rollback), reactive (unguarded online-tuner \
+                 baseline), or static (never change the design).")
+
+let window_arg =
+  Arg.(value & opt int serve_defaults.Server.window
+       & info [ "window" ] ~docv:"N" ~doc:"Statements per observation window.")
+
+let history_arg =
+  Arg.(value & opt int serve_defaults.Server.history
+       & info [ "history" ] ~docv:"N"
+           ~doc:"Recent windows each re-optimization solves over.")
+
+let horizon_arg =
+  Arg.(value & opt int serve_defaults.Server.horizon
+       & info [ "horizon" ] ~docv:"N"
+           ~doc:"Windows the regret guard projects forward.")
+
+let drift_threshold_arg =
+  Arg.(value & opt float serve_defaults.Server.drift_threshold
+       & info [ "drift-threshold" ] ~docv:"F"
+           ~doc:"Cost-identity histogram L1 distance that counts as workload \
+                 drift (range 0-2; non-positive re-optimizes every window).")
+
+let regret_budget_arg =
+  Arg.(value & opt float serve_defaults.Server.regret_budget
+       & info [ "regret-budget" ] ~docv:"F"
+           ~doc:"Accept a transition only if its projected regret against the \
+                 incumbent design is at most $(docv) cost units.")
+
+let rollback_factor_arg =
+  Arg.(value & opt float serve_defaults.Server.rollback_factor
+       & info [ "rollback-factor" ] ~docv:"F"
+           ~doc:"Roll a deployment back when its first window's measured I/O \
+                 exceeds $(docv) times the what-if cost of the previous \
+                 design.")
+
+let serve_k_arg =
+  Arg.(value & opt int serve_defaults.Server.k
+       & info [ "k" ] ~docv:"K" ~doc:"Change budget per re-optimization.")
+
+let serve_input_arg =
+  Arg.(value & opt (some file) None
+       & info [ "i"; "input" ] ~docv:"FILE"
+           ~doc:"Replay this trace file instead of streaming from stdin.")
+
+let once_arg =
+  Arg.(value & flag
+       & info [ "once" ]
+           ~doc:"Drain the input and exit (requires $(b,--input)); the smoke \
+                 mode CI replays a canned trace through.")
+
+let status_json_arg =
+  Arg.(value & flag
+       & info [ "status" ]
+           ~doc:"Emit the run summary as one JSON object (schema \
+                 cddpd-serve/1) instead of per-window lines and a text \
+                 summary.")
+
+let action_to_string = function
+  | Server.No_action -> "-"
+  | Server.Held _ -> "held (recommendation = incumbent)"
+  | Server.Deployed { design; projection = Some p; build_io } ->
+      Printf.sprintf "deployed %s (regret %+.1f, build %d)" (Design.name design)
+        p.Guard.regret build_io
+  | Server.Deployed { design; projection = None; build_io } ->
+      Printf.sprintf "deployed %s (unguarded, build %d)" (Design.name design)
+        build_io
+  | Server.Rejected { design; projection } ->
+      Printf.sprintf "rejected %s (regret %+.1f over budget)"
+        (Design.name design) projection.Guard.regret
+  | Server.Rolled_back { restored; measured; expected; build_io } ->
+      Printf.sprintf "rolled back to %s (measured %.0f vs %.0f expected, build %d)"
+        (Design.name restored) measured expected build_io
+
+let print_window_line r =
+  Printf.printf "window %3d  %5d stmts  io %-8d drift %s%s  %s\n%!"
+    r.Server.index r.Server.n_statements r.Server.exec_logical_io
+    (match r.Server.drift with
+    | None -> "     -"
+    | Some d -> Printf.sprintf "%6.3f" d)
+    (if r.Server.drifted then "!" else " ")
+    (action_to_string r.Server.action)
+
+let report_json (report : Server.report) =
+  Printf.sprintf
+    "{\"schema\":\"cddpd-serve/1\",\"regime\":\"%s\",\"windows\":%d,\
+     \"statements\":%d,\"residual_statements\":%d,\"drift_events\":%d,\
+     \"reoptimizations\":%d,\"deployments\":%d,\"rejections\":%d,\
+     \"rollbacks\":%d,\"exec_logical_io\":%d,\"trans_logical_io\":%d,\
+     \"final_design\":\"%s\"}"
+    (Server.regime_to_string report.Server.regime)
+    (Array.length report.Server.windows)
+    report.Server.statements report.Server.residual_statements
+    report.Server.drift_events report.Server.reoptimizations
+    report.Server.deployments report.Server.rejections report.Server.rollbacks
+    report.Server.exec_logical_io report.Server.trans_logical_io
+    (String.concat "," (List.map (fun s -> String.escaped (Cddpd_catalog.Structure.name s))
+         (Design.structures report.Server.final_design)))
+
+let print_report (report : Server.report) =
+  Printf.printf
+    "serve: regime=%s windows=%d statements=%d (+%d residual)\n\
+     serve: drift_events=%d reoptimizations=%d deployments=%d rejections=%d \
+     rollbacks=%d\n\
+     serve: exec_logical_io=%d trans_logical_io=%d final_design=%s\n"
+    (Server.regime_to_string report.Server.regime)
+    (Array.length report.Server.windows)
+    report.Server.statements report.Server.residual_statements
+    report.Server.drift_events report.Server.reoptimizations
+    report.Server.deployments report.Server.rejections report.Server.rollbacks
+    report.Server.exec_logical_io report.Server.trans_logical_io
+    (Design.name report.Server.final_design)
+
+let feed_stdin server =
+  let rec loop () =
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        let line = String.trim line in
+        if String.length line > 0 && not (String.length line >= 2 && String.sub line 0 2 = "--")
+        then begin
+          match Cddpd_sql.Parser.parse line with
+          | Ok statement -> ignore (Server.feed server statement)
+          | Error message ->
+              Printf.eprintf "cddpd serve: skipping statement: %s\n%!" message
+        end;
+        loop ()
+  in
+  loop ()
+
+let serve input once regime window history horizon drift_threshold regret_budget
+    rollback_factor k method_name rows value_range seed readahead jobs
+    no_cost_cache status_json metrics trace =
+  apply_perf_knobs jobs no_cost_cache;
+  with_obs ~metrics ~trace @@ fun () ->
+  if once && input = None then begin
+    prerr_endline "cddpd: --once requires --input";
+    2
+  end
+  else begin
+    let cfg =
+      { serve_defaults with
+        Server.regime; window; history; horizon; drift_threshold; regret_budget;
+        rollback_factor; k; method_name; jobs }
+    in
+    let db = Setup.make_database (config_of ~readahead rows value_range seed 1.0) in
+    let on_window = if status_json then fun _ -> () else print_window_line in
+    let report =
+      match input with
+      | Some path -> Server.run ~on_window db cfg (load_trace path)
+      | None ->
+          let server = Server.create ~on_window db cfg in
+          feed_stdin server;
+          Server.finish server
+    in
+    if status_json then print_endline (report_json report) else print_report report;
+    0
+  end
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the online continuous advisor over a statement stream: \
+             windowed ingest, drift detection, constrained re-optimization \
+             seeded at the current design, regret-guarded deployment, and \
+             rollback on regression (see docs/SERVE.md).")
+    Term.(const serve $ serve_input_arg $ once_arg $ regime_arg $ window_arg
+          $ history_arg $ horizon_arg $ drift_threshold_arg $ regret_budget_arg
+          $ rollback_factor_arg $ serve_k_arg $ method_arg $ rows_arg
+          $ value_range_arg $ seed_arg $ readahead_arg $ jobs_arg
+          $ no_cost_cache_arg $ status_json_arg $ metrics_arg $ trace_spans_arg)
 
 (* -- main ---------------------------------------------------------------------- *)
 
 let () =
   let doc = "constrained dynamic physical database design (ICDE'08 reproduction)" in
   let info = Cmd.info "cddpd" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ generate_cmd; recommend_cmd; simulate_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ generate_cmd; recommend_cmd; simulate_cmd; experiment_cmd; serve_cmd ]))

@@ -44,6 +44,12 @@ type recommendation = {
   schedule : Cddpd_catalog.Design.t array;  (** design per step *)
 }
 
+val build_problem : Cddpd_engine.Database.t -> request -> Problem.t
+(** Candidate generation + space enumeration + cost matrices, without
+    solving — the entry point for callers that solve the same instance
+    repeatedly or under their own policy (the serve loop, the k-selection
+    examples).  Raises [Invalid_argument] on inconsistent requests. *)
+
 val recommend :
   Cddpd_engine.Database.t -> request -> (recommendation, Optimizer.error) result
 (** Build the problem from the database's statistics and solve it.  Raises

@@ -2,6 +2,25 @@ type params = { window : int; horizon : int; threshold : float }
 
 let default_params = { window = 2; horizon = 4; threshold = 1.0 }
 
+let decide ~params ~window_cost ~trans_cost ~n_configs ~current ~window_len () =
+  if window_len <= 0.0 then invalid_arg "Online_tuner.decide: window_len must be positive";
+  let current_cost = window_cost current in
+  let best = ref current in
+  let best_cost = ref current_cost in
+  for c = 0 to n_configs - 1 do
+    let cost = window_cost c in
+    if cost < !best_cost then begin
+      best := c;
+      best_cost := cost
+    end
+  done;
+  if !best = current then current
+  else
+    let benefit =
+      (current_cost -. !best_cost) *. float_of_int params.horizon /. window_len
+    in
+    if benefit > params.threshold *. trans_cost !best then !best else current
+
 let run ?(params = default_params) problem =
   if params.window <= 0 || params.horizon <= 0 then
     invalid_arg "Online_tuner.run: window and horizon must be positive";
@@ -22,22 +41,11 @@ let run ?(params = default_params) problem =
       done;
       !acc
     in
-    let current_cost = window_cost !current in
-    let best = ref !current in
-    let best_cost = ref current_cost in
-    for c = 0 to n_configs - 1 do
-      let cost = window_cost c in
-      if cost < !best_cost then begin
-        best := c;
-        best_cost := cost
-      end
-    done;
-    if !best <> !current then begin
-      let window_len = float_of_int (s - window_start + 1) in
-      let benefit =
-        (current_cost -. !best_cost) *. float_of_int params.horizon /. window_len
-      in
-      if benefit > params.threshold *. trans.(!current).(!best) then current := !best
-    end
+    current :=
+      decide ~params ~window_cost
+        ~trans_cost:(fun c -> trans.(!current).(c))
+        ~n_configs ~current:!current
+        ~window_len:(float_of_int (s - window_start + 1))
+        ()
   done;
   path

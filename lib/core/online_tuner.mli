@@ -24,6 +24,24 @@ type params = {
 
 val default_params : params
 
+val decide :
+  params:params ->
+  window_cost:(int -> float) ->
+  trans_cost:(int -> float) ->
+  n_configs:int ->
+  current:int ->
+  window_len:float ->
+  unit ->
+  int
+(** One reactive decision, the policy of {!run} factored out so other
+    harnesses (notably the serve loop's [Reactive] regime) can apply it at
+    their own granularity: [window_cost c] is configuration [c]'s EXEC over
+    the recent window (whose length in steps is [window_len]),
+    [trans_cost c] the cost of switching to [c] from [current].  Returns
+    the configuration to use next — [current] unless some cheaper
+    configuration's extrapolated benefit pays for the transition.  Raises
+    [Invalid_argument] if [window_len <= 0]. *)
+
 val run : ?params:params -> Problem.t -> int array
 (** The configuration the tuner would have used for each step.  The tuner
     only sees steps it has already executed: the config for step [s]

@@ -9,6 +9,11 @@ module Tuple = Cddpd_storage.Tuple
 module Heap_file = Cddpd_storage.Heap_file
 module Buffer_pool = Cddpd_storage.Buffer_pool
 module Disk = Cddpd_storage.Disk
+module Obs = Cddpd_obs
+
+let m_migrations = Obs.Registry.counter "database.migrations"
+let m_structures_built = Obs.Registry.counter "database.structures_built"
+let m_structures_dropped = Obs.Registry.counter "database.structures_dropped"
 
 type table_state = {
   schema : Schema.table;
@@ -209,8 +214,12 @@ let drop_structure t structure =
 
 let migrate_to t target =
   let current = current_design t in
-  Design.fold (fun s () -> drop_structure t s) (Design.diff current target) ();
-  Design.fold (fun s () -> build_structure t s) (Design.diff target current) ()
+  let to_drop = Design.diff current target and to_build = Design.diff target current in
+  Obs.Counter.incr m_migrations;
+  Obs.Counter.add m_structures_dropped (Design.cardinality to_drop);
+  Obs.Counter.add m_structures_built (Design.cardinality to_build);
+  Design.fold (fun s () -> drop_structure t s) to_drop ();
+  Design.fold (fun s () -> build_structure t s) to_build ()
 
 (* -- execution ------------------------------------------------------------ *)
 

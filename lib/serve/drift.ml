@@ -1,0 +1,37 @@
+module Cost_key = Cddpd_engine.Cost_key
+
+type profile = (string * float) list
+
+let profile ~stats statements =
+  let n = Array.length statements in
+  if n = 0 then []
+  else begin
+    (* cddpd-lint: allow poly-hash — string cost-identity keys *)
+    let counts = Hashtbl.create 64 in
+    Array.iter
+      (fun statement ->
+        let key = Cost_key.statement stats statement in
+        Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+      statements;
+    let total = float_of_int n in
+    Hashtbl.fold (fun key count acc -> (key, float_of_int count /. total) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  end
+
+let distance a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], [] -> acc
+    | (_, fa) :: ra, [] -> go ra [] (acc +. fa)
+    | [], (_, fb) :: rb -> go [] rb (acc +. fb)
+    | (ka, fa) :: ra, (kb, fb) :: rb ->
+        let c = String.compare ka kb in
+        if c = 0 then go ra rb (acc +. Float.abs (fa -. fb))
+        else if c < 0 then go ra b (acc +. fa)
+        else go a rb (acc +. fb)
+  in
+  go a b 0.0
+
+let default_threshold = 0.5
+
+let drifted ?(threshold = default_threshold) a b = distance a b > threshold

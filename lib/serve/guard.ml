@@ -1,0 +1,26 @@
+module Problem = Cddpd_core.Problem
+
+type projection = {
+  target : int;
+  baseline : float;
+  projected : float;
+  regret : float;
+}
+
+type verdict = No_change | Accept of projection | Reject of projection
+
+let assess problem ~target ~horizon ~budget =
+  if horizon < 1 then invalid_arg "Guard.assess: horizon must be >= 1";
+  if target < 0 || target >= Problem.n_configs problem then
+    invalid_arg "Guard.assess: target out of range";
+  let initial = problem.Problem.initial in
+  if target = initial then No_change
+  else begin
+    let last = Problem.n_steps problem - 1 in
+    let h = float_of_int horizon in
+    let exec = problem.Problem.exec and trans = problem.Problem.trans in
+    let baseline = h *. exec.(last).(initial) in
+    let projected = trans.(initial).(target) +. (h *. exec.(last).(target)) in
+    let projection = { target; baseline; projected; regret = projected -. baseline } in
+    if projection.regret <= budget then Accept projection else Reject projection
+  end

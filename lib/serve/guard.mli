@@ -1,0 +1,48 @@
+(** The safety layer: what-if validation of a recommended transition
+    against a regret budget.
+
+    The serve loop's re-optimizer solves over the *past* few windows; the
+    guard asks whether acting on that recommendation is safe for the
+    *future*.  In the style of the DBA-bandits safety argument (regret
+    bounded against the incumbent design) and AIM's validate step, it
+    projects the most recent window forward [horizon] windows and compares
+    two what-if totals:
+
+    - [baseline]  — keep serving on the incumbent design [C0]:
+      [horizon * EXEC(last window, C0)];
+    - [projected] — deploy the recommended design [D]:
+      [TRANS(C0, D) + horizon * EXEC(last window, D)].
+
+    The [regret] of deploying is [projected - baseline].  A transition is
+    accepted only when [regret <= budget]; with the default budget of 0
+    the deployment must pay for its own build cost within the horizon.
+    Because every quantity comes from the same what-if cost matrices the
+    solver used, the guard is deterministic and adds no cost-model calls
+    (the matrices are already built).
+
+    What the guard protects against: heuristic solvers (merging, budgeted
+    ranking) whose final design may not beat the incumbent; exact solvers
+    whose optimum over the history ends in a design that only paid off in
+    windows that have already passed; and over-eager transitions whose
+    build cost cannot be amortized before the workload moves on.  What it
+    cannot protect against — the future not resembling the last window —
+    is the rollback path's job ({!Server}). *)
+
+type projection = {
+  target : int;  (** config id of the assessed design *)
+  baseline : float;  (** projected cost of staying on C0 *)
+  projected : float;  (** projected cost of deploying, build included *)
+  regret : float;  (** [projected - baseline] *)
+}
+
+type verdict =
+  | No_change  (** the recommendation is the incumbent design itself *)
+  | Accept of projection  (** [regret <= budget]: safe to deploy *)
+  | Reject of projection  (** projected to lose more than the budget *)
+
+val assess :
+  Cddpd_core.Problem.t -> target:int -> horizon:int -> budget:float -> verdict
+(** Assess deploying config [target] of the problem's space, taking the
+    problem's [initial] as the incumbent C0 and its last step as the most
+    recent window.  Raises [Invalid_argument] if [horizon < 1] or [target]
+    is out of range. *)

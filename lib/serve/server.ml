@@ -1,0 +1,403 @@
+module Ast = Cddpd_sql.Ast
+module Design = Cddpd_catalog.Design
+module Structure = Cddpd_catalog.Structure
+module Database = Cddpd_engine.Database
+module Cost_model = Cddpd_engine.Cost_model
+module Problem = Cddpd_core.Problem
+module Config_space = Cddpd_core.Config_space
+module Advisor = Cddpd_core.Advisor
+module Solution = Cddpd_core.Solution
+module Optimizer = Cddpd_core.Optimizer
+module Online_tuner = Cddpd_core.Online_tuner
+module Timer = Cddpd_util.Timer
+module Obs = Cddpd_obs
+
+let m_windows = Obs.Registry.counter "serve.windows"
+let m_statements = Obs.Registry.counter "serve.statements"
+let m_drift_events = Obs.Registry.counter "serve.drift_events"
+let m_reoptimizations = Obs.Registry.counter "serve.reoptimizations"
+let m_deployments = Obs.Registry.counter "serve.deployments"
+let m_rejections = Obs.Registry.counter "serve.rejections"
+let m_rollbacks = Obs.Registry.counter "serve.rollbacks"
+let m_window_io = Obs.Registry.histogram "serve.window_io"
+let m_regret = Obs.Registry.histogram "serve.regret"
+let m_reopt_s = Obs.Registry.histogram "serve.reopt_s"
+
+type regime = Static | Reactive | Continuous
+
+let regime_to_string = function
+  | Static -> "static"
+  | Reactive -> "reactive"
+  | Continuous -> "continuous"
+
+let regime_of_string s =
+  match String.lowercase_ascii s with
+  | "static" -> Ok Static
+  | "reactive" -> Ok Reactive
+  | "continuous" -> Ok Continuous
+  | other -> Error (Printf.sprintf "unknown regime %s (static|reactive|continuous)" other)
+
+type config = {
+  table : string;
+  regime : regime;
+  window : int;
+  history : int;
+  horizon : int;
+  drift_threshold : float;
+  regret_budget : float;
+  rollback_factor : float;
+  k : int;
+  method_name : Solution.method_name;
+  composite_pairs : int;
+  max_structures_per_config : int option;
+  space_bound_bytes : int option;
+  jobs : int option;
+}
+
+let default_config ~table =
+  {
+    table;
+    regime = Continuous;
+    window = 500;
+    history = 4;
+    horizon = 4;
+    drift_threshold = Drift.default_threshold;
+    regret_budget = 0.0;
+    rollback_factor = 1.5;
+    k = 2;
+    method_name = Solution.Kaware;
+    composite_pairs = 2;
+    max_structures_per_config = Some 1;
+    space_bound_bytes = None;
+    jobs = None;
+  }
+
+type action =
+  | No_action
+  | Held of Guard.projection option
+  | Deployed of {
+      design : Design.t;
+      projection : Guard.projection option;
+      build_io : int;
+    }
+  | Rejected of { design : Design.t; projection : Guard.projection }
+  | Rolled_back of {
+      restored : Design.t;
+      measured : float;
+      expected : float;
+      build_io : int;
+    }
+
+type window_report = {
+  index : int;
+  n_statements : int;
+  design : Design.t;
+  exec_logical_io : int;
+  drift : float option;
+  drifted : bool;
+  action : action;
+  reopt_s : float;
+}
+
+type report = {
+  regime : regime;
+  windows : window_report array;
+  statements : int;
+  residual_statements : int;
+  drift_events : int;
+  reoptimizations : int;
+  deployments : int;
+  rejections : int;
+  rollbacks : int;
+  exec_logical_io : int;
+  trans_logical_io : int;
+  final_design : Design.t;
+}
+
+type probation = { prev_design : Design.t }
+
+type t = {
+  db : Database.t;
+  cfg : config;
+  on_window : window_report -> unit;
+  buf : Ast.statement array;
+  mutable fill : int;
+  mutable window_index : int;
+  mutable window_io : int;  (* measured exec I/O of the open window *)
+  mutable history_windows : Ast.statement array list;  (* newest first *)
+  mutable prev_profile : Drift.profile option;
+  mutable probation : probation option;
+  mutable reports : window_report list;  (* newest first *)
+  mutable statements : int;
+  mutable exec_io : int;
+  mutable trans_io : int;
+  mutable drift_events : int;
+  mutable reoptimizations : int;
+  mutable deployments : int;
+  mutable rejections : int;
+  mutable rollbacks : int;
+}
+
+let create ?(on_window = fun _ -> ()) db cfg =
+  if cfg.window <= 0 then invalid_arg "Server.create: window must be positive";
+  if cfg.history <= 0 then invalid_arg "Server.create: history must be positive";
+  if cfg.horizon <= 0 then invalid_arg "Server.create: horizon must be positive";
+  (match Database.schema db cfg.table with
+  | Some _ -> ()
+  | None -> invalid_arg (Printf.sprintf "Server.create: unknown table %s" cfg.table));
+  {
+    db;
+    cfg;
+    on_window;
+    buf = Array.make cfg.window (Ast.Select { projection = Ast.Star; table = cfg.table; where = [] });
+    fill = 0;
+    window_index = 0;
+    window_io = 0;
+    history_windows = [];
+    prev_profile = None;
+    probation = None;
+    reports = [];
+    statements = 0;
+    exec_io = 0;
+    trans_io = 0;
+    drift_events = 0;
+    reoptimizations = 0;
+    deployments = 0;
+    rejections = 0;
+    rollbacks = 0;
+  }
+
+let config t = t.cfg
+
+(* The candidate structures of a re-optimization: derived from the recent
+   statements, plus whatever the incumbent design already materialises —
+   C0 must be a configuration of the space it is the seed of. *)
+let candidate_structures t statements =
+  let schema =
+    match Database.schema t.db t.cfg.table with
+    | Some schema -> schema
+    | None -> assert false
+  in
+  let derived =
+    Cddpd_core.Candidates.structures_from_statements schema
+      ~composite_pairs:t.cfg.composite_pairs statements
+  in
+  let incumbent = Design.structures (Database.current_design t.db) in
+  derived
+  @ List.filter (fun s -> not (List.exists (Structure.equal s) derived)) incumbent
+
+(* Cap on structures per configuration: the configured cap, raised if the
+   incumbent design is already larger (it must remain representable). *)
+let max_structures t =
+  let incumbent = Design.cardinality (Database.current_design t.db) in
+  Option.map (fun m -> max m incumbent) t.cfg.max_structures_per_config
+
+let build_problem t steps =
+  let request =
+    {
+      (Advisor.default_request ~steps ~table:t.cfg.table) with
+      Advisor.candidates = Some (candidate_structures t (Array.concat (Array.to_list steps)));
+      max_structures_per_config = max_structures t;
+      space_bound_bytes = t.cfg.space_bound_bytes;
+      initial = Database.current_design t.db;
+      count_initial_change = true;
+      jobs = t.cfg.jobs;
+    }
+  in
+  Advisor.build_problem t.db request
+
+let migrate_measured t target =
+  let logical_before, _ = Database.io_counters t.db in
+  Obs.Span.with_span "serve.deploy" (fun () -> Database.migrate_to t.db target);
+  let logical_after, _ = Database.io_counters t.db in
+  let build_io = logical_after - logical_before in
+  t.trans_io <- t.trans_io + build_io;
+  build_io
+
+(* Rollback check: the window that just closed ran under a design deployed
+   one window ago.  Compare its measured I/O against the what-if cost of
+   the pre-deployment design on the same statements; a regression beyond
+   [rollback_factor] restores the previous design. *)
+let check_probation t ~stats ~window ~measured_io =
+  match t.probation with
+  | None -> None
+  | Some { prev_design } ->
+      t.probation <- None;
+      let params = Database.params t.db in
+      let expected =
+        Array.fold_left
+          (fun acc statement ->
+            acc +. Cost_model.statement_cost params stats prev_design statement)
+          0.0 window
+      in
+      let measured = float_of_int measured_io in
+      if measured > t.cfg.rollback_factor *. expected then begin
+        let build_io = migrate_measured t prev_design in
+        t.rollbacks <- t.rollbacks + 1;
+        Obs.Counter.incr m_rollbacks;
+        Some (Rolled_back { restored = prev_design; measured; expected; build_io })
+      end
+      else None
+
+(* One constrained re-optimization over the recent windows, seeded with
+   the incumbent design as C0, guarded before deployment. *)
+let reoptimize_continuous t =
+  let steps = Array.of_list (List.rev t.history_windows) in
+  let problem = build_problem t steps in
+  let incumbent = Database.current_design t.db in
+  match
+    Optimizer.solve problem ~method_name:t.cfg.method_name ~k:t.cfg.k
+      ?jobs:t.cfg.jobs ()
+  with
+  | Error (Optimizer.Infeasible | Optimizer.Ranking_gave_up _) -> Held None
+  | Ok solution -> (
+      let target = solution.Solution.path.(Array.length solution.Solution.path - 1) in
+      match
+        Guard.assess problem ~target ~horizon:t.cfg.horizon
+          ~budget:t.cfg.regret_budget
+      with
+      | Guard.No_change -> Held None
+      | Guard.Accept projection ->
+          Obs.Histogram.observe m_regret projection.Guard.regret;
+          let design = Config_space.design problem.Problem.space target in
+          let build_io = migrate_measured t design in
+          t.deployments <- t.deployments + 1;
+          Obs.Counter.incr m_deployments;
+          t.probation <- Some { prev_design = incumbent };
+          Deployed { design; projection = Some projection; build_io }
+      | Guard.Reject projection ->
+          Obs.Histogram.observe m_regret projection.Guard.regret;
+          t.rejections <- t.rejections + 1;
+          Obs.Counter.incr m_rejections;
+          Rejected
+            { design = Config_space.design problem.Problem.space target; projection })
+
+(* The reactive baseline: the Online_tuner policy applied at window
+   granularity — no constraint, no guard, no probation. *)
+let reoptimize_reactive t window =
+  let problem = build_problem t [| window |] in
+  let initial = problem.Problem.initial in
+  let params =
+    { Online_tuner.default_params with Online_tuner.horizon = t.cfg.horizon }
+  in
+  let decision =
+    Online_tuner.decide ~params
+      ~window_cost:(fun c -> problem.Problem.exec.(0).(c))
+      ~trans_cost:(fun c -> problem.Problem.trans.(initial).(c))
+      ~n_configs:(Problem.n_configs problem)
+      ~current:initial ~window_len:1.0 ()
+  in
+  if decision = initial then Held None
+  else begin
+    let design = Config_space.design problem.Problem.space decision in
+    let build_io = migrate_measured t design in
+    t.deployments <- t.deployments + 1;
+    Obs.Counter.incr m_deployments;
+    Deployed { design; projection = None; build_io }
+  end
+
+let close_window t window =
+  Obs.Span.with_span "serve.window" @@ fun () ->
+  let index = t.window_index in
+  let served_design = Database.current_design t.db in
+  let measured_io = t.window_io in
+  let stats = Database.table_stats t.db t.cfg.table in
+  let profile = Drift.profile ~stats window in
+  let drift = Option.map (fun prev -> Drift.distance prev profile) t.prev_profile in
+  let drifted =
+    match drift with Some d -> d > t.cfg.drift_threshold | None -> false
+  in
+  if drifted then begin
+    t.drift_events <- t.drift_events + 1;
+    Obs.Counter.incr m_drift_events
+  end;
+  t.history_windows <- window :: t.history_windows;
+  (if List.length t.history_windows > t.cfg.history then
+     t.history_windows <-
+       List.filteri (fun i _ -> i < t.cfg.history) t.history_windows);
+  let action, reopt_s =
+    match check_probation t ~stats ~window ~measured_io with
+    | Some rolled_back -> (rolled_back, 0.0)
+    | None -> (
+        match t.cfg.regime with
+        | Static -> (No_action, 0.0)
+        | Reactive ->
+            t.reoptimizations <- t.reoptimizations + 1;
+            Obs.Counter.incr m_reoptimizations;
+            let action, elapsed =
+              Timer.time (fun () ->
+                  Obs.Span.with_span "serve.reoptimize" (fun () ->
+                      reoptimize_reactive t window))
+            in
+            Obs.Histogram.observe m_reopt_s elapsed;
+            (action, elapsed)
+        | Continuous ->
+            if index = 0 || drifted then begin
+              t.reoptimizations <- t.reoptimizations + 1;
+              Obs.Counter.incr m_reoptimizations;
+              let action, elapsed =
+                Timer.time (fun () ->
+                    Obs.Span.with_span "serve.reoptimize" (fun () ->
+                        reoptimize_continuous t))
+              in
+              Obs.Histogram.observe m_reopt_s elapsed;
+              (action, elapsed)
+            end
+            else (No_action, 0.0))
+  in
+  t.prev_profile <- Some profile;
+  t.window_index <- index + 1;
+  t.window_io <- 0;
+  Obs.Counter.incr m_windows;
+  Obs.Histogram.observe m_window_io (float_of_int measured_io);
+  let report =
+    {
+      index;
+      n_statements = Array.length window;
+      design = served_design;
+      exec_logical_io = measured_io;
+      drift;
+      drifted;
+      action;
+      reopt_s;
+    }
+  in
+  t.reports <- report :: t.reports;
+  t.on_window report;
+  report
+
+let feed t statement =
+  let result = Database.execute t.db statement in
+  t.statements <- t.statements + 1;
+  t.exec_io <- t.exec_io + result.Database.logical_io;
+  t.window_io <- t.window_io + result.Database.logical_io;
+  Obs.Counter.incr m_statements;
+  t.buf.(t.fill) <- statement;
+  t.fill <- t.fill + 1;
+  if t.fill = t.cfg.window then begin
+    let window = Array.sub t.buf 0 t.fill in
+    t.fill <- 0;
+    Some (close_window t window)
+  end
+  else None
+
+let finish t =
+  {
+    regime = t.cfg.regime;
+    windows = Array.of_list (List.rev t.reports);
+    statements = t.statements;
+    residual_statements = t.fill;
+    drift_events = t.drift_events;
+    reoptimizations = t.reoptimizations;
+    deployments = t.deployments;
+    rejections = t.rejections;
+    rollbacks = t.rollbacks;
+    exec_logical_io = t.exec_io;
+    trans_logical_io = t.trans_io;
+    final_design = Database.current_design t.db;
+  }
+
+let run ?on_window db cfg trace =
+  let t = create ?on_window db cfg in
+  Array.iter (fun statement -> ignore (feed t statement)) trace;
+  finish t

@@ -1,0 +1,146 @@
+(** The online continuous advisor: a long-running serve loop over a live
+    statement stream.
+
+    [Server] turns the offline advisor into the observe → recommend →
+    validate → rollback production loop (AIM-style).  Statements are
+    executed against the database as they arrive (the loop *is* the
+    server) and buffered into fixed-size windows.  Each window close:
+
+    + histogram the window by cost identity and compare with the previous
+      window ({!Drift}) — the observe step;
+    + if a deployment is on probation, check the window's *measured* I/O
+      against the what-if cost of the pre-deployment design and roll back
+      on regression — the rollback step;
+    + otherwise act per regime: [Continuous] re-optimizes on drift (a
+      constrained sequence-graph problem over the last [history] windows,
+      seeded with the current materialised design as C0, solved by the
+      configured method) and deploys only transitions the regret guard
+      accepts ({!Guard}) — recommend + validate; [Reactive] applies the
+      {!Cddpd_core.Online_tuner} policy every window with no safety layer
+      (the related-work baseline); [Static] never changes the design.
+
+    The three regimes run in this one harness so they are comparable on
+    identical traffic: same windows, same drift bookkeeping, same I/O
+    accounting.
+
+    Determinism: the loop is single-domain; re-optimization reuses
+    {!Cddpd_core.Problem.build} (Domain-parallel) and the pruned k-aware
+    DP, both bit-identical at any job count, so the whole report is
+    reproducible at any [jobs] setting.  Index builds at deployment go
+    through {!Cddpd_engine.Database.migrate_to}, i.e. sorted
+    {!Cddpd_storage.Btree.bulk_load}s.
+
+    Obs: the loop publishes the [serve.*] counters/histograms and the
+    [serve.window] / [serve.reoptimize] / [serve.deploy] spans catalogued
+    in docs/OBSERVABILITY.md. *)
+
+type regime = Static | Reactive | Continuous
+
+val regime_to_string : regime -> string
+
+val regime_of_string : string -> (regime, string) result
+
+type config = {
+  table : string;  (** the table under design *)
+  regime : regime;
+  window : int;  (** statements per window (default 500) *)
+  history : int;  (** windows per re-optimization problem (default 4) *)
+  horizon : int;  (** windows the guard projects forward (default 4) *)
+  drift_threshold : float;
+      (** L1 distance that counts as drift (default
+          {!Drift.default_threshold}); non-positive = re-optimize every
+          window *)
+  regret_budget : float;
+      (** accept a transition only if its projected regret against C0 is
+          at most this many cost units (default 0) *)
+  rollback_factor : float;
+      (** roll back when a probation window's measured I/O exceeds this
+          multiple of the pre-deployment design's what-if cost
+          (default 1.5) *)
+  k : int;  (** change budget per re-optimization (default 2) *)
+  method_name : Cddpd_core.Solution.method_name;  (** default [Kaware] *)
+  composite_pairs : int;  (** candidate generation knob (default 2) *)
+  max_structures_per_config : int option;  (** default [Some 1] *)
+  space_bound_bytes : int option;  (** Definition 1's b, if any *)
+  jobs : int option;  (** domains for {!Cddpd_core.Problem.build} *)
+}
+
+val default_config : table:string -> config
+
+(** What the loop did at one window close. *)
+type action =
+  | No_action  (** no re-optimization ran (no drift, or [Static]) *)
+  | Held of Guard.projection option
+      (** re-optimized; recommendation was the incumbent design (or the
+          solver gave up), nothing deployed *)
+  | Deployed of {
+      design : Cddpd_catalog.Design.t;
+      projection : Guard.projection option;
+          (** [None] for [Reactive] deployments (no guard ran) *)
+      build_io : int;  (** logical I/O of the migration *)
+    }
+  | Rejected of {
+      design : Cddpd_catalog.Design.t;
+      projection : Guard.projection;  (** why the guard said no *)
+    }
+  | Rolled_back of {
+      restored : Cddpd_catalog.Design.t;
+      measured : float;  (** the probation window's measured logical I/O *)
+      expected : float;  (** what-if cost under the restored design *)
+      build_io : int;  (** logical I/O of the restoring migration *)
+    }
+
+type window_report = {
+  index : int;  (** 0-based window number *)
+  n_statements : int;
+  design : Cddpd_catalog.Design.t;  (** the design that served this window *)
+  exec_logical_io : int;  (** measured I/O of executing the window *)
+  drift : float option;  (** distance to the previous window; [None] first *)
+  drifted : bool;
+  action : action;
+  reopt_s : float;  (** wall seconds spent re-optimizing (0 when none ran) *)
+}
+
+type report = {
+  regime : regime;
+  windows : window_report array;
+  statements : int;  (** statements executed, residual included *)
+  residual_statements : int;  (** fed but still in the open window at finish *)
+  drift_events : int;
+  reoptimizations : int;
+  deployments : int;
+  rejections : int;
+  rollbacks : int;
+  exec_logical_io : int;  (** total measured execution I/O, residual included *)
+  trans_logical_io : int;  (** total migration I/O (deployments + rollbacks) *)
+  final_design : Cddpd_catalog.Design.t;
+}
+
+type t
+
+val create :
+  ?on_window:(window_report -> unit) -> Cddpd_engine.Database.t -> config -> t
+(** A serve loop over the database.  [on_window] is called at each window
+    close, after the window's control decisions — the streaming status
+    hook the CLI prints from.  Raises [Invalid_argument] on a non-positive
+    [window], [history] or [horizon], or an unknown [table]. *)
+
+val config : t -> config
+
+val feed : t -> Cddpd_sql.Ast.statement -> window_report option
+(** Execute one arriving statement and buffer it; when it completes a
+    window, run the window-close protocol and return its report. *)
+
+val finish : t -> report
+(** The run summary.  Statements still in the open window have been
+    executed (they were served on arrival) but took part in no window
+    decision; they are counted as [residual_statements].  The loop can
+    keep feeding after [finish] — the report is a snapshot. *)
+
+val run :
+  ?on_window:(window_report -> unit) ->
+  Cddpd_engine.Database.t ->
+  config ->
+  Cddpd_sql.Ast.statement array ->
+  report
+(** [create], [feed] the whole trace, [finish] — the [--once] mode. *)

@@ -1,0 +1,346 @@
+(* Serve-loop tests: drift detection fixtures, the regret guard, windowed
+   ingest determinism across worker counts, guard rejection end to end,
+   and rollback on a post-deploy regression. *)
+
+module Schema = Cddpd_catalog.Schema
+module Index_def = Cddpd_catalog.Index_def
+module Design = Cddpd_catalog.Design
+module Structure = Cddpd_catalog.Structure
+module Ast = Cddpd_sql.Ast
+module Parser = Cddpd_sql.Parser
+module Database = Cddpd_engine.Database
+module Config_space = Cddpd_core.Config_space
+module Problem = Cddpd_core.Problem
+module Drift = Cddpd_serve.Drift
+module Guard = Cddpd_serve.Guard
+module Server = Cddpd_serve.Server
+
+let paper_schema =
+  Schema.table "t"
+    [
+      ("a", Schema.Int_type);
+      ("b", Schema.Int_type);
+      ("c", Schema.Int_type);
+      ("d", Schema.Int_type);
+    ]
+
+let rows = 4_000
+let value_range = rows / 5
+
+let make_db () =
+  let db = Database.create ~pool_capacity:2048 [ paper_schema ] in
+  let data =
+    Cddpd_workload.Data_gen.uniform_rows ~columns:4 ~rows ~value_range ~seed:3
+  in
+  Database.load db ~table:"t" data;
+  Database.analyze db;
+  db
+
+(* [n] point queries on [column], values cycling through the domain. *)
+let phase column n =
+  Array.init n (fun i ->
+      Parser.parse_exn
+        (Printf.sprintf "SELECT * FROM t WHERE %s = %d" column
+           (1 + ((i * 37) mod value_range))))
+
+(* -- Drift ----------------------------------------------------------------- *)
+
+let test_drift_identical_windows () =
+  let db = make_db () in
+  let stats = Database.table_stats db "t" in
+  let w = phase "a" 50 in
+  let p = Drift.profile ~stats w in
+  Alcotest.(check (float 1e-9)) "distance to self" 0.0 (Drift.distance p p);
+  Alcotest.(check bool) "no drift" false (Drift.drifted p p)
+
+let test_drift_disjoint_windows () =
+  let db = make_db () in
+  let stats = Database.table_stats db "t" in
+  let pa = Drift.profile ~stats (phase "a" 50) in
+  let pc = Drift.profile ~stats (phase "c" 50) in
+  let d = Drift.distance pa pc in
+  Alcotest.(check bool) "disjoint phases are far apart" true (d > 1.5);
+  Alcotest.(check bool) "drifted" true (Drift.drifted pa pc);
+  Alcotest.(check (float 1e-9)) "symmetric" d (Drift.distance pc pa)
+
+let test_drift_mixture_is_between () =
+  let db = make_db () in
+  let stats = Database.table_stats db "t" in
+  let pa = Drift.profile ~stats (phase "a" 50) in
+  let mixed =
+    Drift.profile ~stats (Array.append (phase "a" 25) (phase "c" 25))
+  in
+  let d = Drift.distance pa mixed in
+  Alcotest.(check bool) "mixture is closer than disjoint" true (d < 1.5);
+  Alcotest.(check bool) "but not identical" true (d > 0.0)
+
+let test_drift_empty_profile () =
+  let db = make_db () in
+  let stats = Database.table_stats db "t" in
+  let p = Drift.profile ~stats (phase "a" 10) in
+  Alcotest.(check (list (pair string (float 1e-9)))) "empty window" []
+    (Drift.profile ~stats [||]);
+  Alcotest.(check (float 1e-9)) "mass of a full profile" 1.0
+    (List.fold_left (fun acc (_, f) -> acc +. f) 0.0 p);
+  Alcotest.(check (float 1e-9)) "distance to empty is total mass" 1.0
+    (Drift.distance p [])
+
+(* -- Guard ----------------------------------------------------------------- *)
+
+(* Two configs over one step: staying costs 100/step, the alternative costs
+   10/step after a 200-unit build. *)
+let guard_problem () =
+  let space =
+    Config_space.of_designs
+      [ Design.empty; Design.singleton (Index_def.make ~table:"t" ~columns:[ "a" ]) ]
+  in
+  Problem.of_matrices
+    ~steps:[| [| Parser.parse_exn "SELECT * FROM t WHERE a = 1" |] |]
+    ~space ~initial:0
+    ~exec:[| [| 100.0; 10.0 |] |]
+    ~trans:[| [| 0.0; 200.0 |]; [| 150.0; 0.0 |] |]
+    ()
+
+let test_guard_no_change () =
+  let problem = guard_problem () in
+  match Guard.assess problem ~target:0 ~horizon:4 ~budget:0.0 with
+  | Guard.No_change -> ()
+  | _ -> Alcotest.fail "expected No_change for the incumbent"
+
+let test_guard_accept () =
+  let problem = guard_problem () in
+  (* horizon 4: baseline 400, projected 200 + 40 = 240, regret -160. *)
+  match Guard.assess problem ~target:1 ~horizon:4 ~budget:0.0 with
+  | Guard.Accept p ->
+      Alcotest.(check (float 1e-9)) "baseline" 400.0 p.Guard.baseline;
+      Alcotest.(check (float 1e-9)) "projected" 240.0 p.Guard.projected;
+      Alcotest.(check (float 1e-9)) "regret" (-160.0) p.Guard.regret
+  | _ -> Alcotest.fail "expected Accept at horizon 4"
+
+let test_guard_reject_short_horizon () =
+  let problem = guard_problem () in
+  (* horizon 1: baseline 100, projected 210, regret +110 — the build cannot
+     be amortized before the horizon ends. *)
+  (match Guard.assess problem ~target:1 ~horizon:1 ~budget:0.0 with
+  | Guard.Reject p ->
+      Alcotest.(check (float 1e-9)) "regret" 110.0 p.Guard.regret
+  | _ -> Alcotest.fail "expected Reject at horizon 1");
+  (* ... unless the budget absorbs the projected loss. *)
+  match Guard.assess problem ~target:1 ~horizon:1 ~budget:110.0 with
+  | Guard.Accept _ -> ()
+  | _ -> Alcotest.fail "expected Accept with an absorbing budget"
+
+let test_guard_validates () =
+  let problem = guard_problem () in
+  Alcotest.check_raises "horizon" (Invalid_argument "Guard.assess: horizon must be >= 1")
+    (fun () -> ignore (Guard.assess problem ~target:1 ~horizon:0 ~budget:0.0));
+  Alcotest.check_raises "target" (Invalid_argument "Guard.assess: target out of range")
+    (fun () -> ignore (Guard.assess problem ~target:2 ~horizon:1 ~budget:0.0))
+
+(* -- Server ---------------------------------------------------------------- *)
+
+let serve_config ?(regime = Server.Continuous) ?(window = 50) ?jobs () =
+  { (Server.default_config ~table:"t") with Server.regime; window; jobs }
+
+(* A drifting trace: three windows on [a], then one on [c], then [a] again. *)
+let drifting_trace ~window =
+  Array.concat
+    [ phase "a" (3 * window); phase "c" window; phase "a" (2 * window) ]
+
+let action_fingerprint = function
+  | Server.No_action -> "none"
+  | Server.Held _ -> "held"
+  | Server.Deployed { design; _ } -> "deploy:" ^ Design.name design
+  | Server.Rejected { design; _ } -> "reject:" ^ Design.name design
+  | Server.Rolled_back { restored; _ } -> "rollback:" ^ Design.name restored
+
+let window_fingerprint (w : Server.window_report) =
+  Printf.sprintf "%d:%d:%d:%s:%b:%s" w.Server.index w.Server.n_statements
+    w.Server.exec_logical_io
+    (match w.Server.drift with None -> "-" | Some d -> Printf.sprintf "%.12f" d)
+    w.Server.drifted
+    (action_fingerprint w.Server.action)
+
+let report_fingerprint (r : Server.report) =
+  String.concat "\n"
+    (Printf.sprintf "%s:%d:%d:%d:%d:%d:%d:%d:%d:%s"
+       (Server.regime_to_string r.Server.regime)
+       r.Server.statements r.Server.residual_statements r.Server.drift_events
+       r.Server.reoptimizations r.Server.deployments r.Server.rejections
+       r.Server.rollbacks r.Server.exec_logical_io
+       (Design.name r.Server.final_design)
+    :: Array.to_list (Array.map window_fingerprint r.Server.windows))
+
+let test_serve_deterministic_across_jobs () =
+  let window = 50 in
+  let trace = drifting_trace ~window in
+  let run jobs =
+    report_fingerprint
+      (Server.run (make_db ()) (serve_config ~window ?jobs ()) trace)
+  in
+  let reference = run (Some 1) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d matches jobs=1"
+           (Option.value ~default:0 jobs))
+        reference (run jobs))
+    [ Some 2; Some 4; None ]
+
+let test_serve_windowing () =
+  let window = 50 in
+  let cfg = serve_config ~window () in
+  let report =
+    Server.run (make_db ()) cfg (phase "a" ((2 * window) + 7))
+  in
+  Alcotest.(check int) "two closed windows" 2 (Array.length report.Server.windows);
+  Alcotest.(check int) "residual" 7 report.Server.residual_statements;
+  Alcotest.(check int) "all statements executed" ((2 * window) + 7)
+    report.Server.statements;
+  Array.iteri
+    (fun i w ->
+      Alcotest.(check int) "window index" i w.Server.index;
+      Alcotest.(check int) "window size" window w.Server.n_statements)
+    report.Server.windows
+
+let test_serve_continuous_deploys_on_drift () =
+  let window = 50 in
+  let report =
+    Server.run (make_db ()) (serve_config ~window ()) (drifting_trace ~window)
+  in
+  Alcotest.(check bool) "saw drift" true (report.Server.drift_events >= 1);
+  Alcotest.(check bool) "re-optimized" true (report.Server.reoptimizations >= 1);
+  Alcotest.(check bool) "deployed" true (report.Server.deployments >= 1);
+  (* The steady [a] phases dominate; the serve loop must end on I(a). *)
+  Alcotest.(check string) "settled on the a-phase index" "{I(a)}"
+    (Design.name report.Server.final_design)
+
+let test_serve_static_never_changes () =
+  let window = 50 in
+  let report =
+    Server.run (make_db ())
+      (serve_config ~regime:Server.Static ~window ())
+      (drifting_trace ~window)
+  in
+  Alcotest.(check int) "no re-optimizations" 0 report.Server.reoptimizations;
+  Alcotest.(check int) "no deployments" 0 report.Server.deployments;
+  Alcotest.(check bool) "design untouched" true
+    (Design.is_empty report.Server.final_design);
+  Alcotest.(check int) "no migration I/O" 0 report.Server.trans_logical_io
+
+let test_serve_regret_guard_rejects () =
+  let window = 50 in
+  let cfg =
+    { (serve_config ~window ()) with Server.regret_budget = -1e9 }
+  in
+  let report = Server.run (make_db ()) cfg (drifting_trace ~window) in
+  Alcotest.(check int) "nothing deployed" 0 report.Server.deployments;
+  Alcotest.(check bool) "recommendations were rejected" true
+    (report.Server.rejections >= 1);
+  Alcotest.(check bool) "design untouched" true
+    (Design.is_empty report.Server.final_design);
+  Array.iter
+    (fun w ->
+      match w.Server.action with
+      | Server.Rejected { projection; _ } ->
+          Alcotest.(check bool) "rejected regret exceeds budget" true
+            (projection.Guard.regret > cfg.Server.regret_budget)
+      | _ -> ())
+    report.Server.windows
+
+let test_serve_rollback_on_regression () =
+  let window = 50 in
+  (* a, a, a, c, a, a: the lone [c] window deploys I(c); the next [a]
+     window regresses against the what-if cost of the rolled-over design
+     and must trigger the rollback path. *)
+  let report =
+    Server.run (make_db ()) (serve_config ~window ()) (drifting_trace ~window)
+  in
+  Alcotest.(check bool) "rollback fired" true (report.Server.rollbacks >= 1);
+  let saw_rollback = ref false in
+  Array.iter
+    (fun w ->
+      match w.Server.action with
+      | Server.Rolled_back { restored; measured; expected; _ } ->
+          saw_rollback := true;
+          Alcotest.(check bool) "regression was real" true
+            (measured > expected);
+          Alcotest.(check string) "restored the pre-deploy design" "{I(a)}"
+            (Design.name restored)
+      | _ -> ())
+    report.Server.windows;
+  Alcotest.(check bool) "rollback visible in a window report" true !saw_rollback
+
+let test_serve_reactive_unguarded () =
+  let window = 50 in
+  let report =
+    Server.run (make_db ())
+      (serve_config ~regime:Server.Reactive ~window ())
+      (drifting_trace ~window)
+  in
+  Alcotest.(check int) "reactive re-optimizes every window" 6
+    report.Server.reoptimizations;
+  Alcotest.(check int) "no guard, no rejections" 0 report.Server.rejections;
+  Alcotest.(check int) "no probation, no rollbacks" 0 report.Server.rollbacks;
+  Array.iter
+    (fun w ->
+      match w.Server.action with
+      | Server.Deployed { projection; _ } ->
+          Alcotest.(check bool) "reactive deployments carry no projection" true
+            (projection = None)
+      | _ -> ())
+    report.Server.windows
+
+let test_serve_reopt_every_window_when_threshold_nonpositive () =
+  let window = 50 in
+  let cfg = { (serve_config ~window ()) with Server.drift_threshold = -1.0 } in
+  let report = Server.run (make_db ()) cfg (phase "a" (3 * window)) in
+  Alcotest.(check int) "every window re-optimizes" 3
+    report.Server.reoptimizations
+
+let test_serve_validates_config () =
+  let db = make_db () in
+  Alcotest.check_raises "window"
+    (Invalid_argument "Server.create: window must be positive") (fun () ->
+      ignore (Server.create db { (serve_config ()) with Server.window = 0 }));
+  Alcotest.check_raises "table"
+    (Invalid_argument "Server.create: unknown table missing") (fun () ->
+      ignore (Server.create db { (serve_config ()) with Server.table = "missing" }))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "drift",
+        [
+          Alcotest.test_case "identical windows" `Quick test_drift_identical_windows;
+          Alcotest.test_case "disjoint windows" `Quick test_drift_disjoint_windows;
+          Alcotest.test_case "mixture" `Quick test_drift_mixture_is_between;
+          Alcotest.test_case "empty profile" `Quick test_drift_empty_profile;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "no change" `Quick test_guard_no_change;
+          Alcotest.test_case "accept" `Quick test_guard_accept;
+          Alcotest.test_case "reject short horizon" `Quick test_guard_reject_short_horizon;
+          Alcotest.test_case "validation" `Quick test_guard_validates;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_serve_deterministic_across_jobs;
+          Alcotest.test_case "windowing" `Quick test_serve_windowing;
+          Alcotest.test_case "continuous deploys on drift" `Quick
+            test_serve_continuous_deploys_on_drift;
+          Alcotest.test_case "static never changes" `Quick
+            test_serve_static_never_changes;
+          Alcotest.test_case "regret guard rejects" `Quick
+            test_serve_regret_guard_rejects;
+          Alcotest.test_case "rollback on regression" `Quick
+            test_serve_rollback_on_regression;
+          Alcotest.test_case "reactive is unguarded" `Quick
+            test_serve_reactive_unguarded;
+          Alcotest.test_case "non-positive threshold" `Quick
+            test_serve_reopt_every_window_when_threshold_nonpositive;
+          Alcotest.test_case "config validation" `Quick test_serve_validates_config;
+        ] );
+    ]
