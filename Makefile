@@ -35,7 +35,7 @@ lint:
 # BENCH_micro.json for machine consumption.  Pass JOBS=1 to force the
 # sequential path.
 bench-smoke:
-	$(DUNE) exec bench/main.exe -- --quick $(if $(JOBS),--jobs $(JOBS)) micro solvers experiments
+	$(DUNE) exec bench/main.exe -- --quick $(if $(JOBS),--jobs $(JOBS)) micro solvers experiments configspace
 
 bench:
 	$(DUNE) exec bench/main.exe -- $(if $(JOBS),--jobs $(JOBS)) all

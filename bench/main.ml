@@ -59,6 +59,7 @@ type options = {
   micro_out : string;
   solvers_out : string;
   experiments_out : string;
+  configspace_out : string;
   jobs : int option;
   cell_jobs : int option;
   cost_cache : bool;
@@ -66,17 +67,17 @@ type options = {
 
 let all_experiments =
   [ "table1"; "table2"; "figure3"; "figure4"; "ablation"; "updates"; "views";
-    "space"; "micro"; "solvers"; "experiments" ]
+    "space"; "micro"; "solvers"; "experiments"; "configspace" ]
 
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [table1|table2|figure3|figure4|ablation|updates|views|space|micro|solvers|experiments]... \
+     [table1|table2|figure3|figure4|ablation|updates|views|space|micro|solvers|experiments|configspace]... \
      [--suite NAME] \
      [--rows N] [--value-range N] [--scale F] [--seed N] [--readahead N] [--quick] \
      [--jobs N] [--cell-jobs N] [--no-cost-cache] \
      [--no-metrics] [--obs-out FILE] [--micro-out FILE] [--solvers-out FILE] \
-     [--experiments-out FILE]";
+     [--experiments-out FILE] [--configspace-out FILE]";
   exit 2
 
 let parse_args () =
@@ -87,6 +88,7 @@ let parse_args () =
   let micro_out = ref "BENCH_micro.json" in
   let solvers_out = ref "BENCH_solvers.json" in
   let experiments_out = ref "BENCH_experiments.json" in
+  let configspace_out = ref "BENCH_configspace.json" in
   let jobs = ref None in
   let cell_jobs = ref None in
   let cost_cache = ref true in
@@ -107,6 +109,9 @@ let parse_args () =
         go rest
     | "--experiments-out" :: v :: rest ->
         experiments_out := v;
+        go rest
+    | "--configspace-out" :: v :: rest ->
+        configspace_out := v;
         go rest
     | "--cell-jobs" :: v :: rest ->
         let j = int_of_string v in
@@ -167,6 +172,7 @@ let parse_args () =
     micro_out = !micro_out;
     solvers_out = !solvers_out;
     experiments_out = !experiments_out;
+    configspace_out = !configspace_out;
     jobs = !jobs;
     cell_jobs = !cell_jobs;
     cost_cache = !cost_cache;
@@ -865,9 +871,439 @@ let experiments_suite ~(options : options) () =
     failwith "experiments: bulk load state differs from row-at-a-time load";
   write_experiments_json options.experiments_out ~config arms bulk
 
+(* -- configspace suite: the design-space scaling pipeline ------------------ *)
+
+(* End-to-end run of the scaled pipeline (Candidates.generate ->
+   Pruner.score / dominance_prune / space -> Problem.build
+   ~compress_workload:true -> solve) off the paper's 4-column table: a
+   16-column table under a phased, template-based point-query workload,
+   swept over candidate budget x sequence length.  Templates repeat, so
+   workload compression has real clusters to find (the cost key depends
+   on statement shape and selectivity, not literal values), and phases
+   shift the hot columns so the solver has transitions worth paying for.
+
+   Every timed run digests both matrices bit-exactly; the digests must
+   agree across runs, and — wherever the exact arm stays affordable —
+   with an uncompressed Problem.build over the same space.  The JSON
+   records the what-if accounting: measured calls for the
+   pruned+compressed arm vs the naive per-statement construction over
+   the unpruned space of the same configuration width. *)
+
+module Candidates = Cddpd_core.Candidates
+module Pruner = Cddpd_core.Pruner
+module Schema = Cddpd_catalog.Schema
+module Parser = Cddpd_sql.Parser
+
+let configspace_runs = 3
+let configspace_caps = [ 20; 100; 500 ]
+let configspace_lengths = [ 64; 1024 ]
+let configspace_stmts_per_step = 4
+let configspace_rows = 4_000
+let configspace_value_range = 800
+let configspace_columns = 16
+let configspace_phases = 4
+let configspace_templates_per_phase = 32
+let configspace_max_width = 3
+let configspace_max_structures = 2
+let configspace_max_configs = 512
+let configspace_k = 2
+
+(* The exact (uncompressed) arm costs one cost-cache probe per
+   (statement, config): cross-check only where that stays affordable. *)
+let configspace_exact_budget = 2_500_000
+
+(* Concrete statement instances per template: the workload draws whole
+   statements from a fixed pool, the way prepared statements repeat in a
+   real trace.  The cost key hashes the histogram selectivity of each
+   literal, so only exact repeats cluster — pool reuse is what gives
+   workload compression real clusters to find. *)
+let configspace_instances_per_template = 2
+
+let configspace_schema =
+  Schema.table "w"
+    (List.init configspace_columns (fun i ->
+         (Printf.sprintf "c%d" i, Schema.Int_type)))
+
+let configspace_db () =
+  let db =
+    Cddpd_engine.Database.create ~pool_capacity:4096 [ configspace_schema ]
+  in
+  Cddpd_engine.Database.load db ~table:"w"
+    (Cddpd_workload.Data_gen.uniform_rows ~columns:configspace_columns
+       ~rows:configspace_rows ~value_range:configspace_value_range ~seed:7);
+  db
+
+(* Per phase, a fixed pool of 2-3-predicate point-query templates over that
+   phase's 8 hot columns; phases overlap by 4 columns so candidates and
+   clusters are shared across phase boundaries. *)
+let configspace_templates =
+  let rng = Rng.create 11 in
+  let phases =
+    Array.make configspace_phases (Array.make 0 ([ 0 ], 0))
+  in
+  for phase = 0 to configspace_phases - 1 do
+    let pool = Array.make configspace_templates_per_phase ([ 0 ], 0) in
+    for t = 0 to configspace_templates_per_phase - 1 do
+      let col () = ((4 * phase) + Rng.int rng 8) mod configspace_columns in
+      let fresh taken =
+        let c = ref (col ()) in
+        while List.mem !c taken do
+          c := col ()
+        done;
+        !c
+      in
+      let c1 = fresh [] in
+      let c2 = fresh [ c1 ] in
+      let preds =
+        if Rng.int rng 2 = 0 then [ c1; c2 ] else [ c1; c2; fresh [ c1; c2 ] ]
+      in
+      pool.(t) <- (preds, col ())
+    done;
+    phases.(phase) <- pool
+  done;
+  phases
+
+(* Per phase, the concrete (parsed) statement pools the workload draws
+   from: [instances_per_template] point queries per template, plus a
+   small pool of updates (DML keeps index-maintenance cost in the
+   benefit vectors). *)
+let configspace_statement_pool =
+  let rng = Rng.create 17 in
+  let value () = Rng.int rng configspace_value_range in
+  let selects = Array.make configspace_phases [||] in
+  let updates = Array.make configspace_phases [||] in
+  for phase = 0 to configspace_phases - 1 do
+    let templates = configspace_templates.(phase) in
+    let pool =
+      Array.make (Array.length templates * configspace_instances_per_template)
+        (Ast.Select { Ast.projection = Ast.Star; table = "w"; where = [] })
+    in
+    Array.iteri
+      (fun t (preds, proj) ->
+        for i = 0 to configspace_instances_per_template - 1 do
+          let conj =
+            List.map (fun c -> Printf.sprintf "c%d = %d" c (value ())) preds
+          in
+          pool.((t * configspace_instances_per_template) + i) <-
+            Parser.parse_exn
+              (Printf.sprintf "SELECT c%d FROM w WHERE %s" proj
+                 (String.concat " AND " conj))
+        done)
+      templates;
+    selects.(phase) <- pool;
+    updates.(phase) <-
+      Array.map
+        (fun (preds, set_col) ->
+          Parser.parse_exn
+            (Printf.sprintf "UPDATE w SET c%d = %d WHERE c%d = %d" set_col
+               (value ()) (List.hd preds) (value ())))
+        (Array.sub templates 0 8)
+  done;
+  (selects, updates)
+
+let configspace_workload n_steps =
+  let selects, updates = configspace_statement_pool in
+  let rng = Rng.create (100 + n_steps) in
+  let steps = Array.make n_steps [||] in
+  for s = 0 to n_steps - 1 do
+    let phase = s * configspace_phases / n_steps in
+    let pick pool = pool.(Rng.int rng (Array.length pool)) in
+    let stmts =
+      Array.init configspace_stmts_per_step (fun q ->
+          if q = configspace_stmts_per_step - 1 && s mod 4 = 0 then
+            pick updates.(phase)
+          else pick selects.(phase))
+    in
+    steps.(s) <- stmts
+  done;
+  steps
+
+let configspace_matrix_digest (problem : Problem.t) =
+  let buf = Buffer.create (1 lsl 16) in
+  let add m =
+    Array.iter
+      (fun row ->
+        Array.iter (fun x -> Buffer.add_int64_ne buf (Int64.bits_of_float x)) row)
+      m
+  in
+  add problem.Problem.exec;
+  add problem.Problem.trans;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let configspace_pipeline ~params ~stats_of ~steps ~flat cap =
+  let candidates =
+    Candidates.generate configspace_schema ~max_width:configspace_max_width
+      ~max_candidates:cap flat
+  in
+  let scored = Pruner.score ~params ~stats_of ~steps candidates in
+  let survivors, pruned = Pruner.dominance_prune scored in
+  let space =
+    Pruner.space ~max_structures:configspace_max_structures
+      ~max_configs:configspace_max_configs survivors
+  in
+  let problem =
+    Problem.build ~params ~stats_of ~steps ~space ~initial:Design.empty
+      ~compress_workload:true ()
+  in
+  (candidates, survivors, pruned, problem)
+
+type configspace_entry = {
+  cg_cap : int;
+  cg_n : int;
+  cg_statements : int;
+  cg_generated : int;
+  cg_survivors : int;
+  cg_pruned : int;
+  cg_clusters : int;
+  cg_configs : int;
+  cg_exec_skipped : int;
+  cg_trans_memoized : int;
+  cg_pipeline_s : float;
+  cg_solve_s : float;
+  cg_cost : float;
+  cg_changes : int;
+  cg_measured_whatif : int;
+  cg_naive_configs : int;
+  cg_naive_whatif : int;
+  cg_same_space_whatif : int;
+  cg_digest : string;
+  cg_exact_checked : bool;
+}
+
+let configspace_suite ~(options : options) () =
+  ignore options;
+  let was_enabled = Obs.Registry.enabled () in
+  Obs.Registry.disable ();
+  Fun.protect
+    ~finally:(fun () -> if was_enabled then Obs.Registry.enable ())
+  @@ fun () ->
+  let db = configspace_db () in
+  let params = Cddpd_engine.Database.params db in
+  let stats_of table = Cddpd_engine.Database.table_stats db table in
+  let table =
+    Cddpd_util.Text_table.create
+      [
+        ("cap", Cddpd_util.Text_table.Right);
+        ("n", Cddpd_util.Text_table.Right);
+        ("stmts", Cddpd_util.Text_table.Right);
+        ("cand", Cddpd_util.Text_table.Right);
+        ("surv", Cddpd_util.Text_table.Right);
+        ("clusters", Cddpd_util.Text_table.Right);
+        ("configs", Cddpd_util.Text_table.Right);
+        ("pipeline ms", Cddpd_util.Text_table.Right);
+        ("solve ms", Cddpd_util.Text_table.Right);
+        ("what-if", Cddpd_util.Text_table.Right);
+        ("naive", Cddpd_util.Text_table.Right);
+        ("ratio", Cddpd_util.Text_table.Right);
+        ("exact", Cddpd_util.Text_table.Left);
+      ]
+  in
+  let entries =
+    List.concat_map
+      (fun n_steps ->
+        let steps = configspace_workload n_steps in
+        let flat = Array.concat (Array.to_list steps) in
+        let total_statements = Array.length flat in
+        List.map
+          (fun cap ->
+            let result = ref None in
+            let digests = ref [] in
+            let times =
+              Array.init configspace_runs (fun _ ->
+                  let t0 = Unix.gettimeofday () in
+                  let r = configspace_pipeline ~params ~stats_of ~steps ~flat cap in
+                  let elapsed = Unix.gettimeofday () -. t0 in
+                  let _, _, _, problem = r in
+                  digests := configspace_matrix_digest problem :: !digests;
+                  result := Some r;
+                  elapsed)
+            in
+            let pipeline_s = median_of times in
+            (match !digests with
+            | first :: rest ->
+                List.iter
+                  (fun d ->
+                    if not (String.equal d first) then
+                      failwith
+                        (Printf.sprintf
+                           "configspace: matrices differ across runs at cap=%d n=%d"
+                           cap n_steps))
+                  rest
+            | [] -> ());
+            let candidates, survivors, pruned, problem = Option.get !result in
+            let digest = List.hd !digests in
+            let generated = List.length candidates in
+            let n_survivors = List.length survivors in
+            let clusters =
+              match survivors with
+              | s :: _ -> Array.length s.Pruner.benefit
+              | [] -> 0
+            in
+            let n_configs = Config_space.size problem.Problem.space in
+            (* Counters come from one instrumented (untimed) rerun. *)
+            let delta =
+              with_counters (fun () ->
+                  configspace_pipeline ~params ~stats_of ~steps ~flat cap)
+            in
+            let exec_skipped =
+              snapshot_counter delta "problem.exec_columns_skipped"
+            in
+            let trans_memoized =
+              snapshot_counter delta "problem.trans_builds_memoized"
+            in
+            let t0 = Unix.gettimeofday () in
+            let solution =
+              match
+                Optimizer.solve problem ~method_name:Solution.Merging
+                  ~k:configspace_k ()
+              with
+              | Ok s -> s
+              | Error _ -> failwith "configspace: merging solve failed"
+            in
+            let solve_s = Unix.gettimeofday () -. t0 in
+            let exact_checked =
+              total_statements * n_configs <= configspace_exact_budget
+              &&
+              (let exact =
+                 Problem.build ~params ~stats_of ~steps
+                   ~space:problem.Problem.space ~initial:Design.empty ()
+               in
+               if not (String.equal (configspace_matrix_digest exact) digest)
+               then
+                 failwith
+                   (Printf.sprintf
+                      "configspace: compressed matrices differ from exact at \
+                       cap=%d n=%d"
+                      cap n_steps);
+               true)
+            in
+            (* What-if accounting.  Measured: scoring pays one call per
+               (cluster, candidate) plus the per-cluster base, EXEC pays one
+               per (filled config, cluster), TRANS builds each surviving
+               structure once.  Naive: per-statement EXEC over the unpruned
+               space of the same width, per-pair TRANS. *)
+            let measured =
+              (clusters * (1 + generated))
+              + ((n_configs - exec_skipped) * clusters)
+              + n_survivors
+            in
+            let naive_configs = 1 + generated + (generated * (generated - 1) / 2) in
+            let naive =
+              (total_statements * naive_configs) + (naive_configs * naive_configs)
+            in
+            let same_space =
+              (total_statements * n_configs) + (n_configs * n_configs)
+            in
+            if cap = 500 && n_steps = 1024 then begin
+              if n_configs < 500 then
+                failwith
+                  (Printf.sprintf "configspace: only %d configs at the headline cell"
+                     n_configs);
+              if n_survivors < 50 then
+                failwith
+                  (Printf.sprintf
+                     "configspace: only %d surviving candidates at the headline cell"
+                     n_survivors);
+              if measured * 10 > naive then
+                failwith
+                  (Printf.sprintf
+                     "configspace: measured what-if %d not 10x below naive %d"
+                     measured naive)
+            end;
+            Cddpd_util.Text_table.add_row table
+              [
+                string_of_int cap;
+                string_of_int n_steps;
+                string_of_int total_statements;
+                string_of_int generated;
+                string_of_int n_survivors;
+                string_of_int clusters;
+                string_of_int n_configs;
+                Printf.sprintf "%.1f" (pipeline_s *. 1e3);
+                Printf.sprintf "%.1f" (solve_s *. 1e3);
+                string_of_int measured;
+                string_of_int naive;
+                Printf.sprintf "%.0fx" (float_of_int naive /. float_of_int (max 1 measured));
+                (if exact_checked then "ok" else "-");
+              ];
+            {
+              cg_cap = cap;
+              cg_n = n_steps;
+              cg_statements = total_statements;
+              cg_generated = generated;
+              cg_survivors = n_survivors;
+              cg_pruned = pruned;
+              cg_clusters = clusters;
+              cg_configs = n_configs;
+              cg_exec_skipped = exec_skipped;
+              cg_trans_memoized = trans_memoized;
+              cg_pipeline_s = pipeline_s;
+              cg_solve_s = solve_s;
+              cg_cost = solution.Solution.cost;
+              cg_changes = solution.Solution.changes;
+              cg_measured_whatif = measured;
+              cg_naive_configs = naive_configs;
+              cg_naive_whatif = naive;
+              cg_same_space_whatif = same_space;
+              cg_digest = digest;
+              cg_exact_checked = exact_checked;
+            })
+          configspace_caps)
+      configspace_lengths
+  in
+  Cddpd_util.Text_table.print table;
+  entries
+
+let write_configspace_json path entries =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"schema\":\"cddpd-bench-configspace/1\",\"rows\":%d,\"value_range\":%d,\
+     \"columns\":%d,\"statements_per_step\":%d,\"runs\":%d,\"max_width\":%d,\
+     \"max_structures\":%d,\"max_configs\":%d,\"k\":%d,\"cells\":["
+    configspace_rows configspace_value_range configspace_columns
+    configspace_stmts_per_step configspace_runs configspace_max_width
+    configspace_max_structures configspace_max_configs configspace_k;
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "%s{\"candidates_cap\":%d,\"n_steps\":%d,\"statements\":%d,\
+         \"generated\":%d,\"survivors\":%d,\"pruned\":%d,\"prune_ratio\":%s,\
+         \"clusters\":%d,\"compression_ratio\":%s,\"configs\":%d,\
+         \"exec_columns_skipped\":%d,\"trans_builds_memoized\":%d,\
+         \"pipeline_median_s\":%s,\"solve_s\":%s,\"solve_cost\":%s,\
+         \"changes\":%d,\"whatif\":{\"measured\":%d,\
+         \"naive_unpruned_configs\":%d,\"naive_unpruned\":%d,\
+         \"ratio_vs_naive\":%s,\"same_space_per_statement\":%d,\
+         \"ratio_vs_same_space\":%s},\"digest\":\"%s\",\
+         \"exact_arm_checked\":%b}"
+        (if i = 0 then "" else ",")
+        e.cg_cap e.cg_n e.cg_statements e.cg_generated e.cg_survivors
+        e.cg_pruned
+        (json_float
+           (float_of_int e.cg_pruned /. float_of_int (max 1 e.cg_generated)))
+        e.cg_clusters
+        (json_float
+           (float_of_int e.cg_statements /. float_of_int (max 1 e.cg_clusters)))
+        e.cg_configs e.cg_exec_skipped e.cg_trans_memoized
+        (json_float6 e.cg_pipeline_s) (json_float6 e.cg_solve_s)
+        (json_float e.cg_cost) e.cg_changes e.cg_measured_whatif
+        e.cg_naive_configs e.cg_naive_whatif
+        (json_float
+           (float_of_int e.cg_naive_whatif
+           /. float_of_int (max 1 e.cg_measured_whatif)))
+        e.cg_same_space_whatif
+        (json_float
+           (float_of_int e.cg_same_space_whatif
+           /. float_of_int (max 1 e.cg_measured_whatif)))
+        e.cg_digest e.cg_exact_checked)
+    entries;
+  output_string oc "]}\n";
+  close_out oc
+
 let () =
   let ({ experiments; config; metrics; obs_out; micro_out; solvers_out;
-         experiments_out = _; jobs; cell_jobs; cost_cache } as options) =
+         experiments_out = _; configspace_out = _; jobs; cell_jobs;
+         cost_cache } as options) =
     parse_args ()
   in
   (match jobs with
@@ -947,6 +1383,12 @@ let () =
           experiments_suite ~options ();
           Printf.printf "\n(wrote experiment engine baseline to %s)\n%!"
             options.experiments_out
+      | "configspace" ->
+          banner "Configspace: design-space scaling pipeline";
+          let entries = configspace_suite ~options () in
+          write_configspace_json options.configspace_out entries;
+          Printf.printf "\n(wrote design-space scaling baseline to %s)\n%!"
+            options.configspace_out
       | _ -> usage ())
     experiments;
   if metrics then begin

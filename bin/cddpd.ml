@@ -172,6 +172,34 @@ let segment_arg =
   Arg.(value & opt int 500
        & info [ "segment" ] ~docv:"N" ~doc:"Statements per optimizer step.")
 
+let candidates_arg =
+  Arg.(value & opt (some int) None
+       & info [ "candidates" ] ~docv:"N"
+           ~doc:"Cap auto-derived candidate structures at $(docv) and use \
+                 the multi-column generator instead of the paper's pairs \
+                 heuristic.")
+
+let composite_width_arg =
+  Arg.(value & opt (some int) None
+       & info [ "composite-width" ] ~docv:"W"
+           ~doc:"Widest composite index the multi-column candidate \
+                 generator derives (implies the generator; its default \
+                 width is 3).")
+
+let prune_arg =
+  Arg.(value & opt (some int) None
+       & info [ "prune" ] ~docv:"N"
+           ~doc:"What-if-score candidates against the compressed workload, \
+                 drop benefit-dominated ones, keep at most $(docv), and \
+                 build a pruned configuration space (default 512 configs; \
+                 see docs/PERFORMANCE.md).")
+
+let compress_workload_arg =
+  Arg.(value & flag
+       & info [ "compress-workload" ]
+           ~doc:"Cluster statements by cost identity when building the \
+                 EXEC matrix (bit-identical result, fewer what-if calls).")
+
 (* -- generate -------------------------------------------------------------- *)
 
 let generate workload scale seed value_range output metrics trace =
@@ -209,14 +237,16 @@ let load_trace path =
       exit 1
 
 let with_recommendation trace_path segment k method_name rows value_range seed
-    readahead ~max_paths ~max_queue f =
+    readahead ~max_paths ~max_queue ~max_candidates ~composite_width ~prune
+    ~compress_workload f =
   let statements = load_trace trace_path in
   let steps = Trace.segment statements ~size:segment in
   let config = config_of ~readahead rows value_range seed 1.0 in
   let db = Setup.make_database config in
   let request =
     { (Advisor.default_request ~steps ~table:Setup.table_name) with
-      Advisor.k; method_name; max_paths; max_queue }
+      Advisor.k; method_name; max_paths; max_queue; max_candidates;
+      composite_width; prune; compress_workload }
   in
   match Advisor.recommend db request with
   | Ok recommendation -> f db steps recommendation
@@ -249,11 +279,13 @@ let print_schedule steps recommendation segment =
   Format.printf "%a@." Solution.pp recommendation.Advisor.solution
 
 let recommend input segment k method_name rows value_range seed readahead jobs
-    no_cost_cache max_paths max_queue metrics trace =
+    no_cost_cache max_paths max_queue max_candidates composite_width prune
+    compress_workload metrics trace =
   apply_perf_knobs jobs no_cost_cache;
   with_obs ~metrics ~trace @@ fun () ->
   with_recommendation input segment k method_name rows value_range seed readahead
-    ~max_paths ~max_queue (fun _db steps recommendation ->
+    ~max_paths ~max_queue ~max_candidates ~composite_width ~prune
+    ~compress_workload (fun _db steps recommendation ->
       print_schedule steps recommendation segment;
       0)
 
@@ -269,15 +301,18 @@ let recommend_cmd =
        ~doc:"Recommend a change-constrained dynamic physical design for a trace.")
     Term.(const recommend $ input_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
           $ value_range_arg $ seed_arg $ readahead_arg $ jobs_arg
-          $ no_cost_cache_arg $ max_paths_arg $ max_queue_arg $ metrics_arg
-          $ trace_spans_arg)
+          $ no_cost_cache_arg $ max_paths_arg $ max_queue_arg $ candidates_arg
+          $ composite_width_arg $ prune_arg $ compress_workload_arg
+          $ metrics_arg $ trace_spans_arg)
 
 let simulate input segment k method_name rows value_range seed readahead jobs
-    no_cost_cache max_paths max_queue metrics trace =
+    no_cost_cache max_paths max_queue max_candidates composite_width prune
+    compress_workload metrics trace =
   apply_perf_knobs jobs no_cost_cache;
   with_obs ~metrics ~trace @@ fun () ->
   with_recommendation input segment k method_name rows value_range seed readahead
-    ~max_paths ~max_queue (fun db steps recommendation ->
+    ~max_paths ~max_queue ~max_candidates ~composite_width ~prune
+    ~compress_workload (fun db steps recommendation ->
       print_schedule steps recommendation segment;
       let report = Simulator.run db ~steps ~schedule:recommendation.Advisor.schedule in
       Printf.printf
@@ -292,8 +327,9 @@ let simulate_cmd =
        ~doc:"Recommend a design for a trace, then replay the trace under it.")
     Term.(const simulate $ input_arg $ segment_arg $ k_arg $ method_arg $ rows_arg
           $ value_range_arg $ seed_arg $ readahead_arg $ jobs_arg
-          $ no_cost_cache_arg $ max_paths_arg $ max_queue_arg $ metrics_arg
-          $ trace_spans_arg)
+          $ no_cost_cache_arg $ max_paths_arg $ max_queue_arg $ candidates_arg
+          $ composite_width_arg $ prune_arg $ compress_workload_arg
+          $ metrics_arg $ trace_spans_arg)
 
 (* -- experiment -------------------------------------------------------------- *)
 

@@ -7,6 +7,11 @@ type request = {
   table : string;
   candidates : Cddpd_catalog.Structure.t list option;
   composite_pairs : int;
+  max_candidates : int option;
+  composite_width : int option;
+  prune : int option;
+  compress_workload : bool;
+  max_configs : int option;
   max_structures_per_config : int option;
   space_bound_bytes : int option;
   initial : Design.t;
@@ -25,6 +30,11 @@ let default_request ~steps ~table =
     table;
     candidates = None;
     composite_pairs = 2;
+    max_candidates = None;
+    composite_width = None;
+    prune = None;
+    compress_workload = false;
+    max_configs = None;
     max_structures_per_config = Some 1;
     space_bound_bytes = None;
     initial = Design.empty;
@@ -49,22 +59,44 @@ let build_space db request =
     | Some schema -> schema
     | None -> invalid_arg (Printf.sprintf "Advisor: unknown table %s" request.table)
   in
+  let scaled_generation =
+    request.composite_width <> None || request.max_candidates <> None
+  in
   let candidates =
     match request.candidates with
     | Some candidates -> candidates
     | None ->
         let flat = Array.concat (Array.to_list request.steps) in
-        Candidates.structures_from_statements schema
-          ~composite_pairs:request.composite_pairs flat
+        if scaled_generation then
+          Candidates.generate schema
+            ?max_width:request.composite_width
+            ?max_candidates:request.max_candidates flat
+        else
+          Candidates.structures_from_statements schema
+            ~composite_pairs:request.composite_pairs flat
   in
   let params = Database.params db in
-  let size_of structure =
-    Cost_model.structure_size_bytes params
-      ~stats:(Database.table_stats db (Cddpd_catalog.Structure.table structure))
-      structure
-  in
-  Config_space.enumerate ~candidates ?max_structures:request.max_structures_per_config
-    ?space_bound_bytes:request.space_bound_bytes ~size_of ()
+  let stats_of table = Database.table_stats db table in
+  match request.prune with
+  | None ->
+      let size_of structure =
+        Cost_model.structure_size_bytes params
+          ~stats:(stats_of (Cddpd_catalog.Structure.table structure))
+          structure
+      in
+      Config_space.enumerate ~candidates
+        ?max_structures:request.max_structures_per_config
+        ?space_bound_bytes:request.space_bound_bytes ~size_of ()
+  | Some budget ->
+      let scored = Pruner.score ~params ~stats_of ~steps:request.steps candidates in
+      let survivors, _pruned = Pruner.dominance_prune ~max_candidates:budget scored in
+      let max_structures =
+        match request.max_structures_per_config with
+        | Some m -> m
+        | None -> max 1 (List.length survivors)
+      in
+      Pruner.space ~max_structures ?space_bound_bytes:request.space_bound_bytes
+        ?max_configs:request.max_configs survivors
 
 let build_problem db request =
   let space = build_space db request in
@@ -72,7 +104,7 @@ let build_problem db request =
     ~stats_of:(fun table -> Database.table_stats db table)
     ~steps:request.steps ~space ~initial:request.initial
     ~count_initial_change:request.count_initial_change ?jobs:request.jobs
-    ?cost_cache:request.cost_cache ()
+    ?cost_cache:request.cost_cache ~compress_workload:request.compress_workload ()
 
 let recommend db request =
   let problem = build_problem db request in

@@ -13,6 +13,25 @@ type request = {
       (** explicit candidate structures (indexes and/or views), or [None]
           to derive them from the workload *)
   composite_pairs : int;  (** composite index candidates to derive (default 2) *)
+  max_candidates : int option;
+      (** the [--candidates] flag: cap on generated candidates.  Setting
+          this (or [composite_width]) switches auto-derivation from the
+          paper's pairs heuristic to the multi-column generator
+          {!Candidates.generate} *)
+  composite_width : int option;
+      (** the [--composite-width] flag: widest composite index the
+          multi-column generator derives (generator default 3) *)
+  prune : int option;
+      (** the [--prune] flag: [Some budget] what-if-scores the candidates
+          against the compressed workload, drops benefit-dominated ones,
+          keeps at most [budget], and builds the space with
+          {!Pruner.space} instead of {!Config_space.enumerate} *)
+  compress_workload : bool;
+      (** the [--compress-workload] flag: cluster statements by cost
+          identity in {!Problem.build} (bit-identical; default [false]) *)
+  max_configs : int option;
+      (** configuration budget for the pruned space (default 512); only
+          read when [prune] is set *)
   max_structures_per_config : int option;
       (** at most this many structures per configuration (default [Some 1],
           the paper's design space) *)

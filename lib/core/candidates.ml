@@ -3,6 +3,9 @@ module Schema = Cddpd_catalog.Schema
 module Index_def = Cddpd_catalog.Index_def
 module View_def = Cddpd_catalog.View_def
 module Structure = Cddpd_catalog.Structure
+module Obs = Cddpd_obs
+
+let m_generated = Obs.Registry.counter "candidates.generated"
 
 let is_indexable table column =
   match Schema.column_type table column with
@@ -94,3 +97,151 @@ let view_candidates table statements =
 let structures_from_statements table ?composite_pairs statements =
   List.map Structure.index (from_statements table ?composite_pairs statements)
   @ List.map Structure.view (view_candidates table statements)
+
+(* -- multi-column syntactic generation -------------------------------------- *)
+
+(* The scaled pipeline's generator: instead of frequency-paired composites
+   it derives, per statement, the column lists an access-path planner can
+   actually exploit — the equality prefix, the prefix extended by the
+   range column, and the covering extension — then closes the set under
+   prefixes and merges high-frequency candidates pairwise (index merging).
+   The result is ordered best-first by how many statements produced each
+   column list. *)
+
+let rec take n xs =
+  if n <= 0 then [] else match xs with [] -> [] | x :: rest -> x :: take (n - 1) rest
+
+let dedup_columns columns =
+  let rec go seen acc columns =
+    match columns with
+    | [] -> List.rev acc
+    | c :: rest ->
+        if List.mem c seen then go seen acc rest else go (c :: seen) (c :: acc) rest
+  in
+  go [] [] columns
+
+(* The column lists statement [s] makes useful as index keys, widest first.
+   Only SELECTs generate composites: aggregates are answered by views and
+   DML only seeks on its predicate columns (wide indexes are pure
+   maintenance weight there). *)
+let statement_column_lists table ~max_width statement =
+  let indexable = is_indexable table in
+  let split_where where =
+    let eq, range =
+      List.partition
+        (fun pred -> match pred with Ast.Cmp { op = Ast.Eq; _ } -> true | _ -> false)
+        where
+    in
+    ( dedup_columns (List.filter indexable (List.map predicate_column eq)),
+      dedup_columns (List.filter indexable (List.map predicate_column range)) )
+  in
+  let singles columns = List.map (fun c -> [ c ]) columns in
+  match statement with
+  | Ast.Insert _ -> []
+  | Ast.Select_agg _ -> []
+  | Ast.Delete { table = t; where } | Ast.Update { table = t; where; _ } ->
+      if not (String.equal t table.Schema.name) then []
+      else
+        let eq, range = split_where where in
+        singles (eq @ range)
+  | Ast.Select select ->
+      if not (String.equal select.Ast.table table.Schema.name) then []
+      else
+        let eq, range = split_where select.Ast.where in
+        let range_head = match range with [] -> [] | r :: _ -> [ r ] in
+        let sargable = take max_width (eq @ range_head) in
+        let covering =
+          match select.Ast.projection with
+          | Ast.Star -> []
+          | Ast.Columns _ ->
+              let referenced =
+                dedup_columns
+                  (List.filter indexable (Ast.referenced_columns statement))
+              in
+              let rest = List.filter (fun c -> not (List.mem c sargable)) referenced in
+              let extended = take max_width (sargable @ rest) in
+              if List.length extended > List.length sargable then [ extended ] else []
+        in
+        let composites =
+          (if List.length sargable >= 2 then [ sargable ] else []) @ covering
+        in
+        composites @ singles (eq @ range)
+
+let column_list_key columns = String.concat "," columns
+
+(* Merge two column lists, first one's order winning (index merging). *)
+let merge_columns ~max_width a b =
+  take max_width (dedup_columns (a @ b))
+
+let generate table ?(max_width = 3) ?max_candidates statements =
+  if max_width < 1 then invalid_arg "Candidates.generate: max_width < 1";
+  Obs.Span.with_span "candidates.generate" @@ fun () ->
+  (* Tally every per-statement column list; [order] keeps first-occurrence
+     order so the result never depends on hash-table iteration. *)
+  (* cddpd-lint: allow poly-hash — string column-list keys *)
+  let freq = Hashtbl.create 64 in
+  let order = ref [] in
+  let add_list weight columns =
+    match columns with
+    | [] -> ()
+    | _ -> (
+        let key = column_list_key columns in
+        match Hashtbl.find_opt freq key with
+        | Some (count, _) -> Hashtbl.replace freq key (count + weight, columns)
+        | None ->
+            Hashtbl.replace freq key (weight, columns);
+            order := key :: !order)
+  in
+  Array.iter
+    (fun statement ->
+      List.iter (add_list 1) (statement_column_lists table ~max_width statement))
+    statements;
+  let keys_in_order () = List.rev !order in
+  (* Index merging: walk candidates best-first and merge rank-adjacent
+     pairs, the classic way one wider index replaces two narrower ones. *)
+  let ranked () =
+    List.map (fun key -> Hashtbl.find freq key) (keys_in_order ())
+    |> List.sort (fun (n1, c1) (n2, c2) ->
+           let c = Int.compare n2 n1 in
+           if c <> 0 then c
+           else
+             let c = Int.compare (List.length c1) (List.length c2) in
+             if c <> 0 then c
+             else String.compare (column_list_key c1) (column_list_key c2))
+  in
+  let rec merge_adjacent pairs =
+    match pairs with
+    | (_, a) :: ((_, b) :: _ as rest) ->
+        let merged = merge_columns ~max_width a b in
+        if not (List.equal String.equal merged a) then add_list 0 merged;
+        merge_adjacent rest
+    | [ _ ] | [] -> ()
+  in
+  merge_adjacent (ranked ());
+  (* Prefix closure: every proper prefix of a candidate (merged ones
+     included) is itself a candidate, with zero own frequency unless some
+     statement generated it. *)
+  List.iter
+    (fun key ->
+      let _, columns = Hashtbl.find freq key in
+      let rec close_prefixes prefix_rev remaining =
+        match remaining with
+        | [] | [ _ ] -> () (* the full list is already a candidate *)
+        | c :: rest ->
+            add_list 0 (List.rev (c :: prefix_rev));
+            close_prefixes (c :: prefix_rev) rest
+      in
+      close_prefixes [] columns)
+    (keys_in_order ());
+  let indexes =
+    List.map
+      (fun (_, columns) -> Index_def.make ~table:table.Schema.name ~columns)
+      (ranked ())
+  in
+  let all =
+    List.map Structure.index indexes
+    @ List.map Structure.view (view_candidates table statements)
+  in
+  let all = match max_candidates with None -> all | Some cap -> take cap all in
+  Obs.Counter.add m_generated (List.length all);
+  all

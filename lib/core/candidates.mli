@@ -38,3 +38,25 @@ val structures_from_statements :
   Cddpd_sql.Ast.statement array ->
   Cddpd_catalog.Structure.t list
 (** Index candidates ({!from_statements}) followed by view candidates. *)
+
+val generate :
+  Cddpd_catalog.Schema.table ->
+  ?max_width:int ->
+  ?max_candidates:int ->
+  Cddpd_sql.Ast.statement array ->
+  Cddpd_catalog.Structure.t list
+(** The scaled pipeline's multi-column generator (the [--candidates] /
+    [--composite-width] path).  Per SELECT it derives the column lists an
+    access-path planner can exploit — the equality prefix, the prefix
+    extended by the statement's range column, and the covering extension
+    (every referenced column, for index-only scans) — each truncated to
+    [max_width] (default 3) columns; DML contributes single-column
+    candidates on its predicate columns.  The set is closed under
+    prefixes and rank-adjacent candidates are merged pairwise (index
+    merging), then ordered best-first by the number of statements that
+    produced each column list (ties: narrower first, then by name) with
+    view candidates appended, and capped at [max_candidates] (default:
+    unlimited).  Deterministic: output depends only on the statements'
+    order.  Increments the [candidates.generated] counter and runs under
+    the [candidates.generate] span.  Raises [Invalid_argument] if
+    [max_width < 1]. *)

@@ -3,15 +3,23 @@ module Structure = Cddpd_catalog.Structure
 
 type t = { designs : Design.t array }
 
+module Design_set = Set.Make (struct
+  type t = Design.t
+
+  let compare = Design.compare
+end)
+
+(* First occurrence wins; set-backed so spaces of hundreds of configs
+   dedup in O(n log n), not O(n^2). *)
 let dedup designs =
   let rec go seen acc designs =
     match designs with
     | [] -> List.rev acc
     | d :: rest ->
-        if List.exists (Design.equal d) seen then go seen acc rest
-        else go (d :: seen) (d :: acc) rest
+        if Design_set.mem d seen then go seen acc rest
+        else go (Design_set.add d seen) (d :: acc) rest
   in
-  go [] [] designs
+  go Design_set.empty [] designs
 
 let of_designs designs =
   if designs = [] then invalid_arg "Config_space.of_designs: empty";
@@ -27,7 +35,13 @@ let enumerate ~candidates ?max_structures ?space_bound_bytes ~size_of () =
   let n = List.length candidates in
   (match max_structures with
   | None when n > 20 ->
-      invalid_arg "Config_space.enumerate: too many candidates without max_structures"
+      invalid_arg
+        (Printf.sprintf
+           "Config_space.enumerate: %d candidates with no max_structures cap would \
+            enumerate 2^%d subsets; pass ~max_structures to bound configuration \
+            width, or build a pruned space with Cddpd_core.Pruner.space (the \
+            `cddpd recommend --prune` pipeline)"
+           n n)
   | _ -> ());
   let cap = match max_structures with None -> n | Some c -> c in
   let fits design =

@@ -34,7 +34,9 @@ val enumerate :
     space construction time.  The empty design is always included.  Raises
     [Invalid_argument] when more than 20 candidates are given without a
     [max_structures] cap (2^20 designs is past the point where the
-    exponential algorithms are usable). *)
+    exponential algorithms are usable); the error names the two ways out —
+    cap [max_structures], or build a dominance-pruned space with
+    {!Pruner.space}. *)
 
 val size : t -> int
 (** Number of configurations. *)

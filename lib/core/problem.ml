@@ -4,12 +4,18 @@ module Cost_cache = Cddpd_engine.Cost_cache
 module Cost_key = Cddpd_engine.Cost_key
 module Design = Cddpd_catalog.Design
 module Structure = Cddpd_catalog.Structure
+module Index_def = Cddpd_catalog.Index_def
+module View_def = Cddpd_catalog.View_def
 module Staged_dag = Cddpd_graph.Staged_dag
 module Parallel = Cddpd_util.Parallel
+module Compress = Cddpd_workload.Compress
 module Obs = Cddpd_obs
 
 let m_builds = Obs.Registry.counter "problem.builds"
 let m_domains_used = Obs.Registry.counter "problem.build.domains_used"
+let m_clusters = Obs.Registry.counter "workload.clusters"
+let m_exec_skipped = Obs.Registry.counter "problem.exec_columns_skipped"
+let m_trans_memoized = Obs.Registry.counter "problem.trans_builds_memoized"
 
 type t = {
   steps : Ast.statement array array;
@@ -47,8 +53,95 @@ let table_of statement =
    overhead and runs sequentially on the calling domain. *)
 let sequential_threshold = 2048
 
+(* -- structure relevance ------------------------------------------------------ *)
+
+(* Which structures can influence any statement's what-if cost.  Two
+   configurations whose designs agree on their relevant subsets have
+   bit-identical EXEC columns, so one column fill serves both (the
+   [problem.exec_columns_skipped] optimization).  The rules mirror the
+   cost model exactly: DML pays maintenance for every structure on its
+   table; a SELECT reads an index only through a seek (sargable leading
+   column) or an index-only scan (key covers the referenced columns); an
+   aggregate reads a view only when the group columns match. *)
+module String_set = Set.Make (String)
+
+type table_relevance = {
+  mutable dml : bool;
+  mutable predicate_columns : String_set.t;
+  mutable covered_sets : string list list;  (** sorted referenced-column sets *)
+  mutable group_columns : String_set.t;
+}
+
+let relevance_summary steps =
+  (* cddpd-lint: allow poly-hash — string table-name keys *)
+  let tables = Hashtbl.create 8 in
+  let info table =
+    match Hashtbl.find_opt tables table with
+    | Some info -> info
+    | None ->
+        let info =
+          {
+            dml = false;
+            predicate_columns = String_set.empty;
+            covered_sets = [];
+            group_columns = String_set.empty;
+          }
+        in
+        Hashtbl.replace tables table info;
+        info
+  in
+  let predicate_column pred =
+    match pred with Ast.Cmp { column; _ } | Ast.Between { column; _ } -> column
+  in
+  let note statement =
+    match statement with
+    | Ast.Insert { table; _ } -> (info table).dml <- true
+    | Ast.Delete { table; _ } | Ast.Update { table; _ } -> (info table).dml <- true
+    | Ast.Select_agg { table; group_by; _ } ->
+        let info = info table in
+        info.group_columns <- String_set.add group_by info.group_columns
+    | Ast.Select { table; where; projection } ->
+        let info = info table in
+        List.iter
+          (fun pred ->
+            info.predicate_columns <-
+              String_set.add (predicate_column pred) info.predicate_columns)
+          where;
+        (match projection with
+        | Ast.Star -> ()
+        | Ast.Columns _ ->
+            let set =
+              List.sort_uniq String.compare (Ast.referenced_columns statement)
+            in
+            if not (List.mem set info.covered_sets) then
+              info.covered_sets <- set :: info.covered_sets)
+  in
+  Array.iter (fun step -> Array.iter note step) steps;
+  tables
+
+let structure_is_relevant tables structure =
+  match Hashtbl.find_opt tables (Structure.table structure) with
+  | None -> false
+  | Some info -> (
+      info.dml
+      ||
+      match structure with
+      | Structure.View view -> String_set.mem (View_def.group_by view) info.group_columns
+      | Structure.Index index ->
+          let columns = Index_def.columns index in
+          (match columns with
+          | leading :: _ -> String_set.mem leading info.predicate_columns
+          | [] -> false)
+          || List.exists
+               (fun set -> List.for_all (fun c -> List.mem c columns) set)
+               info.covered_sets)
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
 let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = false)
-    ?jobs ?cost_cache () =
+    ?jobs ?cost_cache ?(compress_workload = false) () =
   if Array.length steps = 0 then invalid_arg "Problem.build: no steps";
   Obs.Span.with_span "problem.build" @@ fun () ->
   Obs.Counter.incr m_builds;
@@ -91,35 +184,143 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
   let exec = Array.make_matrix n_steps n_configs 0.0 in
   let locals =
     Obs.Span.with_span "problem.build.exec" @@ fun () ->
-    Parallel.map_chunks ~jobs:exec_jobs ~n:n_configs (fun ~lo ~hi ->
-        let local = Cost_cache.create_local cache in
-        for c = lo to hi - 1 do
-          let design = designs.(c) in
-          let design_key = design_keys.(c) in
-          for s = 0 to n_steps - 1 do
-            let step = steps.(s) in
-            let acc = ref 0.0 in
-            for q = 0 to Array.length step - 1 do
-              let statement = step.(q) in
-              acc :=
-                !acc
-                +. Cost_cache.statement_cost local params
-                     (stats_of (table_of statement))
-                     ~design ?design_key statement
-            done;
-            exec.(s).(c) <- !acc
-          done
+    if not compress_workload then
+      Parallel.map_chunks ~jobs:exec_jobs ~n:n_configs (fun ~lo ~hi ->
+          let local = Cost_cache.create_local cache in
+          for c = lo to hi - 1 do
+            let design = designs.(c) in
+            let design_key = design_keys.(c) in
+            for s = 0 to n_steps - 1 do
+              let step = steps.(s) in
+              let acc = ref 0.0 in
+              for q = 0 to Array.length step - 1 do
+                let statement = step.(q) in
+                acc :=
+                  !acc
+                  +. Cost_cache.statement_cost local params
+                       (stats_of (table_of statement))
+                       ~design ?design_key statement
+              done;
+              exec.(s).(c) <- !acc
+            done
+          done;
+          local)
+    else begin
+      (* Compressed fill: cluster statements by cost identity once (the
+         key already implies equal cost under every design), cost one
+         what-if call per (cluster, config), and re-expand by summing the
+         per-cluster costs in the original statement order — the same
+         floats the per-statement loop adds, in the same order, so the
+         matrix is bit-identical to the uncompressed one. *)
+      let flat = Array.concat (Array.to_list steps) in
+      let clustering =
+        Compress.cluster
+          ~key:(fun statement ->
+            Cost_key.statement (stats_of (table_of statement)) statement)
+          flat
+      in
+      let n_clusters = Compress.n_clusters clustering in
+      Obs.Counter.add m_clusters n_clusters;
+      let reps = Array.map (fun i -> flat.(i)) clustering.Compress.representatives in
+      let cluster_ids =
+        let pos = ref 0 in
+        Array.map
+          (fun step ->
+            let ids =
+              Array.init (Array.length step) (fun q ->
+                  clustering.Compress.cluster_of.(!pos + q))
+            in
+            pos := !pos + Array.length step;
+            ids)
+          steps
+      in
+      (* Relevant-column dedup: configurations whose designs agree on the
+         workload-relevant structures have bit-identical columns, so only
+         the first of each class is filled and the rest copy it. *)
+      let relevance = relevance_summary steps in
+      let relevant_key =
+        (* cddpd-lint: allow poly-hash — Cost_key.structure string keys *)
+        let memo = Hashtbl.create 32 in
+        fun structure ->
+          let key = Cost_key.structure structure in
+          match Hashtbl.find_opt memo key with
+          | Some r -> r
+          | None ->
+              let r = structure_is_relevant relevance structure in
+              Hashtbl.replace memo key r;
+              r
+      in
+      let column_src = Array.make n_configs 0 in
+      let fill_configs =
+        (* cddpd-lint: allow poly-hash — Cost_key.design string keys *)
+        let first_by_fingerprint = Hashtbl.create 64 in
+        let out = ref [] in
+        for c = 0 to n_configs - 1 do
+          let relevant =
+            Design.fold
+              (fun s acc -> if relevant_key s then Design.add_structure s acc else acc)
+              designs.(c) Design.empty
+          in
+          let fingerprint = Cost_key.design relevant in
+          match Hashtbl.find_opt first_by_fingerprint fingerprint with
+          | Some first -> column_src.(c) <- first
+          | None ->
+              Hashtbl.replace first_by_fingerprint fingerprint c;
+              column_src.(c) <- c;
+              out := c :: !out
         done;
-        local)
+        Array.of_list (List.rev !out)
+      in
+      let n_fill = Array.length fill_configs in
+      Obs.Counter.add m_exec_skipped (n_configs - n_fill);
+      let locals =
+        Parallel.map_chunks ~jobs:exec_jobs ~n:n_fill (fun ~lo ~hi ->
+            let local = Cost_cache.create_local cache in
+            let cluster_cost = Array.make (max 1 n_clusters) 0.0 in
+            for t = lo to hi - 1 do
+              let c = fill_configs.(t) in
+              let design = designs.(c) in
+              let design_key = design_keys.(c) in
+              for r = 0 to n_clusters - 1 do
+                let rep = reps.(r) in
+                cluster_cost.(r) <-
+                  Cost_cache.statement_cost local params
+                    (stats_of (table_of rep))
+                    ~design ?design_key rep
+              done;
+              for s = 0 to n_steps - 1 do
+                let ids = cluster_ids.(s) in
+                let acc = ref 0.0 in
+                for q = 0 to Array.length ids - 1 do
+                  acc := !acc +. cluster_cost.(ids.(q))
+                done;
+                exec.(s).(c) <- !acc
+              done
+            done;
+            local)
+      in
+      for c = 0 to n_configs - 1 do
+        let src = column_src.(c) in
+        if src <> c then
+          for s = 0 to n_steps - 1 do
+            exec.(s).(c) <- exec.(s).(src)
+          done
+      done;
+      locals
+    end
   in
   List.iter (fun local -> Cost_cache.merge ~into:cache local) locals;
-  (* TRANS matrix: every structure's build cost is computed once up front,
-     so the n_configs^2 pairs only pay set diffs and memo hits — and the
-     warmed cache is read-only, safe to share across row-parallel
-     domains. *)
+  (* TRANS matrix: designs become bitmasks over the sorted structure
+     universe and every structure's build cost is computed once up front,
+     so the n_configs^2 pairs only pay word-level set arithmetic — with a
+     per-domain memo on the added-structure mask, a pair whose build set
+     was already summed costs a single lookup.  Mask bits are visited in
+     ascending universe order, which is exactly [Design.fold]'s sorted
+     order over the diff, so each entry is the bit-identical float
+     [Cost_model.transition_cost] computes. *)
   let trans =
     Obs.Span.with_span "problem.build.trans" @@ fun () ->
-    let all_structures =
+    let universe =
       (* cddpd-lint: allow poly-hash — Cost_key.structure string keys *)
       let seen = Hashtbl.create 32 in
       Array.iter
@@ -130,19 +331,84 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
               if not (Hashtbl.mem seen key) then Hashtbl.replace seen key s)
             design ())
         designs;
-      Hashtbl.fold (fun _ s acc -> s :: acc) seen []
+      let members = Hashtbl.fold (fun _ s acc -> s :: acc) seen [] in
+      Array.of_list (List.sort Structure.compare members)
     in
-    Cost_cache.warm_structures cache params ~stats_of all_structures;
+    let n_structures = Array.length universe in
+    (* cddpd-lint: allow poly-hash — Cost_key.structure string keys *)
+    let index_of = Hashtbl.create (max 16 n_structures) in
+    Array.iteri (fun i s -> Hashtbl.replace index_of (Cost_key.structure s) i) universe;
+    let build_cost =
+      Array.map
+        (fun s ->
+          Cost_cache.structure_build_cost cache params
+            (stats_of (Structure.table s))
+            s)
+        universe
+    in
+    let words = max 1 ((n_structures + 62) / 63) in
+    let mask_of design =
+      let mask = Array.make words 0 in
+      Design.fold
+        (fun s () ->
+          let i = Hashtbl.find index_of (Cost_key.structure s) in
+          mask.(i / 63) <- mask.(i / 63) lor (1 lsl (i mod 63)))
+        design ();
+      mask
+    in
+    let masks = Array.map mask_of designs in
     let trans = Array.make_matrix n_configs n_configs 0.0 in
-    Parallel.for_ ?jobs ~min_per_domain:8 ~n:n_configs (fun i ->
-        let from_design = designs.(i) in
-        let row = trans.(i) in
-        for j = 0 to n_configs - 1 do
-          if i <> j then
-            row.(j) <-
-              Cost_cache.transition_cost cache params ~stats_of ~from_design
-                ~to_design:designs.(j)
-        done);
+    let chunk_hits =
+      Parallel.map_chunks ?jobs ~min_per_domain:8 ~n:n_configs (fun ~lo ~hi ->
+          (* cddpd-lint: allow poly-hash — added-mask word-list string keys *)
+          let memo = Hashtbl.create 256 in
+          let hits = ref 0 in
+          let key_buf = Buffer.create (words * 12) in
+          let added = Array.make words 0 in
+          for i = lo to hi - 1 do
+            let from_mask = masks.(i) in
+            let row = trans.(i) in
+            for j = 0 to n_configs - 1 do
+              if i <> j then begin
+                let to_mask = masks.(j) in
+                let removed = ref 0 in
+                Buffer.clear key_buf;
+                for w = 0 to words - 1 do
+                  let a = to_mask.(w) land lnot from_mask.(w) in
+                  added.(w) <- a;
+                  removed := !removed + popcount (from_mask.(w) land lnot to_mask.(w));
+                  Buffer.add_string key_buf (string_of_int a);
+                  Buffer.add_char key_buf ','
+                done;
+                let key = Buffer.contents key_buf in
+                let build_sum =
+                  match Hashtbl.find_opt memo key with
+                  | Some v ->
+                      incr hits;
+                      v
+                  | None ->
+                      let acc = ref 0.0 in
+                      for w = 0 to words - 1 do
+                        let bits = ref added.(w) in
+                        let bit = ref (w * 63) in
+                        while !bits <> 0 do
+                          if !bits land 1 = 1 then acc := !acc +. build_cost.(!bit);
+                          bits := !bits lsr 1;
+                          incr bit
+                        done
+                      done;
+                      Hashtbl.replace memo key !acc;
+                      !acc
+                in
+                row.(j) <-
+                  build_sum
+                  +. (params.Cost_model.drop_cost *. float_of_int !removed)
+              end
+            done
+          done;
+          !hits)
+    in
+    List.iter (fun hits -> Obs.Counter.add m_trans_memoized hits) chunk_hits;
     trans
   in
   Cost_cache.publish_obs cache;

@@ -39,6 +39,7 @@ val build :
   ?count_initial_change:bool ->
   ?jobs:int ->
   ?cost_cache:bool ->
+  ?compress_workload:bool ->
   unit ->
   t
 (** Compute the cost matrices from the what-if cost model.
@@ -51,9 +52,24 @@ val build :
     process-wide via {!Cddpd_engine.Cost_cache.set_default_enabled}) and
     fills the matrices across [jobs] domains (default
     {!Cddpd_util.Parallel.default_jobs}; small instances always run
-    sequentially).  Neither knob changes the result: matrices are
-    bit-identical across cache settings and domain counts.  [stats_of] is
-    called only from the calling domain.  See docs/PERFORMANCE.md. *)
+    sequentially).  TRANS always pays per {e distinct structure-delta}:
+    designs are bitmasks over the sorted structure universe and each
+    added-set build sum is memoized per domain (the
+    [problem.trans_builds_memoized] counter), never per config pair.
+
+    [compress_workload] (default [false]) additionally compresses the
+    EXEC side: statements are clustered by {!Cddpd_engine.Cost_key} cost
+    identity ([workload.clusters]) so each configuration costs one
+    what-if call per cluster instead of per statement, and configurations
+    whose designs agree on their workload-relevant structures share one
+    column fill ([problem.exec_columns_skipped]).
+
+    None of these knobs changes the result: matrices are bit-identical
+    across cache settings, domain counts, and compression (compression
+    re-expands cluster costs in the original statement order; column
+    sharing only merges columns the cost model provably computes
+    equal).  [stats_of] is called only from the calling domain.  See
+    docs/PERFORMANCE.md. *)
 
 val of_matrices :
   steps:Cddpd_sql.Ast.statement array array ->

@@ -1,0 +1,63 @@
+(** Benefit-dominance candidate pruning (CoPhy-style).
+
+    The scaled pipeline's middle stage: between candidate generation
+    ({!Candidates.generate}) and problem construction ({!Problem.build})
+    sits a what-if scoring pass that (1) compresses the workload into
+    cost-identity clusters ({!Cddpd_workload.Compress} keyed by
+    {!Cddpd_engine.Cost_key}), (2) scores every candidate structure with
+    its per-cluster benefit vector, (3) drops candidates whose vector is
+    dominated by a smaller, cheaper-to-build survivor, and (4) builds a
+    configuration space from the survivors without enumerating
+    [2^candidates] subsets.
+
+    Scoring costs one what-if call per (cluster, candidate) — the whole
+    point of compressing first — and pruning is exact for atomic
+    (one-structure-per-config) spaces: replacing a dominated structure by
+    its dominator in any schedule never raises EXEC, TRANS, or SIZE, so
+    some optimal schedule survives the prune (property-tested).  For
+    wider configurations the per-structure dominance argument no longer
+    covers interactions (a dominated index can still win inside a
+    multi-structure config), so the prune is a heuristic there. *)
+
+type scored = {
+  structure : Cddpd_catalog.Structure.t;
+  benefit : float array;
+      (** per workload cluster: EXEC(rep, {}) - EXEC(rep, {structure}) —
+          negative when the structure is pure maintenance weight *)
+  weighted_benefit : float;  (** benefits weighted by cluster populations *)
+  size_bytes : int;
+  build_cost : float;
+}
+
+val score :
+  params:Cddpd_engine.Cost_model.params ->
+  stats_of:(string -> Cddpd_engine.Table_stats.t) ->
+  steps:Cddpd_sql.Ast.statement array array ->
+  Cddpd_catalog.Structure.t list ->
+  scored list
+(** What-if-score the candidates against the compressed workload, in the
+    given candidate order.  Adds the cluster count to the
+    [workload.clusters] counter.  Raises [Invalid_argument] on an empty
+    workload. *)
+
+val dominance_prune : ?max_candidates:int -> scored list -> scored list * int
+(** Survivors (best-first: weighted benefit desc, size asc, key asc) and
+    the number dropped.  A candidate is dropped iff an already-surviving
+    candidate beats-or-ties it on every cluster benefit, size, and build
+    cost, so one member of every mutually-dominating clique survives;
+    [max_candidates] then keeps only the top of the ranking.  Runs under
+    the [problem.prune] span and adds to the [candidates.pruned]
+    counter. *)
+
+val space :
+  ?max_structures:int ->
+  ?space_bound_bytes:int ->
+  ?max_configs:int ->
+  scored list ->
+  Config_space.t
+(** The pruned configuration space: the empty design, one singleton per
+    surviving candidate that fits [space_bound_bytes], then subsets of
+    2..[max_structures] (default 1) structures in rank-lexicographic
+    order (best-scoring combinations first), stopping at [max_configs]
+    (default 512) configurations.  Replaces {!Config_space.enumerate}'s
+    exponential blowup for large candidate sets. *)

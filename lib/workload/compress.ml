@@ -1,0 +1,31 @@
+type t = {
+  cluster_of : int array;
+  representatives : int array;
+  counts : int array;
+}
+
+let n_clusters t = Array.length t.representatives
+
+let cluster ~key items =
+  let n = Array.length items in
+  (* cddpd-lint: allow poly-hash — caller-supplied string keys (Cost_key digests in practice): hashing the string is exact *)
+  let ids = Hashtbl.create (max 16 (n / 4)) in
+  let cluster_of = Array.make n 0 in
+  let reps = ref [] in
+  let next = ref 0 in
+  Array.iteri
+    (fun i item ->
+      let k = key item in
+      match Hashtbl.find_opt ids k with
+      | Some id -> cluster_of.(i) <- id
+      | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.replace ids k id;
+          reps := i :: !reps;
+          cluster_of.(i) <- id)
+    items;
+  let representatives = Array.of_list (List.rev !reps) in
+  let counts = Array.make !next 0 in
+  Array.iter (fun id -> counts.(id) <- counts.(id) + 1) cluster_of;
+  { cluster_of; representatives; counts }

@@ -1,0 +1,28 @@
+(** Workload compression: clustering by a caller-supplied identity key.
+
+    CoPhy-style workload compression groups statements whose what-if
+    costs are provably equal, so a cost matrix pays one evaluation per
+    {e cluster} instead of one per statement.  This module implements the
+    generic, engine-free half of that: partition an array by an arbitrary
+    string key.  The key that makes the partition {e exact} — the cost
+    identity of [Cddpd_engine.Cost_key], under which equal keys imply
+    equal cost under every design — is supplied by the caller
+    ({!Cddpd_core.Problem.build}, the pruner); this library never sees
+    the cost model.
+
+    Clusters are numbered by first occurrence, and each cluster's
+    representative is its first member, so the clustering is
+    deterministic and order-stable. *)
+
+type t = {
+  cluster_of : int array;  (** item index -> cluster id *)
+  representatives : int array;
+      (** cluster id -> index of its first (representative) item *)
+  counts : int array;  (** cluster id -> number of members *)
+}
+
+val cluster : key:('a -> string) -> 'a array -> t
+(** [cluster ~key items] partitions [items] by [key].  [key] is called
+    exactly once per item, in index order. *)
+
+val n_clusters : t -> int

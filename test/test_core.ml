@@ -58,6 +58,33 @@ let test_space_enumerate_space_bound () =
   let tight = Config_space.enumerate ~candidates ~space_bound_bytes:0 ~size_of () in
   Alcotest.(check int) "only empty fits" 1 (Config_space.size tight)
 
+let string_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_space_enumerate_uncapped_boundary () =
+  let many n =
+    List.init n (fun i -> Structure.index (index [ Printf.sprintf "c%02d" i ]))
+  in
+  let size_of _ = 1 in
+  (* 21 uncapped candidates would mean 2^21 subsets: refuse with a message
+     that points at the two escape hatches. *)
+  (match Config_space.enumerate ~candidates:(many 21) ~size_of () with
+  | _ -> Alcotest.fail "expected Invalid_argument for 21 uncapped candidates"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message names max_structures" true
+        (string_contains msg "max_structures");
+      Alcotest.(check bool) "message names the pruned pipeline" true
+        (string_contains msg "--prune"));
+  (* The same candidates are fine once the configuration width is capped. *)
+  Alcotest.(check int) "21 capped singletons" 22
+    (Config_space.size
+       (Config_space.enumerate ~candidates:(many 21) ~max_structures:1 ~size_of ()));
+  Alcotest.(check int) "pairs at the boundary: 1 + 20 + C(20,2)" 211
+    (Config_space.size
+       (Config_space.enumerate ~candidates:(many 20) ~max_structures:2 ~size_of ()))
+
 let test_space_dedup_and_lookup () =
   let d = Design.singleton (index [ "a" ]) in
   let space = Config_space.of_designs [ Design.empty; d; d; Design.empty ] in
@@ -136,6 +163,56 @@ let test_view_candidates () =
 let test_view_candidates_none_without_aggregates () =
   Alcotest.(check int) "no views from point queries" 0
     (List.length (Candidates.view_candidates paper_schema (w1_statements ())))
+
+let index_columns structure =
+  match Structure.as_index structure with
+  | Some ix -> Some (Index_def.columns ix)
+  | None -> None
+
+let test_candidates_generate_multi_column () =
+  let statements = w1_statements () in
+  let generated = Candidates.generate paper_schema statements in
+  Alcotest.(check bool) "non-empty" true (generated <> []);
+  (* Deterministic: same statements, same candidates in the same order. *)
+  Alcotest.(check (list string)) "deterministic"
+    (List.map Structure.name generated)
+    (List.map Structure.name (Candidates.generate paper_schema statements));
+  (* Closed under prefixes: every proper prefix of a composite is present. *)
+  let column_lists = List.filter_map index_columns generated in
+  List.iter
+    (fun columns ->
+      let rec prefixes acc rest =
+        match rest with
+        | [] | [ _ ] -> ()
+        | c :: tail ->
+            let prefix = List.rev (c :: acc) in
+            if not (List.mem prefix column_lists) then
+              Alcotest.failf "missing prefix I(%s)" (String.concat "," prefix);
+            prefixes (c :: acc) tail
+      in
+      prefixes [] columns)
+    column_lists;
+  (* max_width truncates composites; max_candidates caps the list. *)
+  List.iter
+    (fun columns ->
+      Alcotest.(check bool) "width <= 2" true (List.length columns <= 2))
+    (List.filter_map index_columns (Candidates.generate paper_schema ~max_width:2 statements));
+  Alcotest.(check int) "capped at 3" 3
+    (List.length (Candidates.generate paper_schema ~max_candidates:3 statements));
+  Alcotest.(check bool) "max_width 0 rejected" true
+    (match Candidates.generate paper_schema ~max_width:0 statements with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_candidates_generate_includes_views () =
+  let statements =
+    Array.append (w1_statements ())
+      (Cddpd_workload.Report_gen.segment ~table:"t" ~group_by:"c"
+         ~sum_columns:[ "a" ] ~n:50 ~value_range:100 ~seed:3 ())
+  in
+  let generated = Candidates.generate paper_schema statements in
+  Alcotest.(check bool) "MV(c) generated" true
+    (List.exists (fun s -> Structure.name s = "MV(c)") generated)
 
 (* -- Problem (synthetic matrices) -------------------------------------------------- *)
 
@@ -467,6 +544,129 @@ let test_advisor_space_bound_shrinks_space () =
   Alcotest.(check int) "only empty config" 1
     (Problem.n_configs recommendation.Advisor.problem)
 
+(* -- design-space scaling: compression and dominance pruning ----------------------- *)
+
+module Pruner = Cddpd_core.Pruner
+
+(* One shared database for the scaling properties: the workloads vary per
+   iteration, the statistics do not. *)
+let scaling_db = lazy (make_db ())
+
+let random_workload =
+  let gen =
+    QCheck.Gen.(
+      oneofl [ "W1"; "W2"; "W3" ] >>= fun name ->
+      int_range 1 10_000 >>= fun seed ->
+      int_range 200 2_000 >>= fun value_range ->
+      return (name, seed, value_range))
+  in
+  QCheck.make
+    ~print:(fun (name, seed, value_range) ->
+      Printf.sprintf "%s seed=%d value_range=%d" name seed value_range)
+    gen
+
+let workload_steps (name, seed, value_range) =
+  Cddpd_workload.Spec.generate
+    (Cddpd_workload.Workloads.by_name name ~scale:0.04 ())
+    ~table:"t" ~value_range ~seed
+
+let float_bits_equal x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let matrix_bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun r1 r2 ->
+         Array.length r1 = Array.length r2 && Array.for_all2 float_bits_equal r1 r2)
+       a b
+
+(* An exact solver signature: hex-printed cost plus the path, so two
+   problems agree iff the solver behaved bit-identically on both.  Ranking
+   runs under tight (deterministic) budgets: at small k its rank explosion
+   would otherwise dominate the whole suite. *)
+let solver_signature problem method_name k =
+  match
+    Optimizer.solve problem ~method_name ?k ~max_paths:20_000 ~max_queue:65_536 ()
+  with
+  | Ok s ->
+      Printf.sprintf "ok %h %d [%s]" s.Solution.cost s.Solution.changes
+        (String.concat ";" (Array.to_list (Array.map string_of_int s.Solution.path)))
+  | Error Optimizer.Infeasible -> "infeasible"
+  | Error (Optimizer.Ranking_gave_up _) -> "gave up"
+  | exception Invalid_argument _ -> "k required"
+
+let all_methods =
+  [ Solution.Unconstrained; Solution.Kaware; Solution.Ranking; Solution.Merging;
+    Solution.Greedy_seq; Solution.Hybrid ]
+
+let compression_bit_identity_prop =
+  QCheck.Test.make ~name:"workload compression is bit-identical (matrices and solvers)"
+    ~count:9 random_workload (fun spec ->
+      let db = Lazy.force scaling_db in
+      let params = Database.params db in
+      let stats_of table = Database.table_stats db table in
+      let steps = workload_steps spec in
+      let flat = Array.concat (Array.to_list steps) in
+      let candidates =
+        Candidates.structures_from_statements paper_schema ~composite_pairs:2 flat
+      in
+      let size_of s =
+        Cost_model.structure_size_bytes params ~stats:(stats_of (Structure.table s)) s
+      in
+      let space = Config_space.enumerate ~candidates ~max_structures:1 ~size_of () in
+      let build compress_workload =
+        Problem.build ~params ~stats_of ~steps ~space ~initial:Design.empty
+          ~compress_workload ()
+      in
+      let plain = build false and compressed = build true in
+      matrix_bits_equal plain.Problem.exec compressed.Problem.exec
+      && matrix_bits_equal plain.Problem.trans compressed.Problem.trans
+      && List.for_all
+           (fun method_name ->
+             List.for_all
+               (fun k ->
+                 String.equal
+                   (solver_signature plain method_name k)
+                   (solver_signature compressed method_name k))
+               [ None; Some 1; Some 2; Some 3 ])
+           all_methods)
+
+let pruning_preserves_atomic_optimum_prop =
+  QCheck.Test.make
+    ~name:"dominance pruning preserves the optimum on atomic spaces" ~count:9
+    (QCheck.pair random_workload (QCheck.int_range 1 3))
+    (fun (spec, k) ->
+      let db = Lazy.force scaling_db in
+      let params = Database.params db in
+      let stats_of table = Database.table_stats db table in
+      let steps = workload_steps spec in
+      let flat = Array.concat (Array.to_list steps) in
+      let candidates = Candidates.generate paper_schema flat in
+      let size_of s =
+        Cost_model.structure_size_bytes params ~stats:(stats_of (Structure.table s)) s
+      in
+      let full_space =
+        Config_space.enumerate ~candidates ~max_structures:1 ~size_of ()
+      in
+      let scored = Pruner.score ~params ~stats_of ~steps candidates in
+      let survivors, pruned_count = Pruner.dominance_prune scored in
+      let pruned_space = Pruner.space ~max_structures:1 survivors in
+      Alcotest.(check int) "survivors + pruned = candidates"
+        (List.length candidates)
+        (List.length survivors + pruned_count);
+      let build space =
+        Problem.build ~params ~stats_of ~steps ~space ~initial:Design.empty ()
+      in
+      let full = build full_space and pruned = build pruned_space in
+      (* The pruned space is a subset, so the heuristics need not agree;
+         exactness is claimed for the optimal solver. *)
+      match
+        ( Optimizer.solve full ~method_name:Solution.Kaware ~k (),
+          Optimizer.solve pruned ~method_name:Solution.Kaware ~k () )
+      with
+      | Ok a, Ok b -> float_bits_equal a.Solution.cost b.Solution.cost
+      | Error _, Error _ -> true
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
 let test_simulator_replay () =
   let db = make_db () in
   let steps = small_steps () in
@@ -545,6 +745,8 @@ let () =
           Alcotest.test_case "single index space" `Quick test_space_single_index;
           Alcotest.test_case "enumerate counts" `Quick test_space_enumerate_counts;
           Alcotest.test_case "space bound" `Quick test_space_enumerate_space_bound;
+          Alcotest.test_case "uncapped boundary" `Quick
+            test_space_enumerate_uncapped_boundary;
           Alcotest.test_case "dedup and lookup" `Quick test_space_dedup_and_lookup;
           Alcotest.test_case "restrict" `Quick test_space_restrict;
         ] );
@@ -556,6 +758,10 @@ let () =
           Alcotest.test_case "view candidates" `Quick test_view_candidates;
           Alcotest.test_case "no spurious view candidates" `Quick
             test_view_candidates_none_without_aggregates;
+          Alcotest.test_case "multi-column generator" `Quick
+            test_candidates_generate_multi_column;
+          Alcotest.test_case "generator keeps views" `Quick
+            test_candidates_generate_includes_views;
         ] );
       ( "problem",
         [
@@ -596,6 +802,11 @@ let () =
           Alcotest.test_case "auto candidates" `Quick test_advisor_auto_candidates_match_paper;
           Alcotest.test_case "unknown table" `Quick test_advisor_unknown_table;
           Alcotest.test_case "space bound" `Quick test_advisor_space_bound_shrinks_space;
+        ] );
+      ( "scaling",
+        [
+          QCheck_alcotest.to_alcotest compression_bit_identity_prop;
+          QCheck_alcotest.to_alcotest pruning_preserves_atomic_optimum_prop;
         ] );
       ( "simulator",
         [

@@ -384,6 +384,53 @@ let generated_mix_fraction_prop =
       let frac = float_of_int !count /. 4_000.0 in
       frac > 0.50 && frac < 0.60)
 
+(* -- Compress ------------------------------------------------------------------ *)
+
+module Compress = Cddpd_workload.Compress
+
+let test_compress_clusters_by_key () =
+  let items = [| "x"; "y"; "x"; "z"; "y"; "x" |] in
+  let c = Compress.cluster ~key:(fun s -> s) items in
+  Alcotest.(check int) "three clusters" 3 (Compress.n_clusters c);
+  (* Clusters are numbered by first occurrence; representatives are the
+     first member of each. *)
+  Alcotest.(check (array int)) "cluster ids" [| 0; 1; 0; 2; 1; 0 |] c.Compress.cluster_of;
+  Alcotest.(check (array int)) "representatives" [| 0; 1; 3 |] c.Compress.representatives;
+  Alcotest.(check (array int)) "populations" [| 3; 2; 1 |] c.Compress.counts
+
+let test_compress_all_distinct_and_empty () =
+  let distinct = Compress.cluster ~key:(fun s -> s) [| "a"; "b"; "c" |] in
+  Alcotest.(check int) "no sharing" 3 (Compress.n_clusters distinct);
+  let empty = Compress.cluster ~key:(fun s -> s) [||] in
+  Alcotest.(check int) "empty input" 0 (Compress.n_clusters empty)
+
+let compress_partition_prop =
+  QCheck.Test.make ~name:"compression is a partition refining key equality" ~count:200
+    QCheck.(array_of_size Gen.(int_bound 40) (string_gen_of_size Gen.(int_bound 3) Gen.printable))
+    (fun items ->
+      let c = Compress.cluster ~key:(fun s -> s) items in
+      let n = Compress.n_clusters c in
+      Array.length c.Compress.cluster_of = Array.length items
+      && Array.for_all (fun id -> id >= 0 && id < n) c.Compress.cluster_of
+      (* same key <-> same cluster *)
+      && (let ok = ref true in
+          Array.iteri
+            (fun i x ->
+              Array.iteri
+                (fun j y ->
+                  if (x = y) <> (c.Compress.cluster_of.(i) = c.Compress.cluster_of.(j))
+                  then ok := false)
+                items;
+              ignore x; ignore i)
+            items;
+          !ok)
+      (* representative of each item's cluster shares its key *)
+      && Array.for_all2
+           (fun id x -> items.(c.Compress.representatives.(id)) = x)
+           c.Compress.cluster_of items
+      (* counts sum to n items *)
+      && Array.fold_left ( + ) 0 c.Compress.counts = Array.length items)
+
 let () =
   Alcotest.run "workload"
     [
@@ -447,5 +494,12 @@ let () =
           Alcotest.test_case "shape" `Quick test_data_gen_shape;
           Alcotest.test_case "determinism" `Quick test_data_gen_deterministic;
           QCheck_alcotest.to_alcotest generated_mix_fraction_prop;
+        ] );
+      ( "compress",
+        [
+          Alcotest.test_case "clusters by key" `Quick test_compress_clusters_by_key;
+          Alcotest.test_case "distinct and empty" `Quick
+            test_compress_all_distinct_and_empty;
+          QCheck_alcotest.to_alcotest compress_partition_prop;
         ] );
     ]
