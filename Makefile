@@ -33,9 +33,11 @@ lint:
 
 # Quick perf sanity: micro-benchmarks + a timed Problem.build, writing
 # BENCH_micro.json for machine consumption.  Pass JOBS=1 to force the
-# sequential path.
+# sequential path.  The serve suite carries its own hard gates: per-window
+# digests must match between the incremental and from-scratch arms, and
+# stable-phase windows must hit the what-if-call reduction floor.
 bench-smoke:
-	$(DUNE) exec bench/main.exe -- --quick $(if $(JOBS),--jobs $(JOBS)) micro solvers experiments configspace
+	$(DUNE) exec bench/main.exe -- --quick $(if $(JOBS),--jobs $(JOBS)) micro solvers experiments configspace serve
 
 bench:
 	$(DUNE) exec bench/main.exe -- $(if $(JOBS),--jobs $(JOBS)) all

@@ -60,6 +60,7 @@ type options = {
   solvers_out : string;
   experiments_out : string;
   configspace_out : string;
+  serve_out : string;
   jobs : int option;
   cell_jobs : int option;
   cost_cache : bool;
@@ -67,17 +68,17 @@ type options = {
 
 let all_experiments =
   [ "table1"; "table2"; "figure3"; "figure4"; "ablation"; "updates"; "views";
-    "space"; "micro"; "solvers"; "experiments"; "configspace" ]
+    "space"; "micro"; "solvers"; "experiments"; "configspace"; "serve" ]
 
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [table1|table2|figure3|figure4|ablation|updates|views|space|micro|solvers|experiments|configspace]... \
+     [table1|table2|figure3|figure4|ablation|updates|views|space|micro|solvers|experiments|configspace|serve]... \
      [--suite NAME] \
      [--rows N] [--value-range N] [--scale F] [--seed N] [--readahead N] [--quick] \
      [--jobs N] [--cell-jobs N] [--no-cost-cache] \
      [--no-metrics] [--obs-out FILE] [--micro-out FILE] [--solvers-out FILE] \
-     [--experiments-out FILE] [--configspace-out FILE]";
+     [--experiments-out FILE] [--configspace-out FILE] [--serve-out FILE]";
   exit 2
 
 let parse_args () =
@@ -89,6 +90,7 @@ let parse_args () =
   let solvers_out = ref "BENCH_solvers.json" in
   let experiments_out = ref "BENCH_experiments.json" in
   let configspace_out = ref "BENCH_configspace.json" in
+  let serve_out = ref "BENCH_serve.json" in
   let jobs = ref None in
   let cell_jobs = ref None in
   let cost_cache = ref true in
@@ -112,6 +114,9 @@ let parse_args () =
         go rest
     | "--configspace-out" :: v :: rest ->
         configspace_out := v;
+        go rest
+    | "--serve-out" :: v :: rest ->
+        serve_out := v;
         go rest
     | "--cell-jobs" :: v :: rest ->
         let j = int_of_string v in
@@ -173,6 +178,7 @@ let parse_args () =
     solvers_out = !solvers_out;
     experiments_out = !experiments_out;
     configspace_out = !configspace_out;
+    serve_out = !serve_out;
     jobs = !jobs;
     cell_jobs = !cell_jobs;
     cost_cache = !cost_cache;
@@ -1300,10 +1306,355 @@ let write_configspace_json path entries =
   output_string oc "]}\n";
   close_out oc
 
+(* -- serve suite: incremental re-optimization across windows --------------- *)
+
+(* Two serve runs over the same phased trace on identically-seeded
+   databases — one threading the persistent {!Reopt} session (the
+   default), one with reuse disabled ([--no-reopt-reuse]'s from-scratch
+   path) — with drift detection forced to re-optimize at every window
+   close, so the stable-phase windows expose the incremental rebuild.
+   Instrumentation stays ENABLED for both arms: the headline is what-if
+   call counts, and [cost_model.calls] is silent otherwise.  Wall times
+   therefore carry the same small accounting overhead on both sides.
+
+   Checked on every run, not just recorded: each window's control
+   decisions must be bit-identical between the arms (per-window digest),
+   the stable-phase windows must make >= [serve_min_stable_ratio] fewer
+   what-if calls incrementally than from scratch, and no stable-phase
+   window may recost its whole cluster table. *)
+
+module Server = Cddpd_serve.Server
+module Reopt = Cddpd_core.Reopt
+module Compress = Cddpd_workload.Compress
+module Cost_key = Cddpd_engine.Cost_key
+
+let serve_rows = 4_000
+let serve_value_range = 800
+let serve_window = 50
+let serve_pool_size = 20
+let serve_phases =
+  [| "a"; "a"; "a"; "b"; "b"; "b"; "a"; "a"; "c"; "c"; "a"; "a" |]
+let serve_min_stable_ratio = 5.0
+
+(* Windows whose phase matches the previous window's: the cells where an
+   online advisor should pay only the delta. *)
+let serve_stable =
+  Array.mapi
+    (fun i p -> i > 0 && String.equal p serve_phases.(i - 1))
+    serve_phases
+
+let serve_schema =
+  Schema.table "t"
+    [ ("a", Schema.Int_type); ("b", Schema.Int_type); ("c", Schema.Int_type);
+      ("d", Schema.Int_type) ]
+
+let serve_db () =
+  let db = Cddpd_engine.Database.create ~pool_capacity:2048 [ serve_schema ] in
+  Cddpd_engine.Database.load db ~table:"t"
+    (Cddpd_workload.Data_gen.uniform_rows ~columns:4 ~rows:serve_rows
+       ~value_range:serve_value_range ~seed:3);
+  Cddpd_engine.Database.analyze db;
+  db
+
+(* Per phase column, a fixed pool of concrete point queries; windows draw
+   from the pool round-robin, the way prepared statements repeat in a
+   real trace.  Two windows of the same phase therefore carry the same
+   cost-identity key set even though the loop serves every arriving
+   statement individually — the stable-workload case the reuse path is
+   built for. *)
+let serve_statement_pool =
+  let pool column =
+    Array.init serve_pool_size (fun i ->
+        Parser.parse_exn
+          (Printf.sprintf "SELECT * FROM t WHERE %s = %d" column
+             (1 + ((i * 37) mod serve_value_range))))
+  in
+  [ ("a", pool "a"); ("b", pool "b"); ("c", pool "c") ]
+
+let serve_phase_window phase =
+  let pool = List.assoc phase serve_statement_pool in
+  Array.init serve_window (fun i -> pool.(i mod serve_pool_size))
+
+let serve_trace () =
+  Array.concat (Array.to_list (Array.map serve_phase_window serve_phases))
+
+let serve_server_config ~reuse =
+  {
+    (Server.default_config ~table:"t") with
+    Server.window = serve_window;
+    drift_threshold = -1.0;  (* re-optimize at every window close *)
+    jobs = Some 1;
+    reopt_reuse = reuse;
+  }
+
+(* What each window's re-optimization actually did, per arm. *)
+type serve_cell = {
+  se_digest : string;  (** the window's control decisions, bit-precise *)
+  se_whatif : int;  (** cost_model.calls made by this re-optimization *)
+  se_reopt_s : float;
+  se_exec_reused : int;
+  se_recosted : int;
+  se_trans_reused : int;
+}
+
+type serve_arm = {
+  se_cells : serve_cell array;
+  se_wall_s : float;  (** whole-trace wall time, execution included *)
+  se_stats : Reopt.stats;
+}
+
+let serve_action_fingerprint = function
+  | Server.No_action -> "none"
+  | Server.Held _ -> "held"
+  | Server.Deployed { design; _ } -> "deploy:" ^ Design.name design
+  | Server.Rejected { design; _ } -> "reject:" ^ Design.name design
+  | Server.Rolled_back { restored; _ } -> "rollback:" ^ Design.name restored
+
+(* %h keeps the drift distance bit-precise, as in the other suites. *)
+let serve_window_digest (w : Server.window_report) =
+  Printf.sprintf "%d:%d:%d:%s:%b:%s" w.Server.index w.Server.n_statements
+    w.Server.exec_logical_io
+    (match w.Server.drift with None -> "-" | Some d -> Printf.sprintf "%h" d)
+    w.Server.drifted
+    (serve_action_fingerprint w.Server.action)
+
+let serve_run_arm ~reuse trace =
+  let db = serve_db () in
+  let server = Server.create db (serve_server_config ~reuse) in
+  let cells = ref [] in
+  let prev = ref (Server.reopt_stats server) in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun stmt ->
+      match Server.feed server stmt with
+      | None -> ()
+      | Some w ->
+          let now = Server.reopt_stats server in
+          let dr f = f now.Reopt.reuse - f !prev.Reopt.reuse in
+          cells :=
+            {
+              se_digest = serve_window_digest w;
+              se_whatif = w.Server.reopt_whatif_calls;
+              se_reopt_s = w.Server.reopt_s;
+              se_exec_reused =
+                dr (fun t -> t.Problem.Reuse.exec_columns_reused);
+              se_recosted = dr (fun t -> t.Problem.Reuse.clusters_recosted);
+              se_trans_reused =
+                dr (fun t -> t.Problem.Reuse.trans_blocks_reused);
+            }
+            :: !cells;
+          prev := now)
+    trace;
+  let wall = Unix.gettimeofday () -. t0 in
+  let report = Server.finish server in
+  {
+    se_cells = Array.of_list (List.rev !cells);
+    se_wall_s = wall;
+    se_stats = report.Server.reopt;
+  }
+
+(* The cluster-table size of each window's re-optimization problem,
+   computed independently of the serve loop (same keys, same clustering,
+   over the same [history] windows): the denominator for the "no stable
+   window recosts everything" guard.  The trace has no DML, so the
+   statistics — and with them the keys — are fixed for the whole run. *)
+let serve_cluster_tables () =
+  let stats = Cddpd_engine.Database.table_stats (serve_db ()) "t" in
+  let history = (serve_server_config ~reuse:true).Server.history in
+  Array.mapi
+    (fun i _ ->
+      let lo = max 0 (i - history + 1) in
+      let stmts =
+        Array.concat
+          (List.init (i - lo + 1) (fun j ->
+               serve_phase_window serve_phases.(lo + j)))
+      in
+      let keys = Array.map (fun s -> Cost_key.statement stats s) stmts in
+      Array.length (Compress.cluster_keys keys).Compress.representatives)
+    serve_phases
+
+let serve_stable_sum f arm =
+  let acc = ref 0 in
+  Array.iteri (fun i c -> if serve_stable.(i) then acc := !acc + f c) arm.se_cells;
+  !acc
+
+let serve_stable_sum_s f arm =
+  let acc = ref 0.0 in
+  Array.iteri (fun i c -> if serve_stable.(i) then acc := !acc +. f c) arm.se_cells;
+  !acc
+
+let serve_suite () =
+  let was_enabled = Obs.Registry.enabled () in
+  Obs.Registry.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_enabled then Obs.Registry.disable ())
+  @@ fun () ->
+  let trace = serve_trace () in
+  Printf.printf
+    "trace: %d windows x %d statements, phases %s; re-optimizing every window\n%!"
+    (Array.length serve_phases) serve_window
+    (String.concat "" (Array.to_list serve_phases));
+  let scratch = serve_run_arm ~reuse:false trace in
+  let incr = serve_run_arm ~reuse:true trace in
+  let n = Array.length serve_phases in
+  if Array.length scratch.se_cells <> n || Array.length incr.se_cells <> n then
+    failwith "serve: expected one closed window per phase entry";
+  Array.iteri
+    (fun i (s : serve_cell) ->
+      if not (String.equal s.se_digest incr.se_cells.(i).se_digest) then
+        failwith
+          (Printf.sprintf
+             "serve: window %d differs between from-scratch and incremental \
+              arms:\n  scratch     %s\n  incremental %s"
+             i s.se_digest incr.se_cells.(i).se_digest))
+    scratch.se_cells;
+  let clusters = serve_cluster_tables () in
+  let table =
+    Cddpd_util.Text_table.create
+      [
+        ("window", Cddpd_util.Text_table.Right);
+        ("phase", Cddpd_util.Text_table.Left);
+        ("stable", Cddpd_util.Text_table.Left);
+        ("clusters", Cddpd_util.Text_table.Right);
+        ("scratch calls", Cddpd_util.Text_table.Right);
+        ("incr calls", Cddpd_util.Text_table.Right);
+        ("scratch ms", Cddpd_util.Text_table.Right);
+        ("incr ms", Cddpd_util.Text_table.Right);
+        ("cols reused", Cddpd_util.Text_table.Right);
+        ("recosted", Cddpd_util.Text_table.Right);
+        ("trans reused", Cddpd_util.Text_table.Right);
+      ]
+  in
+  Array.iteri
+    (fun i (s : serve_cell) ->
+      let c = incr.se_cells.(i) in
+      Cddpd_util.Text_table.add_row table
+        [
+          string_of_int i;
+          serve_phases.(i);
+          (if serve_stable.(i) then "yes" else "-");
+          string_of_int clusters.(i);
+          string_of_int s.se_whatif;
+          string_of_int c.se_whatif;
+          Printf.sprintf "%.1f" (s.se_reopt_s *. 1e3);
+          Printf.sprintf "%.1f" (c.se_reopt_s *. 1e3);
+          string_of_int c.se_exec_reused;
+          string_of_int c.se_recosted;
+          string_of_int c.se_trans_reused;
+        ])
+    scratch.se_cells;
+  Cddpd_util.Text_table.print table;
+  Array.iteri
+    (fun i stable ->
+      if stable then begin
+        let c = incr.se_cells.(i) in
+        if clusters.(i) <= 0 then
+          failwith (Printf.sprintf "serve: window %d has no clusters" i);
+        if c.se_recosted >= clusters.(i) then
+          failwith
+            (Printf.sprintf
+               "serve: stable window %d recosted all %d clusters — the reuse \
+                path found nothing to copy"
+               i clusters.(i))
+      end)
+    serve_stable;
+  let calls_scratch = serve_stable_sum (fun c -> c.se_whatif) scratch in
+  let calls_incr = serve_stable_sum (fun c -> c.se_whatif) incr in
+  let ratio = float_of_int calls_scratch /. float_of_int (max 1 calls_incr) in
+  if ratio < serve_min_stable_ratio then
+    failwith
+      (Printf.sprintf
+         "serve: stable-window what-if ratio %.1fx below the %.0fx floor \
+          (%d from-scratch vs %d incremental)"
+         ratio serve_min_stable_ratio calls_scratch calls_incr);
+  let reopt_s_scratch = serve_stable_sum_s (fun c -> c.se_reopt_s) scratch in
+  let reopt_s_incr = serve_stable_sum_s (fun c -> c.se_reopt_s) incr in
+  Printf.printf
+    "\nstable windows: %d what-if calls from scratch vs %d incremental \
+     (%.1fx), %.1fms vs %.1fms re-optimizing\n%!"
+    calls_scratch calls_incr ratio (reopt_s_scratch *. 1e3)
+    (reopt_s_incr *. 1e3);
+  Printf.printf
+    "incremental session: %d builds, %d exec columns reused, %d clusters \
+     recosted, %d trans blocks reused, cache %d/%d hit/miss\n%!"
+    incr.se_stats.Reopt.reuse.Problem.Reuse.builds
+    incr.se_stats.Reopt.reuse.Problem.Reuse.exec_columns_reused
+    incr.se_stats.Reopt.reuse.Problem.Reuse.clusters_recosted
+    incr.se_stats.Reopt.reuse.Problem.Reuse.trans_blocks_reused
+    incr.se_stats.Reopt.cache.Cddpd_engine.Cost_cache.hits
+    incr.se_stats.Reopt.cache.Cddpd_engine.Cost_cache.misses;
+  (scratch, incr, clusters)
+
+let write_serve_json path (scratch, incr, clusters) =
+  let cfg = serve_server_config ~reuse:true in
+  let calls_scratch = serve_stable_sum (fun c -> c.se_whatif) scratch in
+  let calls_incr = serve_stable_sum (fun c -> c.se_whatif) incr in
+  let reopt_s_scratch = serve_stable_sum_s (fun c -> c.se_reopt_s) scratch in
+  let reopt_s_incr = serve_stable_sum_s (fun c -> c.se_reopt_s) incr in
+  let stable_windows =
+    Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 serve_stable
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"schema\":\"cddpd-bench-serve/1\",\"rows\":%d,\"value_range\":%d,\
+     \"window\":%d,\"pool\":%d,\"history\":%d,\"k\":%d,\"method\":\"%s\",\
+     \"jobs\":1,\"phases\":\"%s\",\"cells\":["
+    serve_rows serve_value_range serve_window serve_pool_size
+    cfg.Server.history cfg.Server.k
+    (json_escape (Solution.method_to_string cfg.Server.method_name))
+    (String.concat "" (Array.to_list serve_phases));
+  Array.iteri
+    (fun i (s : serve_cell) ->
+      let c = incr.se_cells.(i) in
+      Printf.fprintf oc
+        "%s{\"index\":%d,\"phase\":\"%s\",\"stable\":%b,\"clusters\":%d,\
+         \"digest_equal\":%b,\"from_scratch\":{\"whatif_calls\":%d,\
+         \"reopt_s\":%s},\"incremental\":{\"whatif_calls\":%d,\"reopt_s\":%s,\
+         \"exec_columns_reused\":%d,\"clusters_recosted\":%d,\
+         \"trans_blocks_reused\":%d}}"
+        (if i = 0 then "" else ",")
+        i serve_phases.(i) serve_stable.(i) clusters.(i)
+        (String.equal s.se_digest c.se_digest)
+        s.se_whatif (json_float6 s.se_reopt_s) c.se_whatif
+        (json_float6 c.se_reopt_s) c.se_exec_reused c.se_recosted
+        c.se_trans_reused)
+    scratch.se_cells;
+  Printf.fprintf oc
+    "],\"stable\":{\"windows\":%d,\"whatif_calls_from_scratch\":%d,\
+     \"whatif_calls_incremental\":%d,\"whatif_ratio\":%s,\
+     \"reopt_s_from_scratch\":%s,\"reopt_s_incremental\":%s,\"speedup\":%s},"
+    stable_windows calls_scratch calls_incr
+    (json_float
+       (float_of_int calls_scratch /. float_of_int (max 1 calls_incr)))
+    (json_float6 reopt_s_scratch) (json_float6 reopt_s_incr)
+    (json_float (reopt_s_scratch /. reopt_s_incr));
+  let tallies = incr.se_stats.Reopt.reuse in
+  let cache = incr.se_stats.Reopt.cache in
+  Printf.fprintf oc
+    "\"totals\":{\"wall_from_scratch_s\":%s,\"wall_incremental_s\":%s,\
+     \"incremental\":{\"reoptimizations\":%d,\"warm_start_bounds\":%d,\
+     \"builds\":%d,\"exec_columns_reused\":%d,\"clusters_recosted\":%d,\
+     \"trans_blocks_reused\":%d,\"stats_invalidations\":%d,\
+     \"cache\":{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\
+     \"generations\":%d}},\"from_scratch\":{\"reoptimizations\":%d,\
+     \"warm_start_bounds\":%d}},\"digests_identical\":true}\n"
+    (json_float6 scratch.se_wall_s) (json_float6 incr.se_wall_s)
+    incr.se_stats.Reopt.reoptimizations incr.se_stats.Reopt.warm_start_bounds
+    tallies.Problem.Reuse.builds tallies.Problem.Reuse.exec_columns_reused
+    tallies.Problem.Reuse.clusters_recosted
+    tallies.Problem.Reuse.trans_blocks_reused
+    tallies.Problem.Reuse.stats_invalidations
+    cache.Cddpd_engine.Cost_cache.hits cache.Cddpd_engine.Cost_cache.misses
+    cache.Cddpd_engine.Cost_cache.evictions
+    cache.Cddpd_engine.Cost_cache.generations
+    scratch.se_stats.Reopt.reoptimizations
+    scratch.se_stats.Reopt.warm_start_bounds;
+  close_out oc
+
 let () =
   let ({ experiments; config; metrics; obs_out; micro_out; solvers_out;
-         experiments_out = _; configspace_out = _; jobs; cell_jobs;
-         cost_cache } as options) =
+         experiments_out = _; configspace_out = _; serve_out = _; jobs;
+         cell_jobs; cost_cache } as options) =
     parse_args ()
   in
   (match jobs with
@@ -1389,6 +1740,12 @@ let () =
           write_configspace_json options.configspace_out entries;
           Printf.printf "\n(wrote design-space scaling baseline to %s)\n%!"
             options.configspace_out
+      | "serve" ->
+          banner "Serve: incremental re-optimization across windows";
+          let arms = serve_suite () in
+          write_serve_json options.serve_out arms;
+          Printf.printf "\n(wrote incremental re-optimization baseline to %s)\n%!"
+            options.serve_out
       | _ -> usage ())
     experiments;
   if metrics then begin

@@ -454,6 +454,15 @@ let once_arg =
            ~doc:"Drain the input and exit (requires $(b,--input)); the smoke \
                  mode CI replays a canned trace through.")
 
+let no_reopt_reuse_arg =
+  Arg.(value & flag
+       & info [ "no-reopt-reuse" ]
+           ~doc:"Disable incremental re-optimization: every drift event \
+                 rebuilds cost matrices from scratch instead of reusing the \
+                 previous window-set's cluster costs and TRANS entries. \
+                 Results are bit-identical either way; this is the escape \
+                 hatch (and the from-scratch arm of bench --suite serve).")
+
 let status_json_arg =
   Arg.(value & flag
        & info [ "status" ]
@@ -486,13 +495,31 @@ let print_window_line r =
     (if r.Server.drifted then "!" else " ")
     (action_to_string r.Server.action)
 
+let reopt_json (stats : Cddpd_core.Reopt.stats) =
+  Printf.sprintf
+    "{\"reoptimizations\":%d,\"warm_start_bounds\":%d,\
+     \"builds_reused\":%d,\"exec_columns_reused\":%d,\
+     \"clusters_recosted\":%d,\"trans_blocks_reused\":%d,\
+     \"stats_invalidations\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\
+     \"evictions\":%d,\"generations\":%d}}"
+    stats.Cddpd_core.Reopt.reoptimizations stats.Cddpd_core.Reopt.warm_start_bounds
+    stats.Cddpd_core.Reopt.reuse.Cddpd_core.Problem.Reuse.builds
+    stats.Cddpd_core.Reopt.reuse.Cddpd_core.Problem.Reuse.exec_columns_reused
+    stats.Cddpd_core.Reopt.reuse.Cddpd_core.Problem.Reuse.clusters_recosted
+    stats.Cddpd_core.Reopt.reuse.Cddpd_core.Problem.Reuse.trans_blocks_reused
+    stats.Cddpd_core.Reopt.reuse.Cddpd_core.Problem.Reuse.stats_invalidations
+    stats.Cddpd_core.Reopt.cache.Cddpd_engine.Cost_cache.hits
+    stats.Cddpd_core.Reopt.cache.Cddpd_engine.Cost_cache.misses
+    stats.Cddpd_core.Reopt.cache.Cddpd_engine.Cost_cache.evictions
+    stats.Cddpd_core.Reopt.cache.Cddpd_engine.Cost_cache.generations
+
 let report_json (report : Server.report) =
   Printf.sprintf
     "{\"schema\":\"cddpd-serve/1\",\"regime\":\"%s\",\"windows\":%d,\
      \"statements\":%d,\"residual_statements\":%d,\"drift_events\":%d,\
      \"reoptimizations\":%d,\"deployments\":%d,\"rejections\":%d,\
      \"rollbacks\":%d,\"exec_logical_io\":%d,\"trans_logical_io\":%d,\
-     \"final_design\":\"%s\"}"
+     \"final_design\":\"%s\",\"reopt\":%s}"
     (Server.regime_to_string report.Server.regime)
     (Array.length report.Server.windows)
     report.Server.statements report.Server.residual_statements
@@ -501,6 +528,7 @@ let report_json (report : Server.report) =
     report.Server.exec_logical_io report.Server.trans_logical_io
     (String.concat "," (List.map (fun s -> String.escaped (Cddpd_catalog.Structure.name s))
          (Design.structures report.Server.final_design)))
+    (reopt_json report.Server.reopt)
 
 let print_report (report : Server.report) =
   Printf.printf
@@ -535,7 +563,7 @@ let feed_stdin server =
 
 let serve input once regime window history horizon drift_threshold regret_budget
     rollback_factor k method_name rows value_range seed readahead jobs
-    no_cost_cache status_json metrics trace =
+    no_cost_cache no_reopt_reuse status_json metrics trace =
   apply_perf_knobs jobs no_cost_cache;
   with_obs ~metrics ~trace @@ fun () ->
   if once && input = None then begin
@@ -546,7 +574,8 @@ let serve input once regime window history horizon drift_threshold regret_budget
     let cfg =
       { serve_defaults with
         Server.regime; window; history; horizon; drift_threshold; regret_budget;
-        rollback_factor; k; method_name; jobs }
+        rollback_factor; k; method_name; jobs;
+        reopt_reuse = not no_reopt_reuse }
     in
     let db = Setup.make_database (config_of ~readahead rows value_range seed 1.0) in
     let on_window = if status_json then fun _ -> () else print_window_line in
@@ -573,7 +602,8 @@ let serve_cmd =
           $ history_arg $ horizon_arg $ drift_threshold_arg $ regret_budget_arg
           $ rollback_factor_arg $ serve_k_arg $ method_arg $ rows_arg
           $ value_range_arg $ seed_arg $ readahead_arg $ jobs_arg
-          $ no_cost_cache_arg $ status_json_arg $ metrics_arg $ trace_spans_arg)
+          $ no_cost_cache_arg $ no_reopt_reuse_arg $ status_json_arg
+          $ metrics_arg $ trace_spans_arg)
 
 (* -- main ---------------------------------------------------------------------- *)
 

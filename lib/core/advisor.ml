@@ -98,13 +98,14 @@ let build_space db request =
       Pruner.space ~max_structures ?space_bound_bytes:request.space_bound_bytes
         ?max_configs:request.max_configs survivors
 
-let build_problem db request =
+let build_problem ?reuse ?statement_keys db request =
   let space = build_space db request in
   Problem.build ~params:(Database.params db)
     ~stats_of:(fun table -> Database.table_stats db table)
     ~steps:request.steps ~space ~initial:request.initial
     ~count_initial_change:request.count_initial_change ?jobs:request.jobs
-    ?cost_cache:request.cost_cache ~compress_workload:request.compress_workload ()
+    ?cost_cache:request.cost_cache ~compress_workload:request.compress_workload
+    ?reuse ?statement_keys ()
 
 let recommend db request =
   let problem = build_problem db request in

@@ -63,11 +63,18 @@ type recommendation = {
   schedule : Cddpd_catalog.Design.t array;  (** design per step *)
 }
 
-val build_problem : Cddpd_engine.Database.t -> request -> Problem.t
+val build_problem :
+  ?reuse:Problem.Reuse.t ->
+  ?statement_keys:string array ->
+  Cddpd_engine.Database.t ->
+  request ->
+  Problem.t
 (** Candidate generation + space enumeration + cost matrices, without
     solving — the entry point for callers that solve the same instance
     repeatedly or under their own policy (the serve loop, the k-selection
-    examples).  Raises [Invalid_argument] on inconsistent requests. *)
+    examples).  [reuse] and [statement_keys] are passed through to
+    {!Problem.build} (the incremental re-optimization path; see
+    {!Reopt}).  Raises [Invalid_argument] on inconsistent requests. *)
 
 val recommend :
   Cddpd_engine.Database.t -> request -> (recommendation, Optimizer.error) result

@@ -8,6 +8,7 @@ type error = Infeasible | Ranking_gave_up of Ranking.gave_up
 
 let m_solves = Obs.Registry.counter "optimizer.solves"
 let h_solve_s = Obs.Registry.histogram "optimizer.solve_s"
+let m_warm_bound_used = Obs.Registry.counter "reopt.warm_start_bound_used"
 
 let finish problem method_name elapsed path =
   {
@@ -37,9 +38,24 @@ let hybrid_uses_merging ~l ~k = k > l / 2
 let merging_upper_bound problem graph ~k unconstrained_path =
   Staged_dag.path_cost graph (Merging.refine problem ~k unconstrained_path)
 
-let solve problem ~method_name ?k ?jobs ?(max_paths = 1_000_000) ?max_queue () =
+let solve problem ~method_name ?k ?jobs ?(max_paths = 1_000_000) ?max_queue
+    ?upper_bound:warm_bound () =
   let graph = Problem.to_graph problem in
   let initial = Problem.initial_for_counting problem in
+  (* Warm-started branch-and-bound: a caller-supplied feasible bound (the
+     incumbent's hold-at-C0 cost, in serve) tightens the merging seed
+     when it is smaller.  Both bounds are costs of feasible ≤ k-changes
+     schedules, so the min is still a valid upper bound on the
+     constrained optimum and pruning stays exact — the returned schedule
+     cannot change. *)
+  let seeded_bound problem graph ~k unconstrained_path =
+    let merging = merging_upper_bound problem graph ~k unconstrained_path in
+    match warm_bound with
+    | Some warm when warm < merging ->
+        Obs.Counter.incr m_warm_bound_used;
+        warm
+    | _ -> merging
+  in
   let run () =
     match method_name with
     | Solution.Unconstrained ->
@@ -48,7 +64,7 @@ let solve problem ~method_name ?k ?jobs ?(max_paths = 1_000_000) ?max_queue () =
     | Solution.Kaware -> (
         let k = require_k method_name k in
         let _, unconstrained_path = Staged_dag.shortest_path graph in
-        let upper_bound = merging_upper_bound problem graph ~k unconstrained_path in
+        let upper_bound = seeded_bound problem graph ~k unconstrained_path in
         match Kaware.solve ?jobs ~upper_bound graph ~k ~initial with
         | Some (_, path) -> Ok path
         | None -> Error Infeasible)
@@ -64,7 +80,7 @@ let solve problem ~method_name ?k ?jobs ?(max_paths = 1_000_000) ?max_queue () =
     | Solution.Ranking -> (
         let k = require_k method_name k in
         let _, unconstrained_path = Staged_dag.shortest_path graph in
-        let upper_bound = merging_upper_bound problem graph ~k unconstrained_path in
+        let upper_bound = seeded_bound problem graph ~k unconstrained_path in
         match
           Ranking.solve_constrained graph ~k ~initial ~upper_bound ~max_paths
             ?max_queue ()
@@ -79,7 +95,7 @@ let solve problem ~method_name ?k ?jobs ?(max_paths = 1_000_000) ?max_queue () =
         else if hybrid_uses_merging ~l ~k then
           Ok (Merging.refine problem ~k unconstrained_path)
         else
-          let upper_bound = merging_upper_bound problem graph ~k unconstrained_path in
+          let upper_bound = seeded_bound problem graph ~k unconstrained_path in
           match Kaware.solve ?jobs ~upper_bound graph ~k ~initial with
           | Some (_, path) -> Ok path
           | None -> Error Infeasible)

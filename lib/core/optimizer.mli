@@ -26,15 +26,25 @@ val solve :
   ?jobs:int ->
   ?max_paths:int ->
   ?max_queue:int ->
+  ?upper_bound:float ->
   unit ->
   (Solution.t, error) result
 (** Run one solver.  [k] is required by every method except
     [Unconstrained] (raises [Invalid_argument] when missing).
     [jobs] forces the domain count of the k-aware parallel relaxation;
     [max_paths] (default 1_000_000) and [max_queue] (default unbounded)
-    bound the [Ranking] enumeration.  None of the three changes the
-    returned schedule.  Elapsed wall-clock time is recorded in the
-    solution. *)
+    bound the [Ranking] enumeration.
+
+    [upper_bound] warm-starts the exact solvers' branch-and-bound: it
+    must be the cost of some feasible ≤ [k]-changes schedule of this
+    instance (serve passes the incumbent's hold-at-the-current-design
+    cost).  The effective seed is the tighter of this bound and the
+    merging seed ([reopt.warm_start_bound_used] counts when the caller's
+    bound won); pruning stays exact, so a valid bound never changes the
+    returned schedule — only how much work finding it takes.
+
+    None of these knobs changes the returned schedule.  Elapsed
+    wall-clock time is recorded in the solution. *)
 
 val unconstrained : Problem.t -> Solution.t
 (** Convenience: the sequence-graph optimum. *)

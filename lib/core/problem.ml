@@ -2,6 +2,7 @@ module Ast = Cddpd_sql.Ast
 module Cost_model = Cddpd_engine.Cost_model
 module Cost_cache = Cddpd_engine.Cost_cache
 module Cost_key = Cddpd_engine.Cost_key
+module Table_stats = Cddpd_engine.Table_stats
 module Design = Cddpd_catalog.Design
 module Structure = Cddpd_catalog.Structure
 module Index_def = Cddpd_catalog.Index_def
@@ -16,6 +17,10 @@ let m_domains_used = Obs.Registry.counter "problem.build.domains_used"
 let m_clusters = Obs.Registry.counter "workload.clusters"
 let m_exec_skipped = Obs.Registry.counter "problem.exec_columns_skipped"
 let m_trans_memoized = Obs.Registry.counter "problem.trans_builds_memoized"
+let m_reopt_exec_reused = Obs.Registry.counter "reopt.exec_columns_reused"
+let m_reopt_clusters_recosted = Obs.Registry.counter "reopt.clusters_recosted"
+let m_reopt_trans_reused = Obs.Registry.counter "reopt.trans_blocks_reused"
+let m_reopt_invalidations = Obs.Registry.counter "reopt.stats_invalidations"
 
 type t = {
   steps : Ast.statement array array;
@@ -140,8 +145,72 @@ let popcount x =
   let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
   go x 0
 
+(* -- incremental re-optimization state ---------------------------------------- *)
+
+(* What one build leaves behind for the next: every exec cluster cost
+   keyed by (design key, cluster key), the TRANS matrix keyed by design
+   key, and the statistics fingerprints everything was computed under.
+   Lookups are exact — {!Cost_key} keys are cost identities (equal keys
+   imply equal cost), so a match proves the stored float is bit-identical
+   to what a fresh computation would produce. *)
+type reuse_summary = {
+  s_cluster_id_of : (string, int) Hashtbl.t;
+      (** cluster cost-identity key -> previous cluster id *)
+  s_by_design : (string, float array) Hashtbl.t;
+      (** design key -> per-previous-cluster exec costs *)
+  s_id_of_design : (string, int) Hashtbl.t;  (** design key -> previous config id *)
+  s_trans : float array array;
+  s_fingerprints : (string, string) Hashtbl.t;  (** table -> stats fingerprint *)
+}
+
+module Reuse = struct
+  type tallies = {
+    builds : int;
+    exec_columns_reused : int;
+    clusters_recosted : int;
+    trans_blocks_reused : int;
+    stats_invalidations : int;
+  }
+
+  type t = {
+    cache : Cost_cache.t;
+    mutable summary : reuse_summary option;
+    mutable t_builds : int;
+    mutable t_exec_columns_reused : int;
+    mutable t_clusters_recosted : int;
+    mutable t_trans_blocks_reused : int;
+    mutable t_stats_invalidations : int;
+  }
+
+  let create ?capacity () =
+    {
+      cache = Cost_cache.create ?capacity ();
+      summary = None;
+      t_builds = 0;
+      t_exec_columns_reused = 0;
+      t_clusters_recosted = 0;
+      t_trans_blocks_reused = 0;
+      t_stats_invalidations = 0;
+    }
+
+  let flush t =
+    t.summary <- None;
+    Cost_cache.invalidate_builds t.cache
+
+  let tallies t =
+    {
+      builds = t.t_builds;
+      exec_columns_reused = t.t_exec_columns_reused;
+      clusters_recosted = t.t_clusters_recosted;
+      trans_blocks_reused = t.t_trans_blocks_reused;
+      stats_invalidations = t.t_stats_invalidations;
+    }
+
+  let cache_stats t = Cost_cache.stats t.cache
+end
+
 let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = false)
-    ?jobs ?cost_cache ?(compress_workload = false) () =
+    ?jobs ?cost_cache ?(compress_workload = false) ?reuse ?statement_keys () =
   if Array.length steps = 0 then invalid_arg "Problem.build: no steps";
   Obs.Span.with_span "problem.build" @@ fun () ->
   Obs.Counter.incr m_builds;
@@ -149,10 +218,19 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
   let n_configs = Config_space.size space in
   let n_steps = Array.length steps in
   let designs = Array.init n_configs (Config_space.design space) in
-  let use_cache =
-    match cost_cache with Some on -> on | None -> Cost_cache.default_enabled ()
+  (* Reuse implies the compressed path (the summary is a cluster-cost
+     table) and always caches through the session's persistent cache. *)
+  let compress_workload = compress_workload || reuse <> None in
+  let cache =
+    match reuse with
+    | Some r -> r.Reuse.cache
+    | None ->
+        let use_cache =
+          match cost_cache with Some on -> on | None -> Cost_cache.default_enabled ()
+        in
+        if use_cache then Cost_cache.create () else Cost_cache.disabled
   in
-  let cache = if use_cache then Cost_cache.create () else Cost_cache.disabled in
+  let use_cache = Cost_cache.is_enabled cache in
   (* Snapshot statistics on this domain: a Database-backed [stats_of]
      computes stats lazily (mutating the database) and must not be called
      from worker domains.  Every table the build can touch is resolved
@@ -167,9 +245,44 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
     (fun design -> Design.fold (fun s () -> resolve (Structure.table s)) design ())
     designs;
   let stats_of table = Hashtbl.find stats_tbl table in
+  (* Stale-statistics gate: a session summary (and the persistent build
+     memo, whose keys do not embed statistics) is only trusted while
+     every table it was computed under still fingerprints the same.  Any
+     mismatch drops the whole summary and the build memo — statement
+     cache entries self-invalidate through their keys and are kept. *)
+  (* cddpd-lint: allow poly-hash — string table-name keys *)
+  let fp_tbl = Hashtbl.create 8 in
+  (match reuse with
+  | None -> ()
+  | Some r -> (
+      Hashtbl.iter
+        (fun table stats -> Hashtbl.replace fp_tbl table (Table_stats.fingerprint stats))
+        stats_tbl;
+      match r.Reuse.summary with
+      | None -> ()
+      | Some s ->
+          let stale = ref false in
+          Hashtbl.iter
+            (fun table fp ->
+              match Hashtbl.find_opt s.s_fingerprints table with
+              | Some recorded when not (String.equal recorded fp) -> stale := true
+              | Some _ | None -> ())
+            fp_tbl;
+          if !stale then begin
+            r.Reuse.summary <- None;
+            Cost_cache.invalidate_builds cache;
+            r.Reuse.t_stats_invalidations <- r.Reuse.t_stats_invalidations + 1;
+            Obs.Counter.incr m_reopt_invalidations
+          end));
+  let reuse_summary =
+    match reuse with Some r -> r.Reuse.summary | None -> None
+  in
   let design_keys =
     Array.map (fun d -> if use_cache then Some (Cost_key.design d) else None) designs
   in
+  (* Exec half of the next summary, assembled inside the compressed
+     branch (cluster table + per-design cluster costs). *)
+  let pending_exec_summary = ref None in
   (* EXEC matrix: one column per configuration, filled in parallel with a
      domain-local cache per chunk (columns share repeated statements, so
      chunking by configuration keeps the hit rate local).  Each cell is an
@@ -213,12 +326,19 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
          floats the per-statement loop adds, in the same order, so the
          matrix is bit-identical to the uncompressed one. *)
       let flat = Array.concat (Array.to_list steps) in
-      let clustering =
-        Compress.cluster
-          ~key:(fun statement ->
-            Cost_key.statement (stats_of (table_of statement)) statement)
-          flat
+      let keys =
+        match statement_keys with
+        | Some keys ->
+            if Array.length keys <> Array.length flat then
+              invalid_arg "Problem.build: statement_keys length mismatch";
+            keys
+        | None ->
+            Array.map
+              (fun statement ->
+                Cost_key.statement (stats_of (table_of statement)) statement)
+              flat
       in
+      let clustering = Compress.cluster_keys keys in
       let n_clusters = Compress.n_clusters clustering in
       Obs.Counter.add m_clusters n_clusters;
       let reps = Array.map (fun i -> flat.(i)) clustering.Compress.representatives in
@@ -273,20 +393,84 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
       in
       let n_fill = Array.length fill_configs in
       Obs.Counter.add m_exec_skipped (n_configs - n_fill);
-      let locals =
+      (* Delta accounting against the previous build's summary: map each
+         new cluster to its previous id (or -1), so workers copy matched
+         cluster costs instead of calling the cost model. *)
+      let cluster_keys =
+        Array.map (fun i -> keys.(i)) clustering.Compress.representatives
+      in
+      let prev_cluster =
+        match reuse_summary with
+        | None -> None
+        | Some s ->
+            Some
+              (Array.map
+                 (fun k ->
+                   match Hashtbl.find_opt s.s_cluster_id_of k with
+                   | Some id -> id
+                   | None -> -1)
+                 cluster_keys)
+      in
+      (match reuse with
+      | None -> ()
+      | Some r ->
+          let recosted =
+            match prev_cluster with
+            | None -> n_clusters
+            | Some pm ->
+                Array.fold_left (fun acc p -> if p < 0 then acc + 1 else acc) 0 pm
+          in
+          r.Reuse.t_clusters_recosted <- r.Reuse.t_clusters_recosted + recosted;
+          Obs.Counter.add m_reopt_clusters_recosted recosted;
+          let all_matched =
+            match prev_cluster with
+            | Some pm -> Array.for_all (fun p -> p >= 0) pm
+            | None -> false
+          in
+          if all_matched then begin
+            let reused_columns = ref 0 in
+            (match reuse_summary with
+            | Some s ->
+                Array.iter
+                  (fun c ->
+                    match design_keys.(c) with
+                    | Some dk when Hashtbl.mem s.s_by_design dk -> incr reused_columns
+                    | Some _ | None -> ())
+                  fill_configs
+            | None -> ());
+            r.Reuse.t_exec_columns_reused <-
+              r.Reuse.t_exec_columns_reused + !reused_columns;
+            Obs.Counter.add m_reopt_exec_reused !reused_columns
+          end);
+      let results =
         Parallel.map_chunks ~jobs:exec_jobs ~n:n_fill (fun ~lo ~hi ->
             let local = Cost_cache.create_local cache in
-            let cluster_cost = Array.make (max 1 n_clusters) 0.0 in
+            let collected = ref [] in
             for t = lo to hi - 1 do
               let c = fill_configs.(t) in
               let design = designs.(c) in
               let design_key = design_keys.(c) in
+              let prev_costs =
+                match (reuse_summary, design_key) with
+                | Some s, Some dk -> Hashtbl.find_opt s.s_by_design dk
+                | _ -> None
+              in
+              let cluster_cost = Array.make (max 1 n_clusters) 0.0 in
               for r = 0 to n_clusters - 1 do
-                let rep = reps.(r) in
-                cluster_cost.(r) <-
-                  Cost_cache.statement_cost local params
-                    (stats_of (table_of rep))
-                    ~design ?design_key rep
+                let copied =
+                  match (prev_costs, prev_cluster) with
+                  | Some pc, Some pm when pm.(r) >= 0 ->
+                      cluster_cost.(r) <- pc.(pm.(r));
+                      true
+                  | _ -> false
+                in
+                if not copied then begin
+                  let rep = reps.(r) in
+                  cluster_cost.(r) <-
+                    Cost_cache.statement_cost local params
+                      (stats_of (table_of rep))
+                      ~design ?design_key rep
+                end
               done;
               for s = 0 to n_steps - 1 do
                 let ids = cluster_ids.(s) in
@@ -295,10 +479,12 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
                   acc := !acc +. cluster_cost.(ids.(q))
                 done;
                 exec.(s).(c) <- !acc
-              done
+              done;
+              if reuse <> None then collected := (c, cluster_cost) :: !collected
             done;
-            local)
+            (local, !collected))
       in
+      let locals = List.map fst results in
       for c = 0 to n_configs - 1 do
         let src = column_src.(c) in
         if src <> c then
@@ -306,6 +492,36 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
             exec.(s).(c) <- exec.(s).(src)
           done
       done;
+      (* Assemble the exec half of the next summary.  Filled columns
+         store their own cluster costs; copied columns share the source
+         column's array — valid as a (design, cluster) cost table because
+         the relevance classes were computed over exactly the statements
+         these clusters represent. *)
+      (match reuse with
+      | None -> ()
+      | Some _ ->
+          (* cddpd-lint: allow poly-hash — Cost_key string keys *)
+          let s_cluster_id_of = Hashtbl.create (max 16 n_clusters) in
+          Array.iteri (fun id k -> Hashtbl.replace s_cluster_id_of k id) cluster_keys;
+          (* cddpd-lint: allow poly-hash — Cost_key.design string keys *)
+          let s_by_design = Hashtbl.create (max 16 n_configs) in
+          List.iter
+            (fun (c, costs) ->
+              match design_keys.(c) with
+              | Some dk -> Hashtbl.replace s_by_design dk costs
+              | None -> ())
+            (List.concat_map snd results);
+          for c = 0 to n_configs - 1 do
+            let src = column_src.(c) in
+            if src <> c then
+              match (design_keys.(c), design_keys.(src)) with
+              | Some dk, Some dk_src -> (
+                  match Hashtbl.find_opt s_by_design dk_src with
+                  | Some costs -> Hashtbl.replace s_by_design dk costs
+                  | None -> ())
+              | _ -> ()
+          done;
+          pending_exec_summary := Some (s_cluster_id_of, s_by_design));
       locals
     end
   in
@@ -357,60 +573,133 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
       mask
     in
     let masks = Array.map mask_of designs in
+    (* TRANS delta reuse: configurations that also existed in the
+       previous build (matched by design key, statistics unchanged — the
+       summary would have been dropped otherwise) copy their pairwise
+       entries verbatim from the previous matrix. *)
+    let prev_of =
+      match reuse_summary with
+      | None -> None
+      | Some s ->
+          Some
+            (Array.init n_configs (fun c ->
+                 match design_keys.(c) with
+                 | Some dk -> (
+                     match Hashtbl.find_opt s.s_id_of_design dk with
+                     | Some id -> id
+                     | None -> -1)
+                 | None -> -1))
+    in
+    let prev_trans =
+      match reuse_summary with Some s -> s.s_trans | None -> [||]
+    in
     let trans = Array.make_matrix n_configs n_configs 0.0 in
-    let chunk_hits =
+    let chunk_tallies =
       Parallel.map_chunks ?jobs ~min_per_domain:8 ~n:n_configs (fun ~lo ~hi ->
           (* cddpd-lint: allow poly-hash — added-mask word-list string keys *)
           let memo = Hashtbl.create 256 in
           let hits = ref 0 in
+          let copied = ref 0 in
           let key_buf = Buffer.create (words * 12) in
           let added = Array.make words 0 in
           for i = lo to hi - 1 do
             let from_mask = masks.(i) in
             let row = trans.(i) in
+            let pi = match prev_of with Some p -> p.(i) | None -> -1 in
+            let prev_row = if pi >= 0 then Some prev_trans.(pi) else None in
             for j = 0 to n_configs - 1 do
               if i <> j then begin
-                let to_mask = masks.(j) in
-                let removed = ref 0 in
-                Buffer.clear key_buf;
-                for w = 0 to words - 1 do
-                  let a = to_mask.(w) land lnot from_mask.(w) in
-                  added.(w) <- a;
-                  removed := !removed + popcount (from_mask.(w) land lnot to_mask.(w));
-                  Buffer.add_string key_buf (string_of_int a);
-                  Buffer.add_char key_buf ','
-                done;
-                let key = Buffer.contents key_buf in
-                let build_sum =
-                  match Hashtbl.find_opt memo key with
-                  | Some v ->
-                      incr hits;
-                      v
-                  | None ->
-                      let acc = ref 0.0 in
-                      for w = 0 to words - 1 do
-                        let bits = ref added.(w) in
-                        let bit = ref (w * 63) in
-                        while !bits <> 0 do
-                          if !bits land 1 = 1 then acc := !acc +. build_cost.(!bit);
-                          bits := !bits lsr 1;
-                          incr bit
-                        done
-                      done;
-                      Hashtbl.replace memo key !acc;
-                      !acc
+                let pj =
+                  match (prev_row, prev_of) with
+                  | Some _, Some p -> p.(j)
+                  | _ -> -1
                 in
-                row.(j) <-
-                  build_sum
-                  +. (params.Cost_model.drop_cost *. float_of_int !removed)
+                if pj >= 0 then begin
+                  (match prev_row with
+                  | Some prev_row -> row.(j) <- prev_row.(pj)
+                  | None -> assert false);
+                  incr copied
+                end
+                else begin
+                  let to_mask = masks.(j) in
+                  let removed = ref 0 in
+                  Buffer.clear key_buf;
+                  for w = 0 to words - 1 do
+                    let a = to_mask.(w) land lnot from_mask.(w) in
+                    added.(w) <- a;
+                    removed := !removed + popcount (from_mask.(w) land lnot to_mask.(w));
+                    Buffer.add_string key_buf (string_of_int a);
+                    Buffer.add_char key_buf ','
+                  done;
+                  let key = Buffer.contents key_buf in
+                  let build_sum =
+                    match Hashtbl.find_opt memo key with
+                    | Some v ->
+                        incr hits;
+                        v
+                    | None ->
+                        let acc = ref 0.0 in
+                        for w = 0 to words - 1 do
+                          let bits = ref added.(w) in
+                          let bit = ref (w * 63) in
+                          while !bits <> 0 do
+                            if !bits land 1 = 1 then acc := !acc +. build_cost.(!bit);
+                            bits := !bits lsr 1;
+                            incr bit
+                          done
+                        done;
+                        Hashtbl.replace memo key !acc;
+                        !acc
+                  in
+                  row.(j) <-
+                    build_sum
+                    +. (params.Cost_model.drop_cost *. float_of_int !removed)
+                end
               end
             done
           done;
-          !hits)
+          (!hits, !copied))
     in
-    List.iter (fun hits -> Obs.Counter.add m_trans_memoized hits) chunk_hits;
+    List.iter (fun (hits, _) -> Obs.Counter.add m_trans_memoized hits) chunk_tallies;
+    (match reuse with
+    | None -> ()
+    | Some r ->
+        let copied =
+          List.fold_left (fun acc (_, c) -> acc + c) 0 chunk_tallies
+        in
+        r.Reuse.t_trans_blocks_reused <- r.Reuse.t_trans_blocks_reused + copied;
+        Obs.Counter.add m_reopt_trans_reused copied);
     trans
   in
+  (* Hand the completed state to the session: the next build reuses this
+     one's cluster costs and TRANS entries as long as keys match and the
+     statistics fingerprints below still hold. *)
+  (match reuse with
+  | None -> ()
+  | Some r -> (
+      r.Reuse.t_builds <- r.Reuse.t_builds + 1;
+      match !pending_exec_summary with
+      | None -> ()
+      | Some (s_cluster_id_of, s_by_design) ->
+          (* cddpd-lint: allow poly-hash — Cost_key.design string keys *)
+          let s_id_of_design = Hashtbl.create (max 16 n_configs) in
+          Array.iteri
+            (fun c dk ->
+              match dk with
+              | Some dk -> Hashtbl.replace s_id_of_design dk c
+              | None -> ())
+            design_keys;
+          (* cddpd-lint: allow poly-hash — string table-name keys *)
+          let s_fingerprints = Hashtbl.create 8 in
+          (if Hashtbl.length fp_tbl > 0 then
+             Hashtbl.iter (fun t fp -> Hashtbl.replace s_fingerprints t fp) fp_tbl
+           else
+             Hashtbl.iter
+               (fun t stats ->
+                 Hashtbl.replace s_fingerprints t (Table_stats.fingerprint stats))
+               stats_tbl);
+          r.Reuse.summary <-
+            Some { s_cluster_id_of; s_by_design; s_id_of_design; s_trans = trans; s_fingerprints }));
   Cost_cache.publish_obs cache;
   make_t ~steps ~space ~initial:initial_id ~exec ~trans ~count_initial_change
 

@@ -30,6 +30,58 @@ type t = private {
       (** the memoized sequence graph; read it via {!to_graph} *)
 }
 
+(** {1 Incremental re-optimization state} *)
+
+module Reuse : sig
+  type t
+  (** Persistent state an advisor session threads through successive
+      {!build} calls: a shared {!Cddpd_engine.Cost_cache} (statement
+      entries and the structure build memo stay hot between
+      re-optimizations) plus the previous build's compressed cluster
+      table, per-design cluster costs, and TRANS matrix, all keyed by
+      {!Cddpd_engine.Cost_key} cost identities.  A build given a [Reuse.t]
+      copies every exec cluster cost whose (design, cluster) identity
+      already appeared in the previous build and every TRANS entry
+      between configuration pairs that both existed before, and only
+      calls the cost model for the delta.  Reuse never changes a result:
+      keys are exact cost identities and statistics changes are fenced by
+      per-table fingerprints ({!Cddpd_engine.Table_stats.fingerprint}),
+      so matrices are bit-identical to a from-scratch build.
+
+      A [Reuse.t] is only sound while the cost-model parameters behind
+      it are fixed (the same contract as {!Cddpd_engine.Cost_cache}) and
+      must not be shared across concurrent builds. *)
+
+  type tallies = {
+    builds : int;  (** builds threaded through this session state *)
+    exec_columns_reused : int;
+        (** filled EXEC columns served entirely from the previous build *)
+    clusters_recosted : int;
+        (** clusters with no match in the previous build's table *)
+    trans_blocks_reused : int;
+        (** TRANS entries copied verbatim from the previous matrix *)
+    stats_invalidations : int;
+        (** summaries dropped because a table's statistics fingerprint
+            changed (forces a full recost; the build memo is flushed) *)
+  }
+
+  val create : ?capacity:int -> unit -> t
+  (** Fresh session state with an empty cache ([capacity] as
+      {!Cddpd_engine.Cost_cache.create}). *)
+
+  val flush : t -> unit
+  (** Drop the previous-build summary and the structure build memo, as a
+      statistics invalidation would.  The next build recosts everything
+      (statement cache entries survive; their keys self-invalidate). *)
+
+  val tallies : t -> tallies
+  (** Cumulative reuse accounting — the plain-int mirror of the
+      [reopt.*] counters, readable with instrumentation off. *)
+
+  val cache_stats : t -> Cddpd_engine.Cost_cache.stats
+  (** The session cache's hit/miss/eviction/generation tallies. *)
+end
+
 val build :
   params:Cddpd_engine.Cost_model.params ->
   stats_of:(string -> Cddpd_engine.Table_stats.t) ->
@@ -40,6 +92,8 @@ val build :
   ?jobs:int ->
   ?cost_cache:bool ->
   ?compress_workload:bool ->
+  ?reuse:Reuse.t ->
+  ?statement_keys:string array ->
   unit ->
   t
 (** Compute the cost matrices from the what-if cost model.
@@ -64,12 +118,30 @@ val build :
     whose designs agree on their workload-relevant structures share one
     column fill ([problem.exec_columns_skipped]).
 
+    [reuse] threads the session state of {!Reuse} through the build:
+    exec cluster costs and TRANS entries already known from the previous
+    build are copied instead of recomputed (instrumented as
+    [reopt.exec_columns_reused], [reopt.clusters_recosted],
+    [reopt.trans_blocks_reused], [reopt.stats_invalidations]), and the
+    finished build replaces the session summary.  [reuse] implies
+    [compress_workload] and caches through the session's persistent
+    cache ([cost_cache] is ignored).
+
+    [statement_keys] hands the build precomputed
+    {!Cddpd_engine.Cost_key.statement} keys for the concatenated steps,
+    skipping the keying pass; the caller must guarantee they equal the
+    keys under the current statistics (serve checks per-window
+    statistics fingerprints before passing them).  Raises
+    [Invalid_argument] on a length mismatch.  Only consulted on the
+    compressed path.
+
     None of these knobs changes the result: matrices are bit-identical
-    across cache settings, domain counts, and compression (compression
-    re-expands cluster costs in the original statement order; column
-    sharing only merges columns the cost model provably computes
-    equal).  [stats_of] is called only from the calling domain.  See
-    docs/PERFORMANCE.md. *)
+    across cache settings, domain counts, compression, and reuse
+    (compression re-expands cluster costs in the original statement
+    order; column sharing only merges columns the cost model provably
+    computes equal; reuse only copies floats whose cost identity proves
+    them equal to a fresh computation).  [stats_of] is called only from
+    the calling domain.  See docs/PERFORMANCE.md. *)
 
 val of_matrices :
   steps:Cddpd_sql.Ast.statement array array ->

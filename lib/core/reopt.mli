@@ -1,0 +1,77 @@
+(** Incremental re-optimization sessions.
+
+    A [Reopt.t] is the state an online advisor (the serve loop) keeps
+    {e between} re-optimizations, so that consecutive drift events do not
+    pay from-scratch costing and cold-started search:
+
+    - a persistent {!Problem.Reuse} session: the shared
+      {!Cddpd_engine.Cost_cache} (statement entries and the structure
+      build memo stay warm across builds) plus the previous build's
+      compressed cluster table and TRANS matrix, which
+      {!Problem.build} consults to copy unchanged exec columns and
+      TRANS entries and recost only the delta;
+    - warm-started solving: {!solve} seeds the exact solvers'
+      branch-and-bound with the incumbent's hold-at-C0 what-if cost
+      (a feasible zero-change schedule, hence always a valid upper
+      bound), via {!Optimizer.solve}'s [upper_bound].
+
+    Everything is bit-identical to the from-scratch path: reuse only
+    copies floats whose {!Cddpd_engine.Cost_key} cost identity proves
+    them equal, statistics changes are fenced by per-table fingerprints,
+    and warm bounds never change what the exact solvers return — only
+    how fast.  Property-tested over random drift traces in
+    [test_serve.ml].
+
+    Sessions assume fixed cost-model parameters (same contract as
+    {!Cddpd_engine.Cost_cache}) and are not domain-safe: drive one
+    session from one domain (builds parallelise internally). *)
+
+type t
+
+type stats = {
+  reoptimizations : int;  (** problems built through this session *)
+  warm_start_bounds : int;  (** solves seeded with a hold-at-C0 bound *)
+  reuse : Problem.Reuse.tallies;
+      (** exec/TRANS reuse accounting (zeros when reuse is disabled) *)
+  cache : Cddpd_engine.Cost_cache.stats;
+      (** the persistent cache's hits/misses/evictions/generations
+          (zeros when reuse is disabled — builds then use per-build
+          caches) *)
+}
+
+val create : ?reuse:bool -> Cddpd_engine.Database.t -> t
+(** A fresh session over [db].  [reuse] (default [true]) enables the
+    persistent {!Problem.Reuse} state; with [reuse:false] every
+    {!build_problem} is a from-scratch build (the [--no-reopt-reuse]
+    escape hatch) and only warm-started solving remains. *)
+
+val reuse_enabled : t -> bool
+
+val build_problem :
+  ?statement_keys:string array -> t -> Advisor.request -> Problem.t
+(** {!Advisor.build_problem} threaded through the session's reuse state.
+    [statement_keys] as in {!Problem.build} — precomputed cost-identity
+    keys for the request's concatenated steps, valid only under the
+    current statistics (callers check fingerprints). *)
+
+val solve :
+  ?k:int ->
+  ?jobs:int ->
+  ?max_paths:int ->
+  ?max_queue:int ->
+  t ->
+  Problem.t ->
+  method_name:Solution.method_name ->
+  (Solution.t, Optimizer.error) result
+(** {!Optimizer.solve} with the branch-and-bound seeded by the
+    incumbent's hold-at-C0 cost of [problem] (always a valid bound: the
+    hold schedule makes zero changes).  Identical results to an unseeded
+    solve, measured by [reopt.warm_start_bound_used]. *)
+
+val flush : t -> unit
+(** Drop the reuse summary and build memo (see {!Problem.Reuse.flush});
+    the next build recosts from scratch.  No-op when reuse is off. *)
+
+val stats : t -> stats
+(** Session accounting, readable with instrumentation off — what
+    [cddpd serve --status] reports between re-optimizations. *)

@@ -5,8 +5,9 @@ module Obs = Cddpd_obs
 let m_hits = Obs.Registry.counter "cost_cache.hits"
 let m_misses = Obs.Registry.counter "cost_cache.misses"
 let m_evictions = Obs.Registry.counter "cost_cache.evictions"
+let m_generations = Obs.Registry.counter "cost_cache.generations"
 
-type stats = { hits : int; misses : int; evictions : int }
+type stats = { hits : int; misses : int; evictions : int; generations : int }
 
 type cache = {
   capacity : int;
@@ -16,10 +17,12 @@ type cache = {
   hits : int Atomic.t;
   misses : int Atomic.t;
   evictions : int Atomic.t;
+  generations : int Atomic.t;
   (* publish_obs watermarks *)
   mutable published_hits : int;
   mutable published_misses : int;
   mutable published_evictions : int;
+  mutable published_generations : int;
 }
 
 type t = Disabled | Enabled of cache
@@ -37,9 +40,11 @@ let create ?(capacity = default_capacity) () =
       hits = Atomic.make 0;
       misses = Atomic.make 0;
       evictions = Atomic.make 0;
+      generations = Atomic.make 0;
       published_hits = 0;
       published_misses = 0;
       published_evictions = 0;
+      published_generations = 0;
     }
 
 let disabled = Disabled
@@ -51,12 +56,13 @@ let create_local t =
 
 let stats t =
   match t with
-  | Disabled -> { hits = 0; misses = 0; evictions = 0 }
+  | Disabled -> { hits = 0; misses = 0; evictions = 0; generations = 0 }
   | Enabled c ->
       {
         hits = Atomic.get c.hits;
         misses = Atomic.get c.misses;
         evictions = Atomic.get c.evictions;
+        generations = Atomic.get c.generations;
       }
 
 let publish_obs t =
@@ -65,13 +71,16 @@ let publish_obs t =
   | Enabled c ->
       let hits = Atomic.get c.hits
       and misses = Atomic.get c.misses
-      and evictions = Atomic.get c.evictions in
+      and evictions = Atomic.get c.evictions
+      and generations = Atomic.get c.generations in
       Obs.Counter.add m_hits (hits - c.published_hits);
       Obs.Counter.add m_misses (misses - c.published_misses);
       Obs.Counter.add m_evictions (evictions - c.published_evictions);
+      Obs.Counter.add m_generations (generations - c.published_generations);
       c.published_hits <- hits;
       c.published_misses <- misses;
-      c.published_evictions <- evictions
+      c.published_evictions <- evictions;
+      c.published_generations <- generations
 
 (* -- default-enablement knob ------------------------------------------------ *)
 
@@ -88,6 +97,7 @@ let insert c key v =
   if Hashtbl.length c.current >= c.capacity then begin
     let discarded = Hashtbl.length c.previous in
     if discarded > 0 then ignore (Atomic.fetch_and_add c.evictions discarded);
+    Atomic.incr c.generations;
     c.previous <- c.current;
     c.current <- Hashtbl.create (min c.capacity 1024)
   end;
@@ -139,6 +149,9 @@ let structure_build_cost t params stats structure =
           Hashtbl.replace c.builds key v;
           v)
 
+let invalidate_builds t =
+  match t with Disabled -> () | Enabled c -> Hashtbl.reset c.builds
+
 let warm_structures t params ~stats_of structures =
   List.iter
     (fun structure ->
@@ -185,4 +198,5 @@ let merge ~into src =
         src.builds;
       ignore (Atomic.fetch_and_add dst.hits (Atomic.get src.hits));
       ignore (Atomic.fetch_and_add dst.misses (Atomic.get src.misses));
-      ignore (Atomic.fetch_and_add dst.evictions (Atomic.get src.evictions))
+      ignore (Atomic.fetch_and_add dst.evictions (Atomic.get src.evictions));
+      ignore (Atomic.fetch_and_add dst.generations (Atomic.get src.generations))

@@ -46,7 +46,10 @@
 
 type t
 
-type stats = { hits : int; misses : int; evictions : int }
+type stats = { hits : int; misses : int; evictions : int; generations : int }
+(** [generations] counts statement-store rotations: each one discarded a
+    full previous generation and started a new current one.  A cache that
+    never rotated has [generations = 0]. *)
 
 val create : ?capacity:int -> unit -> t
 (** A fresh, empty, enabled cache.  [capacity] (default [65536]) bounds
@@ -73,6 +76,14 @@ val stats : t -> stats
 val publish_obs : t -> unit
 (** Add this cache's tallies to the global [cost_cache.*] counters;
     repeated calls publish only the increment since the previous call. *)
+
+val invalidate_builds : t -> unit
+(** Drop every memoized structure build cost.  Structure build keys
+    ({!Cost_key.structure}) do {e not} embed table statistics, so a cache
+    that outlives a statistics change (data loads, DML) must be
+    explicitly invalidated before its build memo is trusted again —
+    statement entries self-invalidate (their keys embed a stats
+    fingerprint) and are left alone.  No-op on {!disabled}. *)
 
 (** {1 Default-enablement knob (the [--no-cost-cache] flag)} *)
 

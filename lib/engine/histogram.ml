@@ -44,6 +44,15 @@ let n_values t = t.total
 
 let n_distinct t = t.total_distinct
 
+let fingerprint t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "h:%d:%d" t.total t.total_distinct);
+  Array.iter
+    (fun b ->
+      Buffer.add_string buf (Printf.sprintf ";%d,%d,%d,%d" b.lo b.hi b.count b.distinct))
+    t.buckets;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let min_value t =
   if Array.length t.buckets = 0 then None else Some t.buckets.(0).lo
 

@@ -26,6 +26,11 @@ val selectivity_range : t -> lo:int option -> hi:int option -> float
 (** Estimated fraction of rows with lo <= column <= hi (either bound may be
     absent), in [\[0,1\]]. *)
 
+val fingerprint : t -> string
+(** Digest of the histogram's full contents (every bucket boundary,
+    count and distinct count).  Two histograms with equal fingerprints
+    produce identical selectivity estimates for every predicate. *)
+
 val min_value : t -> int option
 (** Smallest value, [None] for an empty histogram. *)
 

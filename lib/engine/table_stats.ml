@@ -17,6 +17,18 @@ let histogram t column = List.assoc_opt column t.histograms
 
 let n_histograms t = List.length t.histograms
 
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "ts:%d:%d" t.row_count t.page_count);
+  List.iter
+    (fun (column, h) ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf column;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (Histogram.fingerprint h))
+    t.histograms;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let default_selectivity = 0.1
 
 let int_value v = match v with Tuple.Int i -> Some i | Tuple.Text _ -> None

@@ -22,6 +22,15 @@ val histogram : t -> string -> Histogram.t option
 val n_histograms : t -> int
 (** Number of columns with histograms (the table's integer columns). *)
 
+val fingerprint : t -> string
+(** Digest of everything the cost model can read from these statistics:
+    row count, page count, and every histogram's full contents (via
+    {!Histogram.fingerprint}).  Equal fingerprints imply every
+    cost-model estimate over the two statistics snapshots is
+    bit-identical — the invalidation test for state (memoized build
+    costs, precomputed {!Cost_key} statement keys) that outlives a
+    statistics refresh. *)
+
 val default_selectivity : float
 (** Fallback selectivity (0.1) used when no histogram is available. *)
 

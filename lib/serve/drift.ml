@@ -1,22 +1,23 @@
 module Cost_key = Cddpd_engine.Cost_key
+module Compress = Cddpd_workload.Compress
 
 type profile = (string * float) list
 
-let profile ~stats statements =
-  let n = Array.length statements in
+let profile_of_clustering ~keys clustering =
+  let n = Array.length keys in
   if n = 0 then []
   else begin
-    (* cddpd-lint: allow poly-hash — string cost-identity keys *)
-    let counts = Hashtbl.create 64 in
-    Array.iter
-      (fun statement ->
-        let key = Cost_key.statement stats statement in
-        Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
-      statements;
     let total = float_of_int n in
-    Hashtbl.fold (fun key count acc -> (key, float_of_int count /. total) :: acc) counts []
+    let reps = clustering.Compress.representatives in
+    let counts = clustering.Compress.counts in
+    List.init (Array.length reps) (fun id ->
+        (keys.(reps.(id)), float_of_int counts.(id) /. total))
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   end
+
+let profile ~stats statements =
+  let keys = Array.map (fun s -> Cost_key.statement stats s) statements in
+  profile_of_clustering ~keys (Compress.cluster_keys keys)
 
 let distance a b =
   let rec go a b acc =

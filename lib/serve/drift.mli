@@ -23,7 +23,18 @@ val profile :
   stats:Cddpd_engine.Table_stats.t -> Cddpd_sql.Ast.statement array -> profile
 (** Histogram one window of statements under the given table statistics
     (the statistics feed the selectivity component of the key, so a data
-    shift that changes selectivities also registers as drift). *)
+    shift that changes selectivities also registers as drift).
+    Implemented as one {!Cddpd_workload.Compress} clustering pass over
+    the window's keys — the same pass serve ingest shares with problem
+    building via {!profile_of_clustering}. *)
+
+val profile_of_clustering :
+  keys:string array -> Cddpd_workload.Compress.t -> profile
+(** The profile of a window whose cost-identity keys and clustering the
+    caller already computed ([Compress.cluster_keys keys]).  Equal to
+    [profile] on the same window: serve computes each window's keys once
+    and feeds both drift detection and the incremental problem build
+    from that single cost-identity pass. *)
 
 val distance : profile -> profile -> float
 (** L1 distance between two profiles, in [\[0, 2\]]. *)

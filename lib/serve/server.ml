@@ -9,6 +9,10 @@ module Advisor = Cddpd_core.Advisor
 module Solution = Cddpd_core.Solution
 module Optimizer = Cddpd_core.Optimizer
 module Online_tuner = Cddpd_core.Online_tuner
+module Reopt = Cddpd_core.Reopt
+module Table_stats = Cddpd_engine.Table_stats
+module Compress = Cddpd_workload.Compress
+module Cost_key = Cddpd_engine.Cost_key
 module Timer = Cddpd_util.Timer
 module Obs = Cddpd_obs
 
@@ -22,6 +26,12 @@ let m_rollbacks = Obs.Registry.counter "serve.rollbacks"
 let m_window_io = Obs.Registry.histogram "serve.window_io"
 let m_regret = Obs.Registry.histogram "serve.regret"
 let m_reopt_s = Obs.Registry.histogram "serve.reopt_s"
+
+(* The engine's what-if call counter (get-or-create returns the same
+   counter Cost_model registered), snapshotted around each
+   re-optimization so every window report carries its what-if bill.
+   Deltas are zero when instrumentation is off. *)
+let m_cost_model_calls = Obs.Registry.counter "cost_model.calls"
 
 type regime = Static | Reactive | Continuous
 
@@ -52,6 +62,7 @@ type config = {
   max_structures_per_config : int option;
   space_bound_bytes : int option;
   jobs : int option;
+  reopt_reuse : bool;
 }
 
 let default_config ~table =
@@ -70,6 +81,7 @@ let default_config ~table =
     max_structures_per_config = Some 1;
     space_bound_bytes = None;
     jobs = None;
+    reopt_reuse = true;
   }
 
 type action =
@@ -97,6 +109,7 @@ type window_report = {
   drifted : bool;
   action : action;
   reopt_s : float;
+  reopt_whatif_calls : int;
 }
 
 type report = {
@@ -112,19 +125,34 @@ type report = {
   exec_logical_io : int;
   trans_logical_io : int;
   final_design : Design.t;
+  reopt : Reopt.stats;
 }
 
 type probation = { prev_design : Design.t }
 
+(* One closed window in the sliding history: the statements plus the
+   cost-identity pass serve already paid for drift detection — the keys,
+   whether every statement is on the served table (the keys are computed
+   under that table's statistics), and the statistics fingerprint they
+   were computed under.  Re-optimization reuses the keys only while the
+   fingerprint still matches the live statistics. *)
+type history_window = {
+  h_statements : Ast.statement array;
+  h_keys : string array;
+  h_uniform : bool;
+  h_fingerprint : string;
+}
+
 type t = {
   db : Database.t;
   cfg : config;
+  reopt : Reopt.t;
   on_window : window_report -> unit;
   buf : Ast.statement array;
   mutable fill : int;
   mutable window_index : int;
   mutable window_io : int;  (* measured exec I/O of the open window *)
-  mutable history_windows : Ast.statement array list;  (* newest first *)
+  mutable history_windows : history_window list;  (* newest first *)
   mutable prev_profile : Drift.profile option;
   mutable probation : probation option;
   mutable reports : window_report list;  (* newest first *)
@@ -148,6 +176,7 @@ let create ?(on_window = fun _ -> ()) db cfg =
   {
     db;
     cfg;
+    reopt = Reopt.create ~reuse:cfg.reopt_reuse db;
     on_window;
     buf = Array.make cfg.window (Ast.Select { projection = Ast.Star; table = cfg.table; where = [] });
     fill = 0;
@@ -168,6 +197,17 @@ let create ?(on_window = fun _ -> ()) db cfg =
   }
 
 let config t = t.cfg
+
+let reopt_stats t = Reopt.stats t.reopt
+
+let statement_table statement =
+  match statement with
+  | Ast.Select { table; _ }
+  | Ast.Select_agg { table; _ }
+  | Ast.Insert { table; _ }
+  | Ast.Delete { table; _ }
+  | Ast.Update { table; _ } ->
+      table
 
 (* The candidate structures of a re-optimization: derived from the recent
    statements, plus whatever the incumbent design already materialises —
@@ -192,7 +232,7 @@ let max_structures t =
   let incumbent = Design.cardinality (Database.current_design t.db) in
   Option.map (fun m -> max m incumbent) t.cfg.max_structures_per_config
 
-let build_problem t steps =
+let build_problem ?statement_keys t steps =
   let request =
     {
       (Advisor.default_request ~steps ~table:t.cfg.table) with
@@ -204,7 +244,7 @@ let build_problem t steps =
       jobs = t.cfg.jobs;
     }
   in
-  Advisor.build_problem t.db request
+  Reopt.build_problem ?statement_keys t.reopt request
 
 let migrate_measured t target =
   let logical_before, _ = Database.io_counters t.db in
@@ -241,13 +281,26 @@ let check_probation t ~stats ~window ~measured_io =
 
 (* One constrained re-optimization over the recent windows, seeded with
    the incumbent design as C0, guarded before deployment. *)
-let reoptimize_continuous t =
-  let steps = Array.of_list (List.rev t.history_windows) in
-  let problem = build_problem t steps in
+let reoptimize_continuous t ~fingerprint =
+  let history = List.rev t.history_windows in
+  let steps = Array.of_list (List.map (fun h -> h.h_statements) history) in
+  (* The per-window cost-identity keys double as the build's statement
+     keys, but only while they are provably current: every statement on
+     the served table (whose statistics keyed them) and every window
+     keyed under statistics that still fingerprint the same. *)
+  let statement_keys =
+    if
+      List.for_all
+        (fun h -> h.h_uniform && String.equal h.h_fingerprint fingerprint)
+        history
+    then Some (Array.concat (List.map (fun h -> h.h_keys) history))
+    else None
+  in
+  let problem = build_problem ?statement_keys t steps in
   let incumbent = Database.current_design t.db in
   match
-    Optimizer.solve problem ~method_name:t.cfg.method_name ~k:t.cfg.k
-      ?jobs:t.cfg.jobs ()
+    Reopt.solve t.reopt problem ~method_name:t.cfg.method_name ~k:t.cfg.k
+      ?jobs:t.cfg.jobs
   with
   | Error (Optimizer.Infeasible | Optimizer.Ranking_gave_up _) -> Held None
   | Ok solution -> (
@@ -275,7 +328,8 @@ let reoptimize_continuous t =
 (* The reactive baseline: the Online_tuner policy applied at window
    granularity — no constraint, no guard, no probation. *)
 let reoptimize_reactive t window =
-  let problem = build_problem t [| window |] in
+  let statement_keys = if window.h_uniform then Some window.h_keys else None in
+  let problem = build_problem ?statement_keys t [| window.h_statements |] in
   let initial = problem.Problem.initial in
   let params =
     { Online_tuner.default_params with Online_tuner.horizon = t.cfg.horizon }
@@ -302,7 +356,20 @@ let close_window t window =
   let served_design = Database.current_design t.db in
   let measured_io = t.window_io in
   let stats = Database.table_stats t.db t.cfg.table in
-  let profile = Drift.profile ~stats window in
+  (* One cost-identity pass per window: the keys feed drift detection
+     here and, fingerprint permitting, the incremental problem build. *)
+  let keys = Array.map (fun s -> Cost_key.statement stats s) window in
+  let profile = Drift.profile_of_clustering ~keys (Compress.cluster_keys keys) in
+  let fingerprint = Table_stats.fingerprint stats in
+  let closed =
+    {
+      h_statements = window;
+      h_keys = keys;
+      h_uniform =
+        Array.for_all (fun s -> String.equal (statement_table s) t.cfg.table) window;
+      h_fingerprint = fingerprint;
+    }
+  in
   let drift = Option.map (fun prev -> Drift.distance prev profile) t.prev_profile in
   let drifted =
     match drift with Some d -> d > t.cfg.drift_threshold | None -> false
@@ -311,39 +378,33 @@ let close_window t window =
     t.drift_events <- t.drift_events + 1;
     Obs.Counter.incr m_drift_events
   end;
-  t.history_windows <- window :: t.history_windows;
+  t.history_windows <- closed :: t.history_windows;
   (if List.length t.history_windows > t.cfg.history then
      t.history_windows <-
        List.filteri (fun i _ -> i < t.cfg.history) t.history_windows);
-  let action, reopt_s =
+  let whatif_before = ref 0 in
+  let reoptimize label f =
+    t.reoptimizations <- t.reoptimizations + 1;
+    Obs.Counter.incr m_reoptimizations;
+    whatif_before := Obs.Counter.value m_cost_model_calls;
+    let action, elapsed =
+      Timer.time (fun () -> Obs.Span.with_span label (fun () -> f ()))
+    in
+    Obs.Histogram.observe m_reopt_s elapsed;
+    (action, elapsed, Obs.Counter.value m_cost_model_calls - !whatif_before)
+  in
+  let action, reopt_s, reopt_whatif_calls =
     match check_probation t ~stats ~window ~measured_io with
-    | Some rolled_back -> (rolled_back, 0.0)
+    | Some rolled_back -> (rolled_back, 0.0, 0)
     | None -> (
         match t.cfg.regime with
-        | Static -> (No_action, 0.0)
-        | Reactive ->
-            t.reoptimizations <- t.reoptimizations + 1;
-            Obs.Counter.incr m_reoptimizations;
-            let action, elapsed =
-              Timer.time (fun () ->
-                  Obs.Span.with_span "serve.reoptimize" (fun () ->
-                      reoptimize_reactive t window))
-            in
-            Obs.Histogram.observe m_reopt_s elapsed;
-            (action, elapsed)
+        | Static -> (No_action, 0.0, 0)
+        | Reactive -> reoptimize "serve.reoptimize" (fun () -> reoptimize_reactive t closed)
         | Continuous ->
-            if index = 0 || drifted then begin
-              t.reoptimizations <- t.reoptimizations + 1;
-              Obs.Counter.incr m_reoptimizations;
-              let action, elapsed =
-                Timer.time (fun () ->
-                    Obs.Span.with_span "serve.reoptimize" (fun () ->
-                        reoptimize_continuous t))
-              in
-              Obs.Histogram.observe m_reopt_s elapsed;
-              (action, elapsed)
-            end
-            else (No_action, 0.0))
+            if index = 0 || drifted then
+              reoptimize "serve.reoptimize" (fun () ->
+                  reoptimize_continuous t ~fingerprint)
+            else (No_action, 0.0, 0))
   in
   t.prev_profile <- Some profile;
   t.window_index <- index + 1;
@@ -360,6 +421,7 @@ let close_window t window =
       drifted;
       action;
       reopt_s;
+      reopt_whatif_calls;
     }
   in
   t.reports <- report :: t.reports;
@@ -395,6 +457,7 @@ let finish t =
     exec_logical_io = t.exec_io;
     trans_logical_io = t.trans_io;
     final_design = Database.current_design t.db;
+    reopt = Reopt.stats t.reopt;
   }
 
 let run ?on_window db cfg trace =

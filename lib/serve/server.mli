@@ -63,6 +63,11 @@ type config = {
   max_structures_per_config : int option;  (** default [Some 1] *)
   space_bound_bytes : int option;  (** Definition 1's b, if any *)
   jobs : int option;  (** domains for {!Cddpd_core.Problem.build} *)
+  reopt_reuse : bool;
+      (** thread a persistent {!Cddpd_core.Reopt} session through
+          re-optimizations (default [true]); [false] is the
+          [--no-reopt-reuse] escape hatch — every re-optimization builds
+          from scratch, with bit-identical results *)
 }
 
 val default_config : table:string -> config
@@ -99,6 +104,10 @@ type window_report = {
   drifted : bool;
   action : action;
   reopt_s : float;  (** wall seconds spent re-optimizing (0 when none ran) *)
+  reopt_whatif_calls : int;
+      (** what-if cost-model calls ([cost_model.calls]) this window's
+          re-optimization made — build, solve and guard together; 0 when
+          none ran or when instrumentation is off *)
 }
 
 type report = {
@@ -114,6 +123,10 @@ type report = {
   exec_logical_io : int;  (** total measured execution I/O, residual included *)
   trans_logical_io : int;  (** total migration I/O (deployments + rollbacks) *)
   final_design : Cddpd_catalog.Design.t;
+  reopt : Cddpd_core.Reopt.stats;
+      (** the re-optimization session's accounting: builds, reuse tallies,
+          warm-start bounds, and the persistent cost cache's
+          hits/misses/evictions/generations *)
 }
 
 type t
@@ -126,6 +139,11 @@ val create :
     [window], [history] or [horizon], or an unknown [table]. *)
 
 val config : t -> config
+
+val reopt_stats : t -> Cddpd_core.Reopt.stats
+(** Live re-optimization session accounting (also included in
+    {!finish}'s report) — cache generations and evictions between
+    re-optimizations, reuse tallies, warm-start bounds. *)
 
 val feed : t -> Cddpd_sql.Ast.statement -> window_report option
 (** Execute one arriving statement and buffer it; when it completes a

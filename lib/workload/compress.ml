@@ -29,3 +29,5 @@ let cluster ~key items =
   let counts = Array.make !next 0 in
   Array.iter (fun id -> counts.(id) <- counts.(id) + 1) cluster_of;
   { cluster_of; representatives; counts }
+
+let cluster_keys keys = cluster ~key:Fun.id keys

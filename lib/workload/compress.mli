@@ -25,4 +25,11 @@ val cluster : key:('a -> string) -> 'a array -> t
 (** [cluster ~key items] partitions [items] by [key].  [key] is called
     exactly once per item, in index order. *)
 
+val cluster_keys : string array -> t
+(** [cluster_keys keys] partitions by the precomputed key array itself:
+    [cluster_keys (Array.map key items) = cluster ~key items].  For
+    callers that already paid the keying pass (serve ingest computes
+    each window's cost-identity keys once and shares them between drift
+    detection and problem building). *)
+
 val n_clusters : t -> int

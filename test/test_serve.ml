@@ -307,6 +307,249 @@ let test_serve_validates_config () =
     (Invalid_argument "Server.create: unknown table missing") (fun () ->
       ignore (Server.create db { (serve_config ()) with Server.table = "missing" }))
 
+(* -- Reopt: incremental re-optimization ------------------------------------ *)
+
+module Advisor = Cddpd_core.Advisor
+module Optimizer = Cddpd_core.Optimizer
+module Solution = Cddpd_core.Solution
+module Reopt = Cddpd_core.Reopt
+module Cost_key = Cddpd_engine.Cost_key
+module Compress = Cddpd_workload.Compress
+
+(* Fixed per-column statement pools (the prepared-statement shape): two
+   windows of the same phase carry the same cost-identity key set, so the
+   reuse path has real matches to find — while any two different phases
+   share nothing. *)
+let pool_size = 10
+
+let pooled_phase =
+  let pool column =
+    Array.init pool_size (fun i ->
+        Parser.parse_exn
+          (Printf.sprintf "SELECT * FROM t WHERE %s = %d" column
+             (1 + ((i * 41) mod value_range))))
+  in
+  let pools = List.map (fun c -> (c, pool c)) [ "a"; "b"; "c"; "d" ] in
+  fun column n ->
+    let pool = List.assoc column pools in
+    Array.init n (fun i -> pool.(i mod pool_size))
+
+(* The serve loop's request shape: compressed build, sequential (the
+   reuse path is bit-identical at any jobs count; test_serve's server
+   section already sweeps jobs). *)
+let reopt_request steps =
+  {
+    (Advisor.default_request ~steps ~table:"t") with
+    Advisor.compress_workload = true;
+    jobs = Some 1;
+  }
+
+let float_bits_equal x y =
+  Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let matrix_bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun r1 r2 ->
+         Array.length r1 = Array.length r2
+         && Array.for_all2 float_bits_equal r1 r2)
+       a b
+
+let all_methods =
+  [ Solution.Unconstrained; Solution.Kaware; Solution.Greedy_seq;
+    Solution.Merging; Solution.Ranking; Solution.Hybrid ]
+
+let all_ks = [ None; Some 1; Some 2; Some 3 ]
+
+(* Hex-printed cost plus the path: equal signatures iff the solver
+   behaved bit-identically (same budgets on both arms, so Ranking
+   give-ups are deterministic too). *)
+let signature_of = function
+  | Ok s ->
+      Printf.sprintf "ok %h %d [%s]" s.Solution.cost s.Solution.changes
+        (String.concat ";"
+           (Array.to_list (Array.map string_of_int s.Solution.path)))
+  | Error Optimizer.Infeasible -> "infeasible"
+  | Error (Optimizer.Ranking_gave_up _) -> "gave up"
+
+let cold_signature problem method_name k =
+  match
+    Optimizer.solve problem ~method_name ?k ~max_paths:20_000 ~max_queue:65_536
+      ()
+  with
+  | r -> signature_of r
+  | exception Invalid_argument _ -> "k required"
+
+let warm_signature session problem method_name k =
+  match
+    Reopt.solve session problem ~method_name ?k ~max_paths:20_000
+      ~max_queue:65_536
+  with
+  | r -> signature_of r
+  | exception Invalid_argument _ -> "k required"
+
+(* One shared database for the property: traces vary per iteration, the
+   statistics do not (the stale-stats test below uses its own). *)
+let reopt_db = lazy (make_db ())
+
+let random_phase_trace =
+  let gen =
+    QCheck.Gen.(
+      int_range 3 6 >>= fun n ->
+      list_repeat n (oneofl [ "a"; "b"; "c"; "d" ]))
+  in
+  QCheck.make ~print:(String.concat "") gen
+
+(* The tentpole's contract, end to end: stream a random drift trace
+   through one Reopt session the way the serve loop does (problem over
+   the last <= 3 windows at every step, statement keys precomputed on
+   alternate steps), and at every step the incremental problem must be
+   bit-identical to a from-scratch build and every solver must return a
+   bit-identical solution, warm-started or not. *)
+let reopt_bit_identity_prop =
+  QCheck.Test.make
+    ~name:"incremental reopt = from-scratch over drift traces (all solvers)"
+    ~count:6 random_phase_trace (fun phases ->
+      let db = Lazy.force reopt_db in
+      let stats = Database.table_stats db "t" in
+      let session = Reopt.create db in
+      let history = ref [] in
+      List.for_all
+        (fun (step, column) ->
+          history := pooled_phase column 30 :: !history;
+          let recent = List.filteri (fun i _ -> i < 3) !history in
+          let steps = Array.of_list (List.rev recent) in
+          let request = reopt_request steps in
+          let statement_keys =
+            if step mod 2 = 0 then
+              Some
+                (Array.map
+                   (fun s -> Cost_key.statement stats s)
+                   (Array.concat (Array.to_list steps)))
+            else None
+          in
+          let incr = Reopt.build_problem ?statement_keys session request in
+          let fresh = Advisor.build_problem db request in
+          matrix_bits_equal incr.Problem.exec fresh.Problem.exec
+          && matrix_bits_equal incr.Problem.trans fresh.Problem.trans
+          && List.for_all
+               (fun method_name ->
+                 List.for_all
+                   (fun k ->
+                     String.equal
+                       (warm_signature session incr method_name k)
+                       (cold_signature fresh method_name k))
+                   all_ks)
+               all_methods)
+        (List.mapi (fun i c -> (i, c)) phases))
+
+let reuse_tallies session = (Reopt.stats session).Reopt.reuse
+
+type reuse_delta = {
+  d_exec_reused : int;
+  d_recosted : int;
+  d_trans_reused : int;
+  d_invalidations : int;
+}
+
+(* Build through [session], cross-check bit-identity against a
+   from-scratch build, and hand the caller the reuse-tally deltas. *)
+let checked_build name session db request =
+  let before = reuse_tallies session in
+  let incr = Reopt.build_problem session request in
+  let fresh = Advisor.build_problem db request in
+  Alcotest.(check bool)
+    (name ^ ": exec bit-identical") true
+    (matrix_bits_equal incr.Problem.exec fresh.Problem.exec);
+  Alcotest.(check bool)
+    (name ^ ": trans bit-identical") true
+    (matrix_bits_equal incr.Problem.trans fresh.Problem.trans);
+  let after = reuse_tallies session in
+  {
+    d_exec_reused =
+      after.Problem.Reuse.exec_columns_reused
+      - before.Problem.Reuse.exec_columns_reused;
+    d_recosted =
+      after.Problem.Reuse.clusters_recosted
+      - before.Problem.Reuse.clusters_recosted;
+    d_trans_reused =
+      after.Problem.Reuse.trans_blocks_reused
+      - before.Problem.Reuse.trans_blocks_reused;
+    d_invalidations =
+      after.Problem.Reuse.stats_invalidations
+      - before.Problem.Reuse.stats_invalidations;
+  }
+
+let cluster_count db stmts =
+  let stats = Database.table_stats db "t" in
+  let keys = Array.map (fun s -> Cost_key.statement stats s) stmts in
+  Array.length (Compress.cluster_keys keys).Compress.representatives
+
+(* Candidate/cluster-set diffing across consecutive builds: stable
+   workload copies everything, added phases recost exactly the new
+   clusters, dropped phases recost nothing (every surviving cluster was
+   already priced). *)
+let test_reopt_diff_stable_add_drop () =
+  let db = make_db () in
+  let session = Reopt.create db in
+  let wa = pooled_phase "a" 40 and wb = pooled_phase "b" 40 in
+  let ca = cluster_count db wa in
+  let cab = cluster_count db (Array.append wa wb) in
+  let d = checked_build "first build" session db (reopt_request [| wa |]) in
+  Alcotest.(check int) "first build recosts every cluster" ca d.d_recosted;
+  Alcotest.(check int) "nothing to reuse yet" 0 d.d_exec_reused;
+  let d = checked_build "stable rebuild" session db (reopt_request [| wa |]) in
+  Alcotest.(check int) "stable rebuild recosts nothing" 0 d.d_recosted;
+  Alcotest.(check bool) "exec columns copied" true (d.d_exec_reused > 0);
+  Alcotest.(check bool) "trans entries copied" true (d.d_trans_reused > 0);
+  let d =
+    checked_build "added phase" session db (reopt_request [| wa; wb |])
+  in
+  Alcotest.(check int) "only the new clusters recosted" (cab - ca) d.d_recosted;
+  Alcotest.(check int)
+    "no whole column survives a cluster-set change" 0 d.d_exec_reused;
+  let d = checked_build "dropped phase" session db (reopt_request [| wb |]) in
+  Alcotest.(check int) "dropped phase recosts nothing" 0 d.d_recosted;
+  Alcotest.(check bool)
+    "surviving columns copied" true (d.d_exec_reused > 0)
+
+(* A statistics change must fence off every piece of carried state: the
+   summary is dropped (one invalidation), nothing is copied, and the
+   rebuild matches a from-scratch build over the new statistics. *)
+let test_reopt_stale_stats_invalidation () =
+  let db = make_db () in
+  let session = Reopt.create db in
+  let wa = pooled_phase "a" 40 in
+  let request = reopt_request [| wa |] in
+  ignore (Reopt.build_problem session request);
+  ignore (Database.execute_sql db "UPDATE t SET a = 1 WHERE a = 2");
+  Database.analyze db;
+  let d = checked_build "post-analyze build" session db request in
+  Alcotest.(check int) "summary invalidated once" 1 d.d_invalidations;
+  Alcotest.(check int)
+    "no exec column crosses a stats change" 0 d.d_exec_reused;
+  Alcotest.(check bool) "full recost" true (d.d_recosted > 0)
+
+(* End to end through the server: a whole serve run with the persistent
+   session must be indistinguishable from one that rebuilds from scratch
+   at every re-optimization — while actually reusing state. *)
+let test_serve_reuse_bit_identical () =
+  let window = 50 in
+  let trace = drifting_trace ~window in
+  let run reuse =
+    Server.run (make_db ())
+      { (serve_config ~window ()) with Server.reopt_reuse = reuse }
+      trace
+  in
+  let with_reuse = run true and from_scratch = run false in
+  Alcotest.(check string)
+    "reuse on = reuse off" (report_fingerprint from_scratch)
+    (report_fingerprint with_reuse);
+  Alcotest.(check bool) "the session actually reused state" true
+    (with_reuse.Server.reopt.Reopt.reuse.Problem.Reuse.trans_blocks_reused > 0);
+  Alcotest.(check int) "from-scratch arm carries no reuse state" 0
+    from_scratch.Server.reopt.Reopt.reuse.Problem.Reuse.builds
+
 let () =
   Alcotest.run "serve"
     [
@@ -342,5 +585,15 @@ let () =
           Alcotest.test_case "non-positive threshold" `Quick
             test_serve_reopt_every_window_when_threshold_nonpositive;
           Alcotest.test_case "config validation" `Quick test_serve_validates_config;
+        ] );
+      ( "reopt",
+        [
+          QCheck_alcotest.to_alcotest reopt_bit_identity_prop;
+          Alcotest.test_case "diffing: stable, add, drop" `Quick
+            test_reopt_diff_stable_add_drop;
+          Alcotest.test_case "stale-stats invalidation" `Quick
+            test_reopt_stale_stats_invalidation;
+          Alcotest.test_case "serve run bit-identical under reuse" `Quick
+            test_serve_reuse_bit_identical;
         ] );
     ]
