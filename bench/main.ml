@@ -311,7 +311,7 @@ let time_problem_build (session : Session.t) =
         ignore (Setup.build_problem session.Session.db ~steps:session.Session.steps_w1);
         Unix.gettimeofday () -. t0)
   in
-  Array.sort compare times;
+  Array.sort Float.compare times;
   times.(problem_build_runs / 2)
 
 let json_escape s =
@@ -439,7 +439,7 @@ type solvers_entry = {
 
 let median_of times =
   let times = Array.copy times in
-  Array.sort compare times;
+  Array.sort Float.compare times;
   times.(Array.length times / 2)
 
 let time_runs f =

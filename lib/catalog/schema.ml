@@ -7,7 +7,9 @@ type column = { name : string; ty : col_type }
 type table = { name : string; columns : column list }
 
 let table name columns =
-  if columns = [] then invalid_arg "Schema.table: no columns";
+  (match columns with
+  | [] -> invalid_arg "Schema.table: no columns"
+  | _ :: _ -> ());
   let names = List.map fst columns in
   let sorted = List.sort_uniq String.compare names in
   if List.length sorted <> List.length names then

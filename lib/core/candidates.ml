@@ -33,12 +33,12 @@ let tally table bump statement =
   | Ast.Update { table = statement_table; where; _ } -> consider statement_table where
 
 let column_frequencies table statements =
-  (* cddpd-lint: allow poly-hash — string column-name keys *)
   let counts = Hashtbl.create 8 in
   let bump column =
     Hashtbl.replace counts column (1 + Option.value ~default:0 (Hashtbl.find_opt counts column))
   in
   Array.iter (tally table bump) statements;
+  (* cddpd-lint: allow determinism — fold builds an unordered tally; the result is sorted on the next line *)
   Hashtbl.fold (fun column count acc -> (column, count) :: acc) counts []
   |> List.sort (fun (c1, n1) (c2, n2) ->
          let c = Int.compare n2 n1 in
@@ -78,7 +78,6 @@ let from_statements table ?(composite_pairs = 0) statements =
   dedup [] [] all
 
 let view_candidates table statements =
-  (* cddpd-lint: allow poly-hash — string group-by column keys *)
   let seen = Hashtbl.create 4 in
   Array.iter
     (fun statement ->
@@ -90,6 +89,7 @@ let view_candidates table statements =
       | Ast.Select_agg _ | Ast.Select _ | Ast.Insert _ | Ast.Delete _ | Ast.Update _ ->
           ())
     statements;
+  (* cddpd-lint: allow determinism — fold collects keys that are sorted by String.compare below *)
   Hashtbl.fold (fun group_by () acc -> group_by :: acc) seen []
   |> List.sort String.compare
   |> List.map (fun group_by -> View_def.make ~table:table.Schema.name ~group_by)
@@ -178,7 +178,6 @@ let generate table ?(max_width = 3) ?max_candidates statements =
   Obs.Span.with_span "candidates.generate" @@ fun () ->
   (* Tally every per-statement column list; [order] keeps first-occurrence
      order so the result never depends on hash-table iteration. *)
-  (* cddpd-lint: allow poly-hash — string column-list keys *)
   let freq = Hashtbl.create 64 in
   let order = ref [] in
   let add_list weight columns =

@@ -22,7 +22,9 @@ let dedup designs =
   go Design_set.empty [] designs
 
 let of_designs designs =
-  if designs = [] then invalid_arg "Config_space.of_designs: empty";
+  (match designs with
+  | [] -> invalid_arg "Config_space.of_designs: empty"
+  | _ :: _ -> ());
   { designs = Array.of_list (dedup designs) }
 
 let single_structure candidates =

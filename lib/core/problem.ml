@@ -78,7 +78,6 @@ type table_relevance = {
 }
 
 let relevance_summary steps =
-  (* cddpd-lint: allow poly-hash — string table-name keys *)
   let tables = Hashtbl.create 8 in
   let info table =
     match Hashtbl.find_opt tables table with
@@ -220,7 +219,7 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
   let designs = Array.init n_configs (Config_space.design space) in
   (* Reuse implies the compressed path (the summary is a cluster-cost
      table) and always caches through the session's persistent cache. *)
-  let compress_workload = compress_workload || reuse <> None in
+  let compress_workload = compress_workload || Option.is_some reuse in
   let cache =
     match reuse with
     | Some r -> r.Reuse.cache
@@ -235,7 +234,6 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
      computes stats lazily (mutating the database) and must not be called
      from worker domains.  Every table the build can touch is resolved
      here; the workers then read the snapshot. *)
-  (* cddpd-lint: allow poly-hash — string table-name keys *)
   let stats_tbl = Hashtbl.create 8 in
   let resolve table =
     if not (Hashtbl.mem stats_tbl table) then Hashtbl.replace stats_tbl table (stats_of table)
@@ -250,11 +248,11 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
      every table it was computed under still fingerprints the same.  Any
      mismatch drops the whole summary and the build memo — statement
      cache entries self-invalidate through their keys and are kept. *)
-  (* cddpd-lint: allow poly-hash — string table-name keys *)
   let fp_tbl = Hashtbl.create 8 in
   (match reuse with
   | None -> ()
   | Some r -> (
+      (* cddpd-lint: allow determinism — keyed replace into a per-table map; each key is visited once *)
       Hashtbl.iter
         (fun table stats -> Hashtbl.replace fp_tbl table (Table_stats.fingerprint stats))
         stats_tbl;
@@ -262,6 +260,7 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
       | None -> ()
       | Some s ->
           let stale = ref false in
+          (* cddpd-lint: allow determinism — order-insensitive staleness check: any mismatch sets the flag *)
           Hashtbl.iter
             (fun table fp ->
               match Hashtbl.find_opt s.s_fingerprints table with
@@ -298,6 +297,7 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
   let locals =
     Obs.Span.with_span "problem.build.exec" @@ fun () ->
     if not compress_workload then
+      (* cddpd-lint: allow domain-race — workers derive read-only domain-local caches via Cost_cache.create_local and merge after the join; obs counter and Switch writes are gated to the main domain by Switch.active *)
       Parallel.map_chunks ~jobs:exec_jobs ~n:n_configs (fun ~lo ~hi ->
           let local = Cost_cache.create_local cache in
           for c = lo to hi - 1 do
@@ -359,7 +359,6 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
          the first of each class is filled and the rest copy it. *)
       let relevance = relevance_summary steps in
       let relevant_key =
-        (* cddpd-lint: allow poly-hash — Cost_key.structure string keys *)
         let memo = Hashtbl.create 32 in
         fun structure ->
           let key = Cost_key.structure structure in
@@ -372,7 +371,6 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
       in
       let column_src = Array.make n_configs 0 in
       let fill_configs =
-        (* cddpd-lint: allow poly-hash — Cost_key.design string keys *)
         let first_by_fingerprint = Hashtbl.create 64 in
         let out = ref [] in
         for c = 0 to n_configs - 1 do
@@ -443,6 +441,7 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
             Obs.Counter.add m_reopt_exec_reused !reused_columns
           end);
       let results =
+        (* cddpd-lint: allow domain-race — same discipline as the EXEC build above: create_local per worker, merge after the join, obs writes main-domain gated by Switch.active *)
         Parallel.map_chunks ~jobs:exec_jobs ~n:n_fill (fun ~lo ~hi ->
             let local = Cost_cache.create_local cache in
             let collected = ref [] in
@@ -480,7 +479,7 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
                 done;
                 exec.(s).(c) <- !acc
               done;
-              if reuse <> None then collected := (c, cluster_cost) :: !collected
+              if Option.is_some reuse then collected := (c, cluster_cost) :: !collected
             done;
             (local, !collected))
       in
@@ -500,10 +499,8 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
       (match reuse with
       | None -> ()
       | Some _ ->
-          (* cddpd-lint: allow poly-hash — Cost_key string keys *)
           let s_cluster_id_of = Hashtbl.create (max 16 n_clusters) in
           Array.iteri (fun id k -> Hashtbl.replace s_cluster_id_of k id) cluster_keys;
-          (* cddpd-lint: allow poly-hash — Cost_key.design string keys *)
           let s_by_design = Hashtbl.create (max 16 n_configs) in
           List.iter
             (fun (c, costs) ->
@@ -537,7 +534,6 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
   let trans =
     Obs.Span.with_span "problem.build.trans" @@ fun () ->
     let universe =
-      (* cddpd-lint: allow poly-hash — Cost_key.structure string keys *)
       let seen = Hashtbl.create 32 in
       Array.iter
         (fun design ->
@@ -547,11 +543,11 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
               if not (Hashtbl.mem seen key) then Hashtbl.replace seen key s)
             design ())
         designs;
+      (* cddpd-lint: allow determinism — fold collects members that are sorted by Structure.compare below *)
       let members = Hashtbl.fold (fun _ s acc -> s :: acc) seen [] in
       Array.of_list (List.sort Structure.compare members)
     in
     let n_structures = Array.length universe in
-    (* cddpd-lint: allow poly-hash — Cost_key.structure string keys *)
     let index_of = Hashtbl.create (max 16 n_structures) in
     Array.iteri (fun i s -> Hashtbl.replace index_of (Cost_key.structure s) i) universe;
     let build_cost =
@@ -596,7 +592,6 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
     let trans = Array.make_matrix n_configs n_configs 0.0 in
     let chunk_tallies =
       Parallel.map_chunks ?jobs ~min_per_domain:8 ~n:n_configs (fun ~lo ~hi ->
-          (* cddpd-lint: allow poly-hash — added-mask word-list string keys *)
           let memo = Hashtbl.create 256 in
           let hits = ref 0 in
           let copied = ref 0 in
@@ -681,7 +676,6 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
       match !pending_exec_summary with
       | None -> ()
       | Some (s_cluster_id_of, s_by_design) ->
-          (* cddpd-lint: allow poly-hash — Cost_key.design string keys *)
           let s_id_of_design = Hashtbl.create (max 16 n_configs) in
           Array.iteri
             (fun c dk ->
@@ -689,11 +683,12 @@ let build ~params ~stats_of ~steps ~space ~initial ?(count_initial_change = fals
               | Some dk -> Hashtbl.replace s_id_of_design dk c
               | None -> ())
             design_keys;
-          (* cddpd-lint: allow poly-hash — string table-name keys *)
           let s_fingerprints = Hashtbl.create 8 in
           (if Hashtbl.length fp_tbl > 0 then
+             (* cddpd-lint: allow determinism — keyed copy into a fresh table; each key is visited once *)
              Hashtbl.iter (fun t fp -> Hashtbl.replace s_fingerprints t fp) fp_tbl
            else
+             (* cddpd-lint: allow determinism — keyed copy into a fresh table; each key is visited once *)
              Hashtbl.iter
                (fun t stats ->
                  Hashtbl.replace s_fingerprints t (Table_stats.fingerprint stats))

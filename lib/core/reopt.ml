@@ -23,7 +23,7 @@ let create ?(reuse = true) db =
     warm_start_bounds = 0;
   }
 
-let reuse_enabled t = t.reuse <> None
+let reuse_enabled t = Option.is_some t.reuse
 
 let flush t = Option.iter Problem.Reuse.flush t.reuse
 

@@ -190,8 +190,11 @@ let merge ~into src =
           (not (Hashtbl.mem dst.current key)) && not (Hashtbl.mem dst.previous key)
         then insert dst key v
       in
+      (* cddpd-lint: allow determinism — keyed insert-if-absent; each key is visited once, so visit order cannot change the merge *)
       Hashtbl.iter keep src.previous;
+      (* cddpd-lint: allow determinism — keyed insert-if-absent, as above *)
       Hashtbl.iter keep src.current;
+      (* cddpd-lint: allow determinism — keyed insert-if-absent, as above *)
       Hashtbl.iter
         (fun key v ->
           if not (Hashtbl.mem dst.builds key) then Hashtbl.replace dst.builds key v)

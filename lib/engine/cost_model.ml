@@ -20,7 +20,6 @@ let m_repeat_calls = Obs.Registry.counter "cost_model.repeat_calls"
    Cost_key (collision-safe for distinct costs), so the count is exact.
    The mutex makes the probe safe when Problem.build costs in parallel; it
    is only taken while instrumentation is on. *)
-(* cddpd-lint: allow poly-hash — Cost_key digest-string keys: hashing the string is exact, unlike hashing the deep value it encodes (the PR-2 collision bug) *)
 let seen_calls : (string, unit) Hashtbl.t = Hashtbl.create 4096
 
 let seen_calls_mutex = Mutex.create ()

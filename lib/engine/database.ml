@@ -36,7 +36,6 @@ let create ?(pool_capacity = 256) ?readahead ?(params = Cost_model.default_param
   (match schemas with [] -> invalid_arg "Database.create: no tables" | _ :: _ -> ());
   let disk = Disk.create () in
   let pool = Buffer_pool.create ~capacity:pool_capacity ?readahead disk in
-  (* cddpd-lint: allow poly-hash — string table-name keys *)
   let tables = Hashtbl.create 8 in
   List.iter
     (fun (schema : Schema.table) ->
@@ -300,14 +299,14 @@ let compile_predicates_slices schema preds =
   in
   let compile pred =
     match pred with
-    | Ast.Cmp { column; op; value = Tuple.Int v } when int_fast_path column op v <> None
+    | Ast.Cmp { column; op; value = Tuple.Int v } when Option.is_some (int_fast_path column op v)
       -> (
         match int_fast_path column op v with Some test -> test | None -> assert false)
     | Ast.Cmp { column; op; value } ->
         let read = compile_field_read schema (Schema.column_index_exn schema column) in
         fun buf base -> compare_matches op (Tuple.compare_value (read buf base) value)
     | Ast.Between { column; low = Tuple.Int lo; high = Tuple.Int hi }
-      when int_fast_path column Ast.Ge lo <> None ->
+      when Option.is_some (int_fast_path column Ast.Ge lo) ->
         let ge = Option.get (int_fast_path column Ast.Ge lo) in
         let le = Option.get (int_fast_path column Ast.Le hi) in
         fun buf base -> ge buf base && le buf base
@@ -553,7 +552,6 @@ let run_select_agg t ~table ~group_by ~aggregate ~where plan =
         | Ast.Sum column ->
             Some (compile_field_read state.schema (Schema.column_index_exn state.schema column))
       in
-      (* cddpd-lint: allow poly-hash — int group-value keys *)
       let groups = Hashtbl.create 64 in
       Heap_file.iter_slices state.heap (fun buf base ->
           if matches buf base then begin
@@ -565,6 +563,7 @@ let run_select_agg t ~table ~group_by ~aggregate ~where plan =
             in
             Hashtbl.replace groups g (delta + Option.value ~default:0 (Hashtbl.find_opt groups g))
           end);
+      (* cddpd-lint: allow determinism — fold builds an unordered tally; the result is sorted by group below *)
       Hashtbl.fold (fun g v acc -> (g, v) :: acc) groups []
       |> List.sort (fun (g1, v1) (g2, v2) ->
              let c = Int.compare g1 g2 in

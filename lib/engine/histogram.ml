@@ -83,7 +83,7 @@ let bucket_overlap b ~lo ~hi =
   let lo = match lo with None -> b_lo | Some v -> float_of_int v in
   let hi = match hi with None -> b_hi | Some v -> float_of_int v in
   if hi < b_lo || lo > b_hi then 0.0
-  else if b_hi = b_lo then 1.0
+  else if Float.equal b_hi b_lo then 1.0
   else
     let clamped_lo = max lo b_lo and clamped_hi = min hi b_hi in
     (clamped_hi -. clamped_lo) /. (b_hi -. b_lo)

@@ -125,7 +125,6 @@ let build pool schema heap view =
   in
   let group_pos = Schema.column_index_exn schema group_by in
   (* Aggregate the base table in memory, then bulk-materialise. *)
-  (* cddpd-lint: allow poly-hash — int group-value keys *)
   let groups = Hashtbl.create 256 in
   Heap_file.iter heap (fun _rid tuple ->
       let g = Tuple.int_exn tuple.(group_pos) in
@@ -154,6 +153,7 @@ let build pool schema heap view =
   in
   (* Store in ascending group order so the heap is clustered by group. *)
   let sorted =
+    (* cddpd-lint: allow determinism — fold builds an unordered tally; the result is sorted by group below *)
     Hashtbl.fold (fun g (count, sums) acc -> (g, !count, sums) :: acc) groups []
     |> List.sort (fun (g1, _, _) (g2, _, _) -> Int.compare g1 g2)
   in

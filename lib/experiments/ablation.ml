@@ -58,7 +58,7 @@ let method_measurement problem ~k method_name =
       }
 
 let patch_gap ~optimal_cost entry =
-  if entry.cost = infinity then entry
+  if Float.equal entry.cost infinity then entry
   else
     { entry with optimality_gap = (entry.cost -. optimal_cost) /. optimal_cost }
 
@@ -193,9 +193,9 @@ let print result =
         [
           e.method_label;
           (match e.k with None -> "-" | Some k -> string_of_int k);
-          (if e.cost = infinity then "infeasible" else Printf.sprintf "%.0f" e.cost);
+          (if Float.equal e.cost infinity then "infeasible" else Printf.sprintf "%.0f" e.cost);
           string_of_int e.changes;
-          (if e.optimality_gap = infinity then "-"
+          (if Float.equal e.optimality_gap infinity then "-"
            else Printf.sprintf "%+.2f%%" (e.optimality_gap *. 100.));
           Printf.sprintf "%.3f" (e.elapsed *. 1e3);
         ])

@@ -26,10 +26,12 @@ let time_batched ~repeats f =
   let batch = 16 in
   let samples =
     Array.init repeats (fun _ ->
+        (* cddpd-lint: allow determinism — measuring wall-clock runtime is this experiment's purpose *)
         let start = Unix.gettimeofday () in
         for _ = 1 to batch do
           ignore (f ())
         done;
+        (* cddpd-lint: allow determinism — measuring wall-clock runtime is this experiment's purpose *)
         (Unix.gettimeofday () -. start) /. float_of_int batch)
   in
   Cddpd_util.Stats.percentile samples 50.0
@@ -129,7 +131,7 @@ let print result =
           Printf.sprintf "%.0f%%" (p.merging_relative *. 100.);
           Printf.sprintf "%.1f" (p.kaware_seconds *. 1e6);
           Printf.sprintf "%.1f" (p.merging_seconds *. 1e6);
-          (if p.kaware_cost = infinity || p.merging_cost = infinity then "-"
+          (if Float.equal p.kaware_cost infinity || Float.equal p.merging_cost infinity then "-"
            else
              Printf.sprintf "%+.2f%%" (((p.merging_cost /. p.kaware_cost) -. 1.0) *. 100.));
         ])

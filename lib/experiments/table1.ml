@@ -12,7 +12,6 @@ let columns = [ "a"; "b"; "c"; "d" ]
 
 let observe mix ~sample_size ~seed =
   let rng = Rng.create seed in
-  (* cddpd-lint: allow poly-hash — string column-name keys *)
   let counts = Hashtbl.create 4 in
   for _ = 1 to sample_size do
     let column = Mix.sample_column mix rng in

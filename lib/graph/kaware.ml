@@ -188,6 +188,7 @@ let solve_dp (g : Staged_dag.t) ?jobs ?upper_bound ~k ~initial () =
               ~pred_base ~jlo:0 ~jhi:n
           else
             ignore
+              (* cddpd-lint: allow domain-race — workers dereference dist/next read-only; array writes are slice-disjoint per chunk and the buffer swap happens on the main domain between stages *)
               (Parallel.map_chunks ~jobs:domains ~n (fun ~lo ~hi ->
                    relax_dense_slice d ~n ~layers ~stage_base ~h_base ~ub !dist
                      !next pred ~pred_base ~jlo:lo ~jhi:hi))

@@ -146,7 +146,7 @@ let heap_create () = { prios = Array.make 1024 0.0; heap_ids = Array.make 1024 0
 
 let heap_less h i j =
   h.prios.(i) < h.prios.(j)
-  || (h.prios.(i) = h.prios.(j) && h.heap_ids.(i) < h.heap_ids.(j))
+  || (Float.equal h.prios.(i) h.prios.(j) && h.heap_ids.(i) < h.heap_ids.(j))
 
 let heap_swap h i j =
   let p = h.prios.(i) and id = h.heap_ids.(i) in

@@ -2,10 +2,10 @@
    main domain and are read-only once domains spawn (worker domains only
    bump already-registered metrics); see docs/OBSERVABILITY.md "Design". *)
 
-(* cddpd-lint: allow poly-hash, domain-unsafe-state — string metric-name keys; module-init registration on the main domain only *)
+(* cddpd-lint: allow domain-unsafe-state — module-init registration on the main domain only *)
 let counters : (string, Counter.t) Hashtbl.t = Hashtbl.create 64
 
-(* cddpd-lint: allow poly-hash, domain-unsafe-state — string metric-name keys; module-init registration on the main domain only *)
+(* cddpd-lint: allow domain-unsafe-state — module-init registration on the main domain only *)
 let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
 
 (* cddpd-lint: allow domain-unsafe-state — hooks registered at module init on the main domain; reset runs on the main domain *)

@@ -32,7 +32,7 @@ type statement =
       where : predicate list;
     }
 
-let equal_statement a b = a = b
+let equal_statement (a : statement) (b : statement) = a = b
 
 let eq_columns select =
   List.filter_map

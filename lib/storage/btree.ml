@@ -69,7 +69,7 @@ let compare_key t a b =
   let rec go i =
     if i = t.key_len then 0
     else
-      let c = compare a.(i) b.(i) in
+      let c = Int.compare a.(i) b.(i) in
       if c <> 0 then c else go (i + 1)
   in
   go 0

@@ -59,7 +59,6 @@ let create ?(capacity = 256) ?(readahead = default_readahead) disk =
   {
     disk;
     frames;
-    (* cddpd-lint: allow poly-hash — int page-id keys *)
     table = Hashtbl.create (capacity * 2);
     free = List.init capacity (fun i -> i);
     hand = 0;

@@ -2,7 +2,7 @@ type value = Int of int | Text of string
 
 type t = value array
 
-let equal a b =
+let equal (a : t) (b : t) =
   Array.length a = Array.length b
   && Array.for_all2 (fun x y -> x = y) a b
 

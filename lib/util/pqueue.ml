@@ -5,7 +5,7 @@ type 'a t = Leaf | Node of { rank : int; prio : float; value : 'a; left : 'a t; 
 
 let empty = Leaf
 
-let is_empty t = t = Leaf
+let is_empty t = match t with Leaf -> true | Node _ -> false
 
 let rank t = match t with Leaf -> 0 | Node { rank; _ } -> rank
 

@@ -1,6 +1,8 @@
 let time f =
+  (* cddpd-lint: allow determinism — Timer is the sanctioned wall-clock wrapper; callers opt into measurement explicitly *)
   let start = Unix.gettimeofday () in
   let result = f () in
+  (* cddpd-lint: allow determinism — Timer is the sanctioned wall-clock wrapper; callers opt into measurement explicitly *)
   (result, Unix.gettimeofday () -. start)
 
 let time_median ?(repeats = 3) f =

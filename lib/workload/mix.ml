@@ -5,7 +5,9 @@ module Tuple = Cddpd_storage.Tuple
 type t = { name : string; weights : (string * float) array }
 
 let make ~name weights =
-  if weights = [] then invalid_arg "Mix.make: no columns";
+  (match weights with
+  | [] -> invalid_arg "Mix.make: no columns"
+  | _ :: _ -> ());
   List.iter
     (fun (_, w) -> if w <= 0.0 then invalid_arg "Mix.make: weights must be positive")
     weights;

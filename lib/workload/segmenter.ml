@@ -11,7 +11,6 @@ let predicate_columns statement =
     (Ast.where_of statement)
 
 let column_profile statements =
-  (* cddpd-lint: allow poly-hash — string column-name keys *)
   let counts = Hashtbl.create 8 in
   let total = ref 0 in
   Array.iter
@@ -25,6 +24,7 @@ let column_profile statements =
     statements;
   if !total = 0 then []
   else
+    (* cddpd-lint: allow determinism — fold builds an unordered tally; the result is sorted below *)
     Hashtbl.fold
       (fun column count acc ->
         (column, float_of_int count /. float_of_int !total) :: acc)

@@ -5,7 +5,9 @@ type segment = { mix : Mix.t; n_queries : int }
 type t = { segments : segment list }
 
 let make segments =
-  if segments = [] then invalid_arg "Spec.make: no segments";
+  (match segments with
+  | [] -> invalid_arg "Spec.make: no segments"
+  | _ :: _ -> ());
   List.iter
     (fun s -> if s.n_queries <= 0 then invalid_arg "Spec.make: non-positive segment size")
     segments;

@@ -12,6 +12,11 @@ module Waiver = Cddpd_lint_core.Waiver
 module Obs_sync = Cddpd_lint_core.Obs_sync
 module Driver = Cddpd_lint_core.Driver
 module Dune_scan = Cddpd_lint_core.Dune_scan
+module Cmt_loader = Cddpd_lint_core.Cmt_loader
+module Typed_rules = Cddpd_lint_core.Typed_rules
+module Type_safety = Cddpd_lint_core.Type_safety
+module Race = Cddpd_lint_core.Race
+module Baseline = Cddpd_lint_core.Baseline
 
 let default_r3_dirs = [ "lib" ]
 
@@ -385,6 +390,300 @@ let test_dune_scan () =
         [ "lib/client"; "lib/deep"; "lib/util" ]
         dirs)
 
+(* -- cmt loader: locate, validate, fall back -------------------------------- *)
+
+let typecheck_exn ~path source =
+  match Cmt_loader.typecheck ~path source with
+  | Ok str -> str
+  | Error msg -> Alcotest.failf "fixture does not typecheck: %s" msg
+
+(* Typecheck [source], save its cmt where dune would put it for a
+   library [x] in lib/x/, and return the tree root. *)
+let plant_cmt root ~source =
+  let src_path = Filename.concat root "lib/x/a.ml" in
+  write_file src_path source;
+  let str = typecheck_exn ~path:"lib/x/a.ml" source in
+  let cmt_path =
+    Filename.concat root "_build/default/lib/x/.x.objs/byte/x__A.cmt"
+  in
+  Cmt_loader.save_cmt ~cmt_path ~modname:"A" ~sourcefile:src_path str
+
+let test_cmt_loader () =
+  with_tree [] (fun root ->
+      let source = "let answer = 42\n" in
+      (* no cmt anywhere: Missing *)
+      (match
+         Cmt_loader.find ~root ~build_dirs:[ "_build/default" ]
+           ~path:"lib/x/a.ml" ~source
+       with
+      | Cmt_loader.Missing -> ()
+      | s -> Alcotest.failf "expected Missing, got %s" (Cmt_loader.status_reason s));
+      (* fresh cmt: Loaded, with the mangling stripped off the modname *)
+      plant_cmt root ~source;
+      (match
+         Cmt_loader.find ~root ~build_dirs:[ "_build/default" ]
+           ~path:"lib/x/a.ml" ~source
+       with
+      | Cmt_loader.Loaded l -> Alcotest.(check string) "modname" "A" l.modname
+      | s -> Alcotest.failf "expected Loaded, got %s" (Cmt_loader.status_reason s));
+      (* source edited after the build: Stale, never silently used *)
+      match
+        Cmt_loader.find ~root ~build_dirs:[ "_build/default" ]
+          ~path:"lib/x/a.ml" ~source:(source ^ "let more = 1\n")
+      with
+      | Cmt_loader.Stale _ -> ()
+      | s -> Alcotest.failf "expected Stale, got %s" (Cmt_loader.status_reason s))
+
+let test_strip_mangling () =
+  Alcotest.(check string) "library mangling" "Cost_cache"
+    (Type_safety.strip_mangling "Cddpd_engine__Cost_cache");
+  Alcotest.(check string) "executable mangling" "Main"
+    (Type_safety.strip_mangling "Dune__exe__Main");
+  Alcotest.(check string) "single underscores survive" "Cost_cache"
+    (Type_safety.strip_mangling "Cost_cache");
+  Alcotest.(check string) "normalize keeps two components" "Cost_cache.t"
+    (Type_safety.normalize_name "Cddpd_engine__Cost_cache.t")
+
+(* -- typed R1/R2: the instantiated type decides ----------------------------- *)
+
+let typed_findings ?(modname = "A") ~path source =
+  let str = typecheck_exn ~path source in
+  let types = Type_safety.create () in
+  Type_safety.register_module types ~modname str;
+  Typed_rules.run ~config:Config.default ~types ~path ~modname str
+
+let test_typed_poly () =
+  let _, findings =
+    typed_findings ~path:"lib/x/a.ml"
+      "let bad : (float, int) Hashtbl.t = Hashtbl.create 16\n\
+       let ok : (string, int) Hashtbl.t = Hashtbl.create 16\n\
+       let feq (a : float) (b : float) = a = b\n\
+       let ieq (a : int) (b : int) = a = b\n\
+       let h x = Hashtbl.hash (x : float)\n"
+  in
+  let by rule = List.filter (fun (f : L.finding) -> f.rule = rule) findings in
+  Alcotest.(check int) "float-keyed create + float hash flagged" 2
+    (count (by L.Poly_hash));
+  Alcotest.(check int) "float (=) flagged, int (=) clean" 1
+    (count (by L.Poly_compare));
+  List.iter
+    (fun (f : L.finding) ->
+      Alcotest.(check bool) "typed findings carry the Typed origin" true
+        (f.origin = L.Typed))
+    findings;
+  (* records resolved through the same-unit declaration table *)
+  let _, record_findings =
+    typed_findings ~path:"lib/x/a.ml"
+      "type k = { id : int; name : string }\n\
+       let tbl : (k, int) Hashtbl.t = Hashtbl.create 16\n\
+       type fk = { w : float }\n\
+       let bad : (fk, int) Hashtbl.t = Hashtbl.create 16\n"
+  in
+  Alcotest.(check int) "concrete record key safe, float field unsafe" 1
+    (count record_findings)
+
+(* -- R7: extraction and the cross-module fixpoint --------------------------- *)
+
+let test_typed_extract_site () =
+  let extract, _ =
+    typed_findings ~path:"lib/x/a.ml"
+      "module Parallel = struct let map_chunks f = f () end\n\
+       let counter = ref 0\n\
+       let bump () = incr counter\n\
+       let run () = Parallel.map_chunks (fun () -> bump ())\n"
+  in
+  Alcotest.(check int) "one mutable root extracted" 1
+    (count extract.Typed_rules.x_roots);
+  let root = List.hd extract.Typed_rules.x_roots in
+  Alcotest.(check string) "root qualified" "A.counter" root.Typed_rules.r_name;
+  Alcotest.(check bool) "no mutex sibling: unguarded" false
+    root.Typed_rules.r_guarded;
+  Alcotest.(check int) "one Parallel site" 1 (count extract.Typed_rules.x_sites);
+  let findings = Race.solve ~config:Config.default [ extract ] in
+  Alcotest.(check int) "closure reaches the root through bump" 1 (count findings);
+  (* the mutex naming convention guards the root *)
+  let guarded, _ =
+    typed_findings ~path:"lib/x/a.ml"
+      "module Parallel = struct let map_chunks f = f () end\n\
+       let counter = ref 0\n\
+       let counter_mutex = Mutex.create ()\n\
+       let bump () = incr counter\n\
+       let run () = Parallel.map_chunks (fun () -> bump ())\n"
+  in
+  Alcotest.(check int) "mutex-guarded root produces no finding" 0
+    (count (Race.solve ~config:Config.default [ guarded ]))
+
+let test_race_cross_module () =
+  (* module A holds the state and a mutator; module B passes the mutator
+     to a Parallel entry point.  The fixpoint must carry reachability
+     across the module boundary. *)
+  let a =
+    {
+      Typed_rules.x_module = "A";
+      x_path = "lib/x/a.ml";
+      x_values =
+        [
+          ("A.bump", true, [ Typed_rules.Local "state" ]);
+          ("A.state", false, []);
+          ("A.limit", false, [ Typed_rules.Local "state" ]);
+        ];
+      x_roots =
+        [
+          {
+            Typed_rules.r_name = "A.state";
+            r_kind = "ref cell";
+            r_line = 1;
+            r_guarded = false;
+          };
+        ];
+      x_sites = [];
+    }
+  in
+  let site refs =
+    {
+      Typed_rules.s_line = 5;
+      s_col = 2;
+      s_entry = "Parallel.map_chunks";
+      s_refs = refs;
+      s_captures = [];
+    }
+  in
+  let b refs =
+    {
+      Typed_rules.x_module = "B";
+      x_path = "lib/x/b.ml";
+      x_values = [];
+      x_roots = [];
+      x_sites = [ site refs ];
+    }
+  in
+  let reached = Race.solve ~config:Config.default [ a; b [ Typed_rules.Extern "A.bump" ] ] in
+  Alcotest.(check int) "function ref propagates across modules" 1 (count reached);
+  (match reached with
+  | [ f ] ->
+      Alcotest.(check string) "finding lands at the call site" "lib/x/b.ml" f.file;
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "message names the reached root" true
+        (contains "A.state" f.message)
+  | _ -> ());
+  (* a non-function value referencing the root does not propagate *)
+  let via_value = Race.solve ~config:Config.default [ a; b [ Typed_rules.Extern "A.limit" ] ] in
+  Alcotest.(check int) "plain-value ref does not propagate reach" 0
+    (count via_value)
+
+(* -- R8 determinism --------------------------------------------------------- *)
+
+let test_determinism () =
+  let fold =
+    check_source ~path:"lib/core/a.ml"
+      "let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n"
+  in
+  Alcotest.(check int) "Hashtbl.fold flagged" 1 (count (hits L.Determinism fold));
+  let rand = check_source ~path:"lib/core/a.ml" "let f () = Random.int 10\n" in
+  Alcotest.(check int) "ambient Random flagged" 1 (count (hits L.Determinism rand));
+  let clock =
+    check_source ~path:"lib/core/a.ml" "let f () = Unix.gettimeofday ()\n"
+  in
+  Alcotest.(check int) "wall clock flagged" 1 (count (hits L.Determinism clock));
+  let rng = check_source ~path:"lib/util/rng.ml" "let f () = Random.int 10\n" in
+  Alcotest.(check int) "lib/util/rng.ml is the sanctioned source" 0
+    (count (hits L.Determinism rng));
+  let obs = check_source ~path:"lib/obs/t.ml" "let f () = Unix.gettimeofday ()\n" in
+  Alcotest.(check int) "lib/obs is reporting-only, exempt" 0
+    (count (hits L.Determinism obs));
+  let outside = check_source ~path:"bin/a.ml" "let f () = Random.int 10\n" in
+  Alcotest.(check int) "outside lib/ not in scope" 0
+    (count (hits L.Determinism outside));
+  let waived =
+    check_source ~path:"lib/core/a.ml"
+      "(* cddpd-lint: allow determinism -- fold-then-sort *)\n\
+       let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n"
+  in
+  Alcotest.(check int) "waiver absorbs" 0 (count (hits L.Determinism waived))
+
+(* -- baseline ratchet -------------------------------------------------------- *)
+
+let waived_finding ~file ~rule ~line message =
+  { (L.finding ~file ~line ~rule message) with L.waived = true }
+
+let test_baseline_roundtrip () =
+  let findings =
+    [
+      waived_finding ~file:"lib/a.ml" ~rule:L.Determinism ~line:3 "msg one";
+      waived_finding ~file:"lib/a.ml" ~rule:L.Determinism ~line:9 "msg one";
+      waived_finding ~file:"lib/b.ml" ~rule:L.Domain_race ~line:1 "msg \"two\"";
+      L.finding ~file:"lib/c.ml" ~line:2 ~rule:L.Poly_hash "unwaived: excluded";
+    ]
+  in
+  let entries = Baseline.of_findings findings in
+  Alcotest.(check int) "aggregated by (file, rule, message)" 2 (count entries);
+  Alcotest.(check int) "counts accumulate" 2
+    (List.find (fun (e : Baseline.entry) -> e.file = "lib/a.ml") entries).Baseline.count;
+  (match Baseline.parse (Baseline.render entries) with
+  | Ok parsed ->
+      Alcotest.(check bool) "render/parse roundtrip (quotes escaped)" true
+        (parsed = entries)
+  | Error msg -> Alcotest.failf "roundtrip parse failed: %s" msg);
+  (match Baseline.parse "{ not a baseline }" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse");
+  match Baseline.load "/nonexistent/lint-baseline.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must not load"
+
+let test_baseline_diff () =
+  let e ~file ~count =
+    { Baseline.file; rule = "determinism"; message = "m"; count }
+  in
+  let baseline = [ e ~file:"lib/a.ml" ~count:2; e ~file:"lib/b.ml" ~count:1 ] in
+  let unchanged = Baseline.diff ~baseline ~current:baseline in
+  Alcotest.(check bool) "identical sets are clean" true (Baseline.clean unchanged);
+  let grown =
+    Baseline.diff ~baseline
+      ~current:[ e ~file:"lib/a.ml" ~count:3; e ~file:"lib/b.ml" ~count:1 ]
+  in
+  Alcotest.(check bool) "count growth is growth" false (Baseline.clean grown);
+  Alcotest.(check int) "one grown entry" 1 (count grown.Baseline.grown);
+  let shrunk =
+    Baseline.diff ~baseline ~current:[ e ~file:"lib/a.ml" ~count:2 ]
+  in
+  Alcotest.(check bool) "burn-down alone stays clean" true
+    (shrunk.Baseline.grown = []);
+  Alcotest.(check int) "one shrunk entry to regenerate away" 1
+    (count shrunk.Baseline.shrunk)
+
+(* -- fallback findings are advisory through the driver ----------------------- *)
+
+let test_fallback_advisory () =
+  with_tree
+    [
+      ("lib/x/a.ml", "let t = Hashtbl.create 4\n");
+      ("lib/x/a.mli", "val t : (int, int) Hashtbl.t\n");
+      ("docs/OBSERVABILITY.md", "# empty\n");
+    ]
+    (fun root ->
+      (* typed engine on, but the fixture tree has no _build: every file
+         falls back and R1 degrades to advisory *)
+      let config = { Config.default with domain_state_dirs = Some [] } in
+      let report = Driver.run ~config ~root () in
+      Alcotest.(check int) "nothing typed without cmts" 0 report.typed_files;
+      Alcotest.(check bool) "fallback recorded with a reason" true
+        (List.exists (fun (f, _) -> f = "lib/x/a.ml") report.fallbacks);
+      Alcotest.(check int) "R1 fallback finding is advisory" 1
+        (count (Driver.advisory report));
+      Alcotest.(check int) "advisory findings never block" 0
+        (count (Driver.blocking report));
+      (* --no-typed restores the strict syntactic behaviour *)
+      let report =
+        Driver.run ~config:{ config with Config.typed = false } ~root ()
+      in
+      Alcotest.(check int) "syntactic mode blocks again" 1
+        (count (Driver.blocking report)))
+
 (* -- the real repository lints clean at HEAD -------------------------------- *)
 
 let repo_root () =
@@ -406,14 +705,28 @@ let test_repo_smoke () =
   | None -> () (* source tree not visible from the test sandbox; skip *)
   | Some root ->
       let report = Driver.run ~root () in
-      let blocking = Driver.unwaived report in
+      let blocking = Driver.blocking report in
       List.iter (fun f -> Printf.eprintf "unexpected: %s\n" (L.to_line f)) blocking;
       Alcotest.(check int) "repository lints clean (fix or waive new findings)" 0
         (count blocking);
       Alcotest.(check bool) "a healthy scan covers the whole tree" true
         (report.files_scanned > 60);
       Alcotest.(check bool) "R3 scope derived from the dune graph" true
-        (List.mem "lib/graph" report.r3_dirs && List.mem "lib/obs" report.r3_dirs)
+        (List.mem "lib/graph" report.r3_dirs && List.mem "lib/obs" report.r3_dirs);
+      (* the committed ratchet matches reality in the growth direction *)
+      match Baseline.load (Filename.concat root "lint-baseline.json") with
+      | Error msg -> Alcotest.failf "lint-baseline.json unreadable: %s" msg
+      | Ok baseline ->
+          let current = Baseline.of_findings report.findings in
+          let d = Baseline.diff ~baseline ~current in
+          List.iter
+            (fun (e : Baseline.entry) ->
+              Printf.eprintf "ratchet: %s [%s] x%d\n" e.file e.rule e.count)
+            d.Baseline.grown;
+          Alcotest.(check int)
+            "no waived findings beyond the committed baseline (make lint-update-baseline)"
+            0
+            (count d.Baseline.grown)
 
 let () =
   Alcotest.run "lint"
@@ -426,6 +739,18 @@ let () =
           Alcotest.test_case "R4 lib-hygiene" `Quick test_lib_hygiene;
           Alcotest.test_case "waiver syntax" `Quick test_waiver_syntax;
           Alcotest.test_case "parse error" `Quick test_parse_error;
+        ] );
+      ( "typed",
+        [
+          Alcotest.test_case "cmt loader fallback ladder" `Quick test_cmt_loader;
+          Alcotest.test_case "dune name mangling" `Quick test_strip_mangling;
+          Alcotest.test_case "typed R1/R2" `Quick test_typed_poly;
+          Alcotest.test_case "R7 extraction and guards" `Quick test_typed_extract_site;
+          Alcotest.test_case "R7 cross-module fixpoint" `Quick test_race_cross_module;
+          Alcotest.test_case "R8 determinism" `Quick test_determinism;
+          Alcotest.test_case "baseline roundtrip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "baseline diff" `Quick test_baseline_diff;
+          Alcotest.test_case "fallback is advisory" `Quick test_fallback_advisory;
         ] );
       ( "driver",
         [

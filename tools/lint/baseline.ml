@@ -1,0 +1,246 @@
+(* The finding-count ratchet.  [lint-baseline.json] records every waived
+   finding as a (file, rule, message) key with an occurrence count; CI
+   compares the current run against the committed baseline:
+
+   - a key that appears with a higher count than the baseline (or is
+     absent from it) is *growth* — the run fails;
+   - a key whose count dropped (or vanished) is *burn-down* — reported
+     as a reminder to regenerate the baseline, never an error.
+
+   Unwaived blocking findings never reach the baseline: they fail the
+   run directly.  The parser below reads only the JSON this module
+   renders (strings, ints, flat objects, one array) — deliberately not a
+   general JSON reader. *)
+
+module L = Lint_types
+
+type entry = { file : string; rule : string; message : string; count : int }
+
+let key e = (e.file, e.rule, e.message)
+
+let compare_entries a b = compare (key a) (key b)
+
+(* -- building from a report's waived findings -------------------------------- *)
+
+let of_findings findings =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (f : L.finding) ->
+      if f.waived then begin
+        let k = (f.file, L.rule_id f.rule, f.message) in
+        let n = Option.value (Hashtbl.find_opt tbl k) ~default:0 in
+        Hashtbl.replace tbl k (n + 1)
+      end)
+    findings;
+  Hashtbl.fold
+    (fun (file, rule, message) count acc ->
+      { file; rule; message; count } :: acc)
+    tbl []
+  |> List.sort compare_entries
+
+(* -- rendering --------------------------------------------------------------- *)
+
+let schema = "cddpd-lint-baseline/1"
+
+let render entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"schema\": \"%s\",\n  \"waived\": [" schema);
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"file\": \"%s\", \"rule\": \"%s\", \"count\": %d, \
+            \"message\": \"%s\"}"
+           (L.json_escape e.file) (L.json_escape e.rule) e.count
+           (L.json_escape e.message)))
+    (List.sort compare_entries entries);
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+(* -- parsing our own output --------------------------------------------------- *)
+
+exception Bad of string
+
+let parse text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> raise (Bad (Printf.sprintf "expected %c, got %c" c c'))
+    | None -> raise (Bad (Printf.sprintf "expected %c, got end of input" c))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 32 in
+    let rec go () =
+      if !pos >= n then raise (Bad "unterminated string");
+      let c = text.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+          if !pos >= n then raise (Bad "unterminated escape");
+          let e = text.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'u' ->
+              if !pos + 4 > n then raise (Bad "truncated \\u escape");
+              let hex = String.sub text !pos 4 in
+              pos := !pos + 4;
+              let code = int_of_string ("0x" ^ hex) in
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_string buf (Printf.sprintf "\\u%s" hex)
+          | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let parse_int () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n && (match text.[!pos] with '0' .. '9' | '-' -> true | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then raise (Bad "expected integer");
+    int_of_string (String.sub text start (!pos - start))
+  in
+  let parse_entry () =
+    expect '{';
+    let file = ref "" and rule = ref "" and message = ref "" and count = ref 1 in
+    let rec fields () =
+      skip_ws ();
+      let name = parse_string () in
+      expect ':';
+      (match name with
+      | "file" -> file := parse_string ()
+      | "rule" -> rule := parse_string ()
+      | "message" -> message := parse_string ()
+      | "count" -> count := parse_int ()
+      | other -> raise (Bad ("unknown baseline field " ^ other)));
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          advance ();
+          fields ()
+      | _ -> expect '}'
+    in
+    fields ();
+    { file = !file; rule = !rule; message = !message; count = !count }
+  in
+  try
+    expect '{';
+    skip_ws ();
+    let s = parse_string () in
+    if s <> "schema" then raise (Bad "expected schema field first");
+    expect ':';
+    let v = parse_string () in
+    if v <> schema then raise (Bad ("unsupported baseline schema " ^ v));
+    expect ',';
+    skip_ws ();
+    let w = parse_string () in
+    if w <> "waived" then raise (Bad "expected waived field");
+    expect ':';
+    expect '[';
+    let entries = ref [] in
+    skip_ws ();
+    (match peek () with
+    | Some ']' -> advance ()
+    | _ ->
+        let rec items () =
+          entries := parse_entry () :: !entries;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              advance ();
+              items ()
+          | _ -> expect ']'
+        in
+        items ());
+    expect '}';
+    Ok (List.sort compare_entries (List.rev !entries))
+  with
+  | Bad msg -> Error msg
+  | Failure msg -> Error msg
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> parse text
+
+(* -- diff --------------------------------------------------------------------- *)
+
+type diff = {
+  grown : entry list;  (** present now, absent or smaller in the baseline *)
+  shrunk : entry list;  (** present in the baseline, absent or smaller now *)
+}
+
+let clean d = d.grown = [] && d.shrunk = []
+
+let diff ~baseline ~current =
+  let index entries =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun e -> Hashtbl.replace tbl (key e) e.count) entries;
+    tbl
+  in
+  let base = index baseline and cur = index current in
+  let grown =
+    List.filter_map
+      (fun e ->
+        let had = Option.value (Hashtbl.find_opt base (key e)) ~default:0 in
+        if e.count > had then Some { e with count = e.count - had } else None)
+      current
+  in
+  let shrunk =
+    List.filter_map
+      (fun e ->
+        let have = Option.value (Hashtbl.find_opt cur (key e)) ~default:0 in
+        if e.count > have then Some { e with count = e.count - have } else None)
+      baseline
+  in
+  { grown = List.sort compare_entries grown;
+    shrunk = List.sort compare_entries shrunk }
+
+let render_diff d =
+  let buf = Buffer.create 256 in
+  let line e =
+    Printf.sprintf "  %s [%s] x%d: %s\n" e.file e.rule e.count e.message
+  in
+  if d.grown <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "ratchet: %d new waived finding(s) not in the baseline:\n"
+         (List.fold_left (fun n e -> n + e.count) 0 d.grown));
+    List.iter (fun e -> Buffer.add_string buf (line e)) d.grown
+  end;
+  if d.shrunk <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf
+         "ratchet: %d waived finding(s) burned down since the baseline \
+          (regenerate with make lint-update-baseline):\n"
+         (List.fold_left (fun n e -> n + e.count) 0 d.shrunk));
+    List.iter (fun e -> Buffer.add_string buf (line e)) d.shrunk
+  end;
+  Buffer.contents buf

@@ -1,11 +1,13 @@
 (* cddpd_lint — static analysis for the cddpd tree.
 
-   Exit codes: 0 clean (no unwaived findings), 1 findings, 2 usage or
-   internal error.  See docs/LINTING.md for the rule catalogue. *)
+   Exit codes: 0 clean (no blocking findings, ratchet satisfied),
+   1 findings or ratchet growth, 2 usage or internal error.  See
+   docs/LINTING.md for the rule catalogue and the baseline workflow. *)
 
 module L = Cddpd_lint_core.Lint_types
 module Config = Cddpd_lint_core.Lint_config
 module Driver = Cddpd_lint_core.Driver
+module Baseline = Cddpd_lint_core.Baseline
 
 let usage = "cddpd_lint [--root DIR] [--format text|json] [options]"
 
@@ -30,6 +32,9 @@ let () =
   let disabled = ref [] in
   let show_waived = ref false in
   let list_rules = ref false in
+  let no_typed = ref false in
+  let baseline_file = ref None in
+  let write_baseline = ref None in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR lint the tree rooted at DIR (default .)");
@@ -46,6 +51,15 @@ let () =
         Arg.String
           (fun s -> disabled := !disabled @ parse_rule_list ~flag:"--disable" s),
         "LIST turn these rules off" );
+      ( "--no-typed",
+        Arg.Set no_typed,
+        " skip cmt loading; syntactic R1/R2 become blocking again" );
+      ( "--baseline",
+        Arg.String (fun f -> baseline_file := Some f),
+        "FILE enforce the waived-finding ratchet against FILE" );
+      ( "--write-baseline",
+        Arg.String (fun f -> write_baseline := Some f),
+        "FILE regenerate FILE from the current waived findings" );
       ("--show-waived", Arg.Set show_waived, " include waived findings in text output");
       ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
     ]
@@ -63,13 +77,14 @@ let () =
   let config =
     let c = Config.default in
     let c = match !only with Some rules -> Config.restrict c rules | None -> c in
-    Config.disable c !disabled
+    let c = Config.disable c !disabled in
+    if !no_typed then { c with Config.typed = false } else c
   in
   match Driver.run ~config ~root:!root () with
   | exception e ->
       Printf.eprintf "cddpd_lint: internal error: %s\n" (Printexc.to_string e);
       exit 2
-  | report ->
+  | report -> (
       let rendered =
         match !format with
         | `Json -> Driver.render_json report
@@ -78,4 +93,32 @@ let () =
       (match !out with
       | None -> print_string rendered
       | Some file -> Out_channel.with_open_text file (fun oc -> output_string oc rendered));
-      exit (if Driver.unwaived report = [] then 0 else 1)
+      let current = Baseline.of_findings report.Driver.findings in
+      (match !write_baseline with
+      | None -> ()
+      | Some file ->
+          Out_channel.with_open_text file (fun oc ->
+              output_string oc (Baseline.render current));
+          Printf.eprintf "cddpd_lint: wrote %d waived entr%s to %s\n"
+            (List.length current)
+            (if List.length current = 1 then "y" else "ies")
+            file);
+      let ratchet_failed =
+        match !baseline_file with
+        | None -> false
+        | Some file -> (
+            match Baseline.load file with
+            | Error msg ->
+                Printf.eprintf
+                  "cddpd_lint: cannot read baseline %s: %s\n\
+                   (regenerate with --write-baseline %s)\n"
+                  file msg file;
+                true
+            | Ok baseline ->
+                let d = Baseline.diff ~baseline ~current in
+                prerr_string (Baseline.render_diff d);
+                d.Baseline.grown <> [])
+      in
+      match (Driver.blocking report, ratchet_failed) with
+      | [], false -> exit 0
+      | _ -> exit 1)

@@ -1,7 +1,14 @@
-(* The lint driver: walks the tree, runs the per-file AST pass, the
-   filesystem rule (R5) and the catalogue cross-check (R6), and renders
-   reports.  The exit-code policy lives in the executable: a run is
-   clean iff [unwaived] is empty. *)
+(* The lint driver: walks the tree, loads each file's cmt (typed mode),
+   runs the typed per-file pass plus the syntactic AST pass, solves the
+   interprocedural race analysis, runs the filesystem rule (R5) and the
+   catalogue cross-check (R6), and renders reports.
+
+   Typed mode per file: a fresh cmt gives exact R1/R2 and feeds the R7
+   extract; files with a missing/stale cmt fall back to the syntactic
+   R1/R2 heuristics *as advisory findings* — reported, never blocking —
+   so a cmt-less checkout cannot fail on heuristic noise while a full
+   build still gets the exact analysis.  The exit-code policy lives in
+   the executable: a run is clean iff [blocking] is empty. *)
 
 module L = Lint_types
 
@@ -10,6 +17,8 @@ type report = {
   config : Lint_config.t;
   findings : L.finding list;  (** every finding, waived ones included *)
   files_scanned : int;
+  typed_files : int;  (** files analyzed from a fresh cmt *)
+  fallbacks : (string * string) list;  (** path, reason cmt was unusable *)
   obs_dynamic : int;
   r3_dirs : string list;
   warnings : string list;
@@ -62,6 +71,9 @@ let run ?(config = Lint_config.default) ~root () =
   let files =
     List.concat_map (fun dir -> ml_files ~root dir) config.scan_dirs
   in
+  (* Pass 1: read each file, resolve its cmt, run the syntactic rules
+     with the poly mode the cmt status dictates. *)
+  let fallbacks = ref [] in
   let per_file =
     List.filter_map
       (fun rel ->
@@ -69,11 +81,72 @@ let run ?(config = Lint_config.default) ~root () =
         | None ->
             warnings := Printf.sprintf "cannot read %s; skipped" rel :: !warnings;
             None
-        | Some source -> Some (rel, source, Rules.check_source ~config ~r3_dirs ~path:rel source))
+        | Some source ->
+            let cmt =
+              if config.typed then
+                Cmt_loader.find ~root ~build_dirs:config.build_dirs ~path:rel
+                  ~source
+              else Cmt_loader.Missing
+            in
+            let loaded, poly =
+              match cmt with
+              | Cmt_loader.Loaded l -> (Some l, `Off)
+              | status ->
+                  if config.typed then
+                    fallbacks :=
+                      (rel, Cmt_loader.status_reason status) :: !fallbacks;
+                  (None, if config.typed then `Fallback else `Blocking)
+            in
+            let ast = Rules.check_source ~config ~r3_dirs ~poly ~path:rel source in
+            Some (rel, source, ast, loaded))
       files
   in
+  let fallbacks = List.rev !fallbacks in
+  (* Pass 2: repo-wide type declaration table, then the typed per-file
+     pass (exact R1/R2 + the R7 extract for each cmt-backed module). *)
+  let types = Type_safety.create () in
+  List.iter
+    (fun (_, _, _, loaded) ->
+      match loaded with
+      | Some (l : Cmt_loader.loaded) ->
+          Type_safety.register_module types ~modname:l.modname l.structure
+      | None -> ())
+    per_file;
+  let waivers_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (rel, source, _, _) -> Hashtbl.replace tbl rel (Waiver.scan source)) per_file;
+    fun rel ->
+      match Hashtbl.find_opt tbl rel with
+      | Some w -> w
+      | None -> Waiver.scan ""
+  in
+  let extracts, typed_findings =
+    List.fold_left
+      (fun (extracts, findings) (rel, _, _, loaded) ->
+        match loaded with
+        | None -> (extracts, findings)
+        | Some (l : Cmt_loader.loaded) ->
+            let extract, fs =
+              Typed_rules.run ~config ~types ~path:rel ~modname:l.modname
+                l.structure
+            in
+            (extract :: extracts, Waiver.apply (waivers_of rel) fs @ findings))
+      ([], []) per_file
+  in
+  let typed_files = List.length extracts in
+  (* Pass 3: interprocedural R7 solve over all extracts; findings land
+     at call sites and honour the call site's waivers. *)
+  let race_findings =
+    if Lint_config.enabled config L.Domain_race && extracts <> [] then
+      Race.solve ~config (List.rev extracts)
+      |> List.map (fun (f : L.finding) ->
+             match Waiver.apply (waivers_of f.file) [ f ] with
+             | [ f ] -> f
+             | _ -> f)
+    else []
+  in
   let ast_findings =
-    List.concat_map (fun (_, _, (r : Rules.t)) -> r.findings) per_file
+    List.concat_map (fun (_, _, (r : Rules.t), _) -> r.findings) per_file
   in
   (* R5: every lib/**/*.ml needs a sibling .mli (waivable anywhere in the
      file, since the finding is about the file as a whole). *)
@@ -81,7 +154,7 @@ let run ?(config = Lint_config.default) ~root () =
     if not (Lint_config.enabled config L.Mli_coverage) then []
     else
       List.filter_map
-        (fun (rel, source, _) ->
+        (fun (rel, source, _, _) ->
           if not (Lint_config.under_dir ~dir:"lib" rel) then None
           else if Sys.file_exists (Filename.concat root (rel ^ "i")) then None
           else
@@ -108,35 +181,51 @@ let run ?(config = Lint_config.default) ~root () =
           ]
       | Some doc ->
           let literals =
-            List.concat_map (fun (_, _, (r : Rules.t)) -> r.obs) per_file
+            List.concat_map (fun (_, _, (r : Rules.t), _) -> r.obs) per_file
           in
           Obs_sync.check ~doc_path:config.obs_doc (Obs_sync.parse_doc doc) literals
           |> List.concat_map (fun (f : L.finding) ->
                  match
-                   List.find_opt (fun (rel, _, _) -> String.equal rel f.file) per_file
+                   List.find_opt
+                     (fun (rel, _, _, _) -> String.equal rel f.file)
+                     per_file
                  with
-                 | Some (_, source, _) -> Waiver.apply (Waiver.scan source) [ f ]
+                 | Some (_, source, _, _) -> Waiver.apply (Waiver.scan source) [ f ]
                  | None -> [ f ])
   in
   let findings =
-    List.sort L.compare_findings (ast_findings @ mli_findings @ obs_findings)
+    List.sort L.compare_findings
+      (typed_findings @ race_findings @ ast_findings @ mli_findings
+     @ obs_findings)
   in
   let obs_dynamic =
-    List.fold_left (fun acc (_, _, (r : Rules.t)) -> acc + r.obs_dynamic) 0 per_file
+    List.fold_left
+      (fun acc (_, _, (r : Rules.t), _) -> acc + r.obs_dynamic)
+      0 per_file
   in
   {
     root;
     config;
     findings;
     files_scanned = List.length per_file;
+    typed_files;
+    fallbacks;
     obs_dynamic;
     r3_dirs;
     warnings = List.rev !warnings;
   }
 
-let unwaived report = List.filter (fun (f : L.finding) -> not f.waived) report.findings
+let unwaived report =
+  List.filter (fun (f : L.finding) -> not f.waived) report.findings
 
 let waived report = List.filter (fun (f : L.finding) -> f.waived) report.findings
+
+let blocking report = List.filter L.blocking report.findings
+
+let advisory report =
+  List.filter
+    (fun (f : L.finding) -> (not f.waived) && L.advisory f)
+    report.findings
 
 let render_text ?(show_waived = false) report =
   let buf = Buffer.create 1024 in
@@ -150,20 +239,29 @@ let render_text ?(show_waived = false) report =
         Buffer.add_char buf '\n'
       end)
     report.findings;
-  let unwaived_n = List.length (unwaived report) in
+  if report.config.typed && report.fallbacks <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "note: %d file(s) without a usable cmt analyzed syntactically \
+          (advisory): %s\n"
+         (List.length report.fallbacks)
+         (String.concat ", " (List.map fst report.fallbacks)));
   Buffer.add_string buf
     (Printf.sprintf
-       "cddpd-lint: %d file(s) scanned, %d finding(s) (%d waived, %d blocking)\n"
-       report.files_scanned
+       "cddpd-lint: %d file(s) scanned (%d typed, %d fallback), %d finding(s) \
+        (%d waived, %d advisory, %d blocking)\n"
+       report.files_scanned report.typed_files
+       (List.length report.fallbacks)
        (List.length report.findings)
        (List.length (waived report))
-       unwaived_n);
+       (List.length (advisory report))
+       (List.length (blocking report)));
   Buffer.contents buf
 
 let render_json report =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"cddpd-lint/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"cddpd-lint/2\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"root\": \"%s\",\n" (L.json_escape report.root));
   Buffer.add_string buf
@@ -178,6 +276,16 @@ let render_json report =
           (List.map (fun d -> Printf.sprintf "\"%s\"" (L.json_escape d)) report.r3_dirs)));
   Buffer.add_string buf
     (Printf.sprintf "  \"files_scanned\": %d,\n" report.files_scanned);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"typed_files\": %d,\n" report.typed_files);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"fallbacks\": [%s],\n"
+       (String.concat ", "
+          (List.map
+             (fun (path, reason) ->
+               Printf.sprintf "{\"file\": \"%s\", \"reason\": \"%s\"}"
+                 (L.json_escape path) (L.json_escape reason))
+             report.fallbacks)));
   Buffer.add_string buf
     (Printf.sprintf "  \"obs_dynamic_names\": %d,\n" report.obs_dynamic);
   Buffer.add_string buf
@@ -197,9 +305,11 @@ let render_json report =
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"summary\": {\"total\": %d, \"waived\": %d, \"blocking\": %d}\n"
+       "  \"summary\": {\"total\": %d, \"waived\": %d, \"advisory\": %d, \
+        \"blocking\": %d}\n"
        (List.length report.findings)
        (List.length (waived report))
-       (List.length (unwaived report)));
+       (List.length (advisory report))
+       (List.length (blocking report)));
   Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -1,6 +1,7 @@
 (* Lint configuration: which rules run, where each rule looks, and the
    audited whitelists.  Paths are relative to the lint root and use '/'
-   separators; a "dir" entry matches any file below it. *)
+   separators; a "dir" entry matches any file below it, scope lists may
+   also name individual files. *)
 
 type t = {
   enabled : Lint_types.rule list;
@@ -12,12 +13,17 @@ type t = {
   lib_hygiene_exempt : string list;
   obs_scope : string;
   obs_doc : string;
+  typed : bool;
+  build_dirs : string list;
+  parallel_entries : string list;
+  determinism_dirs : string list;
+  determinism_exempt : string list;
 }
 
-(* The R1 whitelist is short on purpose: these are the modules whose
-   hashtables were audited to key on strings or ints only (Cost_key
-   digests, metric names), where Hashtbl.hash is exact.  Everything else
-   carries a per-line waiver stating its key type. *)
+(* The R1 whitelist only matters for the syntactic fallback (cmt missing
+   or stale): the typed rule checks the instantiated key type itself and
+   needs no whitelist.  These are the modules whose hashtables were
+   audited to key on strings or ints only, where Hashtbl.hash is exact. *)
 let default =
   {
     enabled = Lint_types.all_rules;
@@ -29,6 +35,21 @@ let default =
     lib_hygiene_exempt = [ "lib/experiments" ];
     obs_scope = "lib";
     obs_doc = "docs/OBSERVABILITY.md";
+    typed = true;
+    (* Candidate roots holding dune's cmt artifacts, tried in order.  "."
+       covers running inside _build/default (the @lint alias); the second
+       covers running from the repository root after a build. *)
+    build_dirs = [ "."; "_build/default" ];
+    (* Entry points whose closure arguments run on worker domains.  Names
+       are matched on the normalized last two path components, so both
+       [Cddpd_util.Parallel.for_] and a local [Parallel.for_] match. *)
+    parallel_entries =
+      [ "Parallel.map_chunks"; "Parallel.for_"; "Domain.spawn" ];
+    (* R8 scope: paths whose outputs are part of a result the repo claims
+       is deterministic.  lib/obs is reporting-only and exempt;
+       lib/util/rng.ml is the one sanctioned randomness source. *)
+    determinism_dirs = [ "lib" ];
+    determinism_exempt = [ "lib/obs"; "lib/util/rng.ml" ];
   }
 
 let enabled t rule = List.mem rule t.enabled
@@ -47,5 +68,11 @@ let under_dir ~dir path =
   && (path.[dl] = '/' || dir = "")
 
 let in_dirs dirs path = List.exists (fun dir -> under_dir ~dir path) dirs
+
+(* Scope lists that may mix directories and single files. *)
+let in_scope entries path =
+  List.exists
+    (fun entry -> normalize entry = normalize path || under_dir ~dir:entry path)
+    entries
 
 let whitelisted t path = List.mem (normalize path) (List.map normalize t.poly_hash_whitelist)

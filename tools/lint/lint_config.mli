@@ -5,9 +5,12 @@ type t = {
   enabled : Lint_types.rule list;  (** rules that run *)
   scan_dirs : string list;  (** root-relative dirs whose [.ml] files are parsed *)
   poly_hash_whitelist : string list;
-      (** R1: exact files allowed to use default-hash hashtables (audited
-          string/int keys) without a waiver *)
-  poly_compare_dirs : string list;  (** R2: dirs where bare compare/(=) is hot *)
+      (** R1 syntactic fallback only: exact files allowed to use
+          default-hash hashtables (audited string/int keys) without a
+          waiver.  The typed rule checks the key type and ignores this. *)
+  poly_compare_dirs : string list;
+      (** R2 syntactic fallback only: dirs where bare compare/(=) is hot.
+          The typed rule runs repo-wide. *)
   domain_state_dirs : string list option;
       (** R3: dirs holding libraries reachable from [Parallel.run] worker
           domains; [None] means "derive from the dune library graph"
@@ -17,6 +20,20 @@ type t = {
       (** R4: sub-dirs whose contract is stdout reporting (lib/experiments) *)
   obs_scope : string;  (** R6: dir whose Obs literals are collected *)
   obs_doc : string;  (** R6: the catalogue document *)
+  typed : bool;
+      (** load cmt artifacts and run the typed rules (R1/R2 exact, R7);
+          files whose cmt is missing or stale fall back to the syntactic
+          heuristics, reported distinctly *)
+  build_dirs : string list;
+      (** candidate roots holding dune's [_build] cmt layout, tried in
+          order (each is joined with the lint root) *)
+  parallel_entries : string list;
+      (** R7: functions whose closure arguments run on worker domains,
+          matched on the normalized last two path components *)
+  determinism_dirs : string list;  (** R8: result-affecting scope *)
+  determinism_exempt : string list;
+      (** R8: dirs/files exempt from determinism checks (lib/obs is
+          reporting-only; lib/util/rng.ml is the sanctioned RNG) *)
 }
 
 val default : t
@@ -36,5 +53,8 @@ val under_dir : dir:string -> string -> bool
 val in_dirs : string list -> string -> bool
 (** [under_dir] against any of the dirs. *)
 
+val in_scope : string list -> string -> bool
+(** Like {!in_dirs}, but entries may also name an exact file. *)
+
 val whitelisted : t -> string -> bool
-(** Is this exact file on the R1 whitelist? *)
+(** Is this exact file on the R1 fallback whitelist? *)

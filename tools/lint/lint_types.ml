@@ -8,6 +8,8 @@ type rule =
   | Lib_hygiene
   | Mli_coverage
   | Obs_catalogue_sync
+  | Domain_race
+  | Determinism
   | Parse_error
 
 let all_rules =
@@ -18,6 +20,8 @@ let all_rules =
     Lib_hygiene;
     Mli_coverage;
     Obs_catalogue_sync;
+    Domain_race;
+    Determinism;
   ]
 
 let rule_id = function
@@ -27,6 +31,8 @@ let rule_id = function
   | Lib_hygiene -> "lib-hygiene"
   | Mli_coverage -> "mli-coverage"
   | Obs_catalogue_sync -> "obs-catalogue-sync"
+  | Domain_race -> "domain-race"
+  | Determinism -> "determinism"
   | Parse_error -> "parse-error"
 
 let rule_code = function
@@ -36,6 +42,8 @@ let rule_code = function
   | Lib_hygiene -> "R4"
   | Mli_coverage -> "R5"
   | Obs_catalogue_sync -> "R6"
+  | Domain_race -> "R7"
+  | Determinism -> "R8"
   | Parse_error -> "R0"
 
 let rule_of_string s =
@@ -44,16 +52,38 @@ let rule_of_string s =
 
 let rule_doc = function
   | Poly_hash ->
-      "Hashtbl.hash / default-hash Hashtbl.create outside whitelisted modules"
+      "Hashtbl.hash / default Hashtbl.create at key types containing floats, \
+       functions or abstract types (typed); whitelist heuristic as fallback"
   | Poly_compare ->
-      "bare polymorphic compare/(=) on float-carrying hot-path code"
+      "polymorphic compare/(=) instantiated at float-, function- or \
+       abstract-carrying types (typed); float-evidence heuristic as fallback"
   | Domain_unsafe_state ->
       "unsynchronized module-toplevel mutable state in Parallel-linked libraries"
   | Lib_hygiene -> "Obj.magic / exit / stdout printing inside lib/"
   | Mli_coverage -> "every lib/**/*.ml must have a sibling .mli"
   | Obs_catalogue_sync ->
       "obs metric/span literals must match docs/OBSERVABILITY.md, both ways"
+  | Domain_race ->
+      "closures passed into Parallel entry points reaching (or capturing) \
+       unguarded mutable state (interprocedural, typed)"
+  | Determinism ->
+      "result-order dependence on Hashtbl iteration; wall-clock/Random use \
+       outside lib/util/rng.ml in result-affecting paths"
   | Parse_error -> "source file failed to parse (not toggleable)"
+
+(* Where a finding came from.  [Typed] findings are exact (cmt-backed) and
+   blocking; [Syntactic] findings come from rules that never needed types
+   (R3-R6, R8) and are blocking; [Fallback] findings are the syntactic
+   R1/R2 heuristics running on a file whose cmt was missing or stale —
+   reported distinctly and advisory (never fail the run), because the
+   typed rules are the source of truth and re-audited waivers only cover
+   the typed engine's findings. *)
+type origin = Typed | Syntactic | Fallback
+
+let origin_id = function
+  | Typed -> "typed"
+  | Syntactic -> "syntactic"
+  | Fallback -> "fallback"
 
 type finding = {
   file : string;  (** path relative to the lint root *)
@@ -62,10 +92,15 @@ type finding = {
   rule : rule;
   message : string;
   waived : bool;
+  origin : origin;
 }
 
-let finding ?(col = 0) ~file ~line ~rule message =
-  { file; line; col; rule; message; waived = false }
+let finding ?(col = 0) ?(origin = Syntactic) ~file ~line ~rule message =
+  { file; line; col; rule; message; waived = false; origin }
+
+let advisory f = f.origin = Fallback
+
+let blocking f = (not f.waived) && not (advisory f)
 
 let compare_findings a b =
   let c = String.compare a.file b.file in
@@ -75,10 +110,15 @@ let compare_findings a b =
     if c <> 0 then c
     else
       let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare (rule_id a.rule) (rule_id b.rule)
+      if c <> 0 then c
+      else
+        let c = String.compare (rule_id a.rule) (rule_id b.rule) in
+        if c <> 0 then c else String.compare a.message b.message
 
 let to_line f =
-  Printf.sprintf "%s:%d: [%s] %s%s" f.file f.line (rule_id f.rule) f.message
+  Printf.sprintf "%s:%d: [%s]%s %s%s" f.file f.line (rule_id f.rule)
+    (if advisory f then " (fallback, advisory)" else "")
+    f.message
     (if f.waived then " (waived)" else "")
 
 let json_escape s =
@@ -99,6 +139,6 @@ let json_escape s =
 
 let to_json f =
   Printf.sprintf
-    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s","waived":%b}|}
-    (json_escape f.file) f.line f.col (rule_id f.rule) (json_escape f.message)
-    f.waived
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","origin":"%s","message":"%s","waived":%b,"advisory":%b}|}
+    (json_escape f.file) f.line f.col (rule_id f.rule) (origin_id f.origin)
+    (json_escape f.message) f.waived (advisory f)

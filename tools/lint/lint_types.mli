@@ -1,16 +1,18 @@
 (** Rule set, findings, and stable textual ids shared by every lint module. *)
 
 type rule =
-  | Poly_hash  (** R1: polymorphic hashing outside whitelisted modules *)
-  | Poly_compare  (** R2: polymorphic compare/(=) on float-carrying hot paths *)
+  | Poly_hash  (** R1: polymorphic hashing at unsound key types (typed) *)
+  | Poly_compare  (** R2: polymorphic compare/(=) at unsound types (typed) *)
   | Domain_unsafe_state  (** R3: toplevel mutable state visible to domains *)
   | Lib_hygiene  (** R4: [Obj.magic] / [exit] / stdout printing inside [lib/] *)
   | Mli_coverage  (** R5: [lib/**/*.ml] without a sibling [.mli] *)
   | Obs_catalogue_sync  (** R6: obs names vs [docs/OBSERVABILITY.md] drift *)
+  | Domain_race  (** R7: mutable state reachable from [Parallel] closures *)
+  | Determinism  (** R8: Hashtbl iteration order / wall clock / ambient Random *)
   | Parse_error  (** internal: a source file failed to parse; never toggleable *)
 
 val all_rules : rule list
-(** The six user-facing rules, in R1..R6 order ([Parse_error] excluded). *)
+(** The eight user-facing rules, in R1..R8 order ([Parse_error] excluded). *)
 
 val rule_id : rule -> string
 (** Stable kebab-case id, e.g. ["poly-hash"] — used in output lines, waiver
@@ -25,6 +27,14 @@ val rule_of_string : string -> rule option
 val rule_doc : rule -> string
 (** One-line description for [--list-rules]. *)
 
+type origin =
+  | Typed  (** exact, cmt-backed analysis — blocking *)
+  | Syntactic  (** type-free rules (R3-R6, R8) — blocking *)
+  | Fallback  (** syntactic R1/R2 heuristics on a file whose cmt is missing
+                  or stale — reported distinctly, advisory (never blocks) *)
+
+val origin_id : origin -> string
+
 type finding = {
   file : string;  (** path relative to the lint root *)
   line : int;  (** 1-based *)
@@ -32,14 +42,27 @@ type finding = {
   rule : rule;
   message : string;
   waived : bool;  (** a matching waiver comment covers this finding *)
+  origin : origin;
 }
 
 val finding :
-  ?col:int -> file:string -> line:int -> rule:rule -> string -> finding
-(** Build an unwaived finding. *)
+  ?col:int ->
+  ?origin:origin ->
+  file:string ->
+  line:int ->
+  rule:rule ->
+  string ->
+  finding
+(** Build an unwaived finding ([origin] defaults to [Syntactic]). *)
+
+val advisory : finding -> bool
+(** [Fallback]-origin findings never fail a run. *)
+
+val blocking : finding -> bool
+(** Unwaived and not advisory: the findings that drive the exit code. *)
 
 val compare_findings : finding -> finding -> int
-(** Order by file, line, column, rule — the report order. *)
+(** Order by file, line, column, rule, message — the report order. *)
 
 val to_line : finding -> string
 (** Render as [file:line: [rule-id] message]. *)

@@ -1,0 +1,122 @@
+(* The interprocedural half of R7.  Each module contributes an extract
+   (see {!Typed_rules}): its mutable toplevel roots, the values each of
+   its bindings references, and the [Parallel] entry-point call sites
+   with their closures' references and captures.  Here we stitch the
+   extracts together along value references and answer, per call site:
+   which mutable toplevel state can the closure reach?
+
+   Propagation rule: a reference to a *function* value pulls in that
+   function's reach (calling it executes its body); a reference to a
+   plain value only contributes the value's own root-ness (its
+   initializer already ran, on the main domain).  References without a
+   summary — stdlib, externals — contribute nothing; mutation of
+   captured locals is handled by the capture side of the extract. *)
+
+module L = Lint_types
+module StrSet = Set.Make (String)
+
+type root_info = { kind : string; file : string; line : int; guarded : bool }
+
+let qualify ~modname = function
+  | Typed_rules.Local name -> modname ^ "." ^ name
+  | Typed_rules.Extern name -> name
+
+let solve ~(config : Lint_config.t) (extracts : Typed_rules.extract list) :
+    L.finding list =
+  ignore config;
+  (* Global tables. *)
+  let roots : (string, root_info) Hashtbl.t = Hashtbl.create 64 in
+  let refs_of : (string, string list) Hashtbl.t = Hashtbl.create 256 in
+  let is_fn : (string, bool) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (x : Typed_rules.extract) ->
+      List.iter
+        (fun (r : Typed_rules.root) ->
+          Hashtbl.replace roots r.r_name
+            {
+              kind = r.r_kind;
+              file = x.x_path;
+              line = r.r_line;
+              guarded = r.r_guarded;
+            })
+        x.x_roots;
+      List.iter
+        (fun (name, fn, refs) ->
+          Hashtbl.replace is_fn name fn;
+          Hashtbl.replace refs_of name
+            (List.map (qualify ~modname:x.x_module) refs))
+        x.x_values)
+    extracts;
+  (* reach(v) = union over refs r of ({r} if r is a root)
+                               ∪ (reach(r) if r is a function).
+     Iterate to fixpoint; the value graph is small. *)
+  let reach : (string, StrSet.t) Hashtbl.t = Hashtbl.create 256 in
+  let get tbl k ~default = Option.value (Hashtbl.find_opt tbl k) ~default in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun name refs ->
+        let current = get reach name ~default:StrSet.empty in
+        let next =
+          List.fold_left
+            (fun acc r ->
+              let acc =
+                if Hashtbl.mem roots r then StrSet.add r acc else acc
+              in
+              if get is_fn r ~default:false then
+                StrSet.union acc (get reach r ~default:StrSet.empty)
+              else acc)
+            current refs
+        in
+        if not (StrSet.equal next current) then begin
+          Hashtbl.replace reach name next;
+          changed := true
+        end)
+      refs_of
+  done;
+  (* Per call site: resolve the closure's own references the same way. *)
+  let findings = ref [] in
+  List.iter
+    (fun (x : Typed_rules.extract) ->
+      List.iter
+        (fun (s : Typed_rules.site) ->
+          let reached =
+            List.fold_left
+              (fun acc r ->
+                let r = qualify ~modname:x.x_module r in
+                let acc =
+                  if Hashtbl.mem roots r then StrSet.add r acc else acc
+                in
+                if get is_fn r ~default:false then
+                  StrSet.union acc (get reach r ~default:StrSet.empty)
+                else acc)
+              StrSet.empty s.s_refs
+          in
+          StrSet.iter
+            (fun root_name ->
+              let info = Hashtbl.find roots root_name in
+              if not info.guarded then
+                findings :=
+                  L.finding ~col:s.s_col ~origin:L.Typed ~file:x.x_path
+                    ~line:s.s_line ~rule:L.Domain_race
+                    (Printf.sprintf
+                       "closure passed to %s reaches mutable state %s (%s, \
+                        defined in %s) with no Atomic or mutex guard"
+                       s.s_entry root_name info.kind info.file)
+                  :: !findings)
+            reached;
+          List.iter
+            (fun (c : Typed_rules.capture) ->
+              findings :=
+                L.finding ~col:s.s_col ~origin:L.Typed ~file:x.x_path
+                  ~line:s.s_line ~rule:L.Domain_race
+                  (Printf.sprintf
+                     "closure passed to %s captures mutable local %s : %s \
+                      (%s); confine it to one domain or guard it"
+                     s.s_entry c.c_name c.c_type c.c_kind)
+                :: !findings)
+            s.s_captures)
+        x.x_sites)
+    extracts;
+  List.sort L.compare_findings !findings

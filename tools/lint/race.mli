@@ -1,0 +1,9 @@
+(** Interprocedural R7 solve: stitch per-module {!Typed_rules.extract}s
+    along value references, propagate mutable-root reachability to each
+    [Parallel] entry-point call site, and emit domain-race findings for
+    unguarded reached roots and mutable captures. *)
+
+val solve :
+  config:Lint_config.t ->
+  Typed_rules.extract list ->
+  Lint_types.finding list

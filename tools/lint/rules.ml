@@ -1,12 +1,18 @@
 (* The per-file AST pass: parses one implementation with compiler-libs
-   and walks the parsetree with Ast_iterator, producing R1-R4 findings
-   plus the Obs name literals that R6 cross-checks against the
-   catalogue.  Everything here is purely syntactic — the linter never
-   typechecks — so each rule states its matching strategy next to the
-   code and relies on waivers for the (rare) false positives. *)
+   and walks the parsetree with Ast_iterator, producing R1-R4 and R8
+   findings plus the Obs name literals that R6 cross-checks against the
+   catalogue.  Everything here is purely syntactic.
+
+   R1/R2 have a typed counterpart in [Typed_rules]; the [poly] mode
+   decides how the syntactic versions run: [`Blocking] when the typed
+   engine is off (legacy heuristics, blocking), [`Fallback] when the
+   file's cmt is missing or stale (same heuristics, advisory only), and
+   [`Off] when the typed pass already covered the file exactly. *)
 
 open Parsetree
 module L = Lint_types
+
+type poly_mode = [ `Blocking | `Fallback | `Off ]
 
 type obs_kind = Metric | Span
 
@@ -22,8 +28,9 @@ let line_of (loc : Location.t) = loc.loc_start.pos_lnum
 
 let col_of (loc : Location.t) = loc.loc_start.pos_cnum - loc.loc_start.pos_bol
 
-let finding ~path ~loc ~rule message =
-  L.finding ~col:(col_of loc) ~file:path ~line:(line_of loc) ~rule message
+let finding ?origin ~path ~loc ~rule message =
+  L.finding ~col:(col_of loc) ?origin ~file:path ~line:(line_of loc) ~rule
+    message
 
 let ident_path e =
   match e.pexp_desc with
@@ -170,11 +177,21 @@ let print_names =
     "print_float"; "print_bytes";
   ]
 
-let check_expressions ~(config : Lint_config.t) ~path structure acc obs obs_dynamic =
-  let r1 = Lint_config.enabled config L.Poly_hash in
+let check_expressions ~(config : Lint_config.t) ~(poly : poly_mode) ~path
+    structure acc obs obs_dynamic =
+  let poly_origin =
+    match poly with `Fallback -> L.Fallback | _ -> L.Syntactic
+  in
+  let r1 = poly <> `Off && Lint_config.enabled config L.Poly_hash in
   let r2 =
-    Lint_config.enabled config L.Poly_compare
+    poly <> `Off
+    && Lint_config.enabled config L.Poly_compare
     && Lint_config.in_dirs config.poly_compare_dirs path
+  in
+  let r8 =
+    Lint_config.enabled config L.Determinism
+    && Lint_config.in_scope config.determinism_dirs path
+    && not (Lint_config.in_scope config.determinism_exempt path)
   in
   let r4 =
     Lint_config.enabled config L.Lib_hygiene
@@ -182,20 +199,23 @@ let check_expressions ~(config : Lint_config.t) ~path structure acc obs obs_dyna
     && not (Lint_config.in_dirs config.lib_hygiene_exempt path)
   in
   let collect_obs = Lint_config.under_dir ~dir:config.obs_scope path in
-  let add ~loc ~rule message = acc := finding ~path ~loc ~rule message :: !acc in
+  let add ?origin ~loc ~rule message =
+    acc := finding ?origin ~path ~loc ~rule message :: !acc
+  in
+  let add_poly ~loc ~rule message = add ~origin:poly_origin ~loc ~rule message in
   let on_ident ~loc txt =
     let path_parts = try Longident.flatten txt with _ -> [] in
     (if r1 then
        match last2 path_parts with
        | Some ("Hashtbl", (("hash" | "seeded_hash" | "hash_param") as fn)) ->
-           add ~loc ~rule:L.Poly_hash
+           add_poly ~loc ~rule:L.Poly_hash
              (Printf.sprintf
                 "Hashtbl.%s is polymorphic hashing (depth-bounded, collides on \
                  deep/float values); hash a Cost_key-style injective digest \
                  instead"
                 fn)
        | Some ("Hashtbl", "create") when not (Lint_config.whitelisted config path) ->
-           add ~loc ~rule:L.Poly_hash
+           add_poly ~loc ~rule:L.Poly_hash
              "default-hash Hashtbl.create outside the audited whitelist; key on \
               strings/ints (then waive, stating the key type) or use \
               Hashtbl.Make with a sound hash"
@@ -203,9 +223,35 @@ let check_expressions ~(config : Lint_config.t) ~path structure acc obs obs_dyna
     (if r2 then
        match path_parts with
        | [ "compare" ] | [ "Stdlib"; "compare" ] ->
-           add ~loc ~rule:L.Poly_compare
+           add_poly ~loc ~rule:L.Poly_compare
              "bare polymorphic compare on a hot path; use Int.compare / \
               Float.compare / a dedicated comparator"
+       | _ -> ());
+    (if r8 then
+       match last2 path_parts with
+       | Some ("Hashtbl", (("fold" | "iter") as fn)) ->
+           add ~loc ~rule:L.Determinism
+             (Printf.sprintf
+                "Hashtbl.%s visits bindings in hash-bucket order, which varies \
+                 with insertion history; sort the keys first, or waive with an \
+                 argument that the accumulation is order-insensitive"
+                fn)
+       | Some ("Random", fn) ->
+           add ~loc ~rule:L.Determinism
+             (Printf.sprintf
+                "Random.%s uses ambient global state; thread the seeded \
+                 Util.Rng.t through instead"
+                fn)
+       | Some ("Unix", (("gettimeofday" | "time") as fn)) ->
+           add ~loc ~rule:L.Determinism
+             (Printf.sprintf
+                "Unix.%s reads the wall clock inside lib/; take timestamps as \
+                 parameters or confine timing to lib/obs"
+                fn)
+       | Some ("Sys", "time") ->
+           add ~loc ~rule:L.Determinism
+             "Sys.time reads the process clock inside lib/; take timestamps as \
+              parameters or confine timing to lib/obs"
        | _ -> ());
     if r4 then
       match path_parts with
@@ -228,7 +274,7 @@ let check_expressions ~(config : Lint_config.t) ~path structure acc obs obs_dyna
        match ident_path f with
        | Some ([ (("=" | "<>") as op) ] | [ "Stdlib"; (("=" | "<>") as op) ])
          when List.exists (fun (_, a) -> floaty a) args ->
-           add ~loc ~rule:L.Poly_compare
+           add_poly ~loc ~rule:L.Poly_compare
              (Printf.sprintf
                 "polymorphic (%s) on a float operand; use Float.equal (or an \
                  epsilon comparison) so NaN/bit semantics are explicit"
@@ -269,7 +315,7 @@ let parse_impl ~path source =
   Lexing.set_filename lexbuf path;
   Parse.implementation lexbuf
 
-let check_source ~config ~r3_dirs ~path source =
+let check_source ~config ~r3_dirs ?(poly : poly_mode = `Blocking) ~path source =
   let acc = ref [] in
   let obs = ref [] in
   let obs_dynamic = ref 0 in
@@ -288,7 +334,7 @@ let check_source ~config ~r3_dirs ~path source =
       acc :=
         [ L.finding ~file:path ~line ~rule:L.Parse_error ("cannot parse: " ^ msg) ]
   | structure ->
-      check_expressions ~config ~path structure acc obs obs_dynamic;
+      check_expressions ~config ~poly ~path structure acc obs obs_dynamic;
       if
         Lint_config.enabled config L.Domain_unsafe_state
         && Lint_config.in_dirs r3_dirs path

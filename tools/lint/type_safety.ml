@@ -1,0 +1,417 @@
+(* Structural safety classification of [Types.type_expr] values pulled
+   out of cmt files.
+
+   The linter never reconstructs a typing environment (cmts are loaded
+   bare, without their cmi load path), so classification is structural:
+   predefined constructors are matched by path, everything else is looked
+   up in a repo-wide table of type declarations harvested from the same
+   cmt set.  Types that resolve to nothing — stdlib abstracts, external
+   libraries, functor-generated modules — are treated as *abstract* and
+   reported as such: the analysis refuses to guess, and an audited waiver
+   is the mechanism for vouching for them.
+
+   Names are normalized to the last two path components with dune's
+   [Lib__Module] mangling stripped, so [Cddpd_engine__Cost_cache.t],
+   [Cddpd_engine.Cost_cache.t] and a same-unit [t] all resolve to the
+   declaration registered for [Cost_cache.t].  Collisions between
+   same-named modules in different libraries would merge declarations;
+   the repo has none, and a collision at worst widens a verdict. *)
+
+(* -- name normalization ---------------------------------------------------- *)
+
+(* Strip everything up to the rightmost "__": dune mangles a library
+   module [cost_cache] of [cddpd_engine] as [Cddpd_engine__Cost_cache],
+   and executables as [Dune__exe__Main]. *)
+let strip_mangling seg =
+  let n = String.length seg in
+  let rec rightmost i =
+    if i < 0 then None
+    else if seg.[i] = '_' && seg.[i + 1] = '_' then Some i
+    else rightmost (i - 1)
+  in
+  match rightmost (n - 2) with
+  | Some i when i + 2 < n -> String.sub seg (i + 2) (n - i - 2)
+  | _ -> seg
+
+(* "Cddpd_engine__Cost_cache.t" -> "Cost_cache.t"; "t" -> "t". *)
+let normalize_name name =
+  let segs = String.split_on_char '.' name |> List.map strip_mangling in
+  match List.rev segs with
+  | last :: parent :: _ -> parent ^ "." ^ last
+  | [ last ] -> last
+  | [] -> name
+
+let normalize_path p = normalize_name (Path.name p)
+
+(* -- declaration table ------------------------------------------------------ *)
+
+type t = {
+  (* normalized "Module.typename" -> declaration and its owning module
+     (the context same-unit [Pident] references inside it resolve in). *)
+  decls : (string, Types.type_declaration * string) Hashtbl.t;
+}
+
+let create () = { decls = Hashtbl.create 256 }
+
+let register t ~key ~owner decl =
+  (* First registration wins: within one module a name is unique, and
+     across modules collisions keep the first (deterministic: the driver
+     feeds modules in sorted file order). *)
+  if not (Hashtbl.mem t.decls key) then Hashtbl.add t.decls key (decl, owner)
+
+(* A constructor name as it appears at a use site: already qualified
+   ("Cost_cache.t"), or a bare same-unit name ("entry") that resolves
+   against the module being analyzed. *)
+let resolve t ~self name =
+  if String.contains name '.' then Hashtbl.find_opt t.decls name
+  else
+    match Hashtbl.find_opt t.decls (self ^ "." ^ name) with
+    | Some _ as hit -> hit
+    | None -> None
+
+(* Walk a typedtree structure, registering every type declaration under
+   "<Module>.<name>" for the innermost enclosing module name: the
+   toplevel of foo.ml registers under "Foo.t", [module Sub = struct .. ]
+   under "Sub.t" — matching how use sites normalize. *)
+let register_module t ~modname (str : Typedtree.structure) =
+  let rec walk_items current items =
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.str_desc with
+        | Tstr_type (_, decls) ->
+            List.iter
+              (fun (d : Typedtree.type_declaration) ->
+                register t
+                  ~key:(current ^ "." ^ Ident.name d.typ_id)
+                  ~owner:current d.typ_type)
+              decls
+        | Tstr_module mb -> walk_module current mb.mb_id mb.mb_expr
+        | Tstr_recmodule mbs ->
+            List.iter (fun (mb : Typedtree.module_binding) ->
+                walk_module current mb.mb_id mb.mb_expr)
+              mbs
+        | _ -> ())
+      items
+  and walk_module _current id (me : Typedtree.module_expr) =
+    let name = match id with Some id -> Ident.name id | None -> "_" in
+    let rec go (me : Typedtree.module_expr) =
+      match me.mod_desc with
+      | Tmod_structure s -> walk_items name s.str_items
+      | Tmod_constraint (me, _, _, _) -> go me
+      | Tmod_functor (_, me) -> go me
+      | _ -> ()
+    in
+    go me
+  in
+  walk_items modname str.str_items
+
+(* -- classification --------------------------------------------------------- *)
+
+type verdict = Safe | Unsafe of string
+
+(* Predefined paths grouped by verdict. *)
+let predef_exact =
+  [
+    Predef.path_int; Predef.path_char; Predef.path_string; Predef.path_bool;
+    Predef.path_unit; Predef.path_int32; Predef.path_int64;
+    Predef.path_nativeint;
+  ]
+
+let predef_container = [ Predef.path_option; Predef.path_list ]
+
+let is_any p l = List.exists (Path.same p) l
+
+type query = Hash_key | Compare_arg
+
+let is_mutable = function Asttypes.Mutable -> true | Asttypes.Immutable -> false
+
+(* Containers that are immutable and structurally exact; recurse. *)
+let exact_container_names = [ "Stdlib.result"; "Either.t"; "Result.t" ]
+
+let mutable_container_names =
+  [
+    ("Hashtbl.t", "Hashtbl.t");
+    ("Queue.t", "Queue.t");
+    ("Stack.t", "Stack.t");
+    ("Buffer.t", "Buffer.t");
+    ("Weak.t", "Weak.t");
+    ("Dynarray.t", "Dynarray.t");
+  ]
+
+let fuel_limit = 64
+
+(* Stdlib module aliases for the predefined base types: at a use site
+   these appear as [String.t], [Float.t], ... rather than the predef
+   paths, and their declarations are not in any repo cmt. *)
+let alias_safe =
+  [
+    "String.t"; "Int.t"; "Bool.t"; "Char.t"; "Unit.t"; "Int32.t"; "Int64.t";
+    "Nativeint.t";
+  ]
+
+let alias_recurse = [ "Option.t"; "List.t" ]
+
+(* Core recursion shared by the two point queries.  Recursion continues
+   into type parameters/fields with a fuel bound and a visited set on
+   resolved declaration keys (cuts recursive types: the cycle itself
+   adds nothing the first unrolling didn't).  [self] is the module whose
+   code is being analyzed — bare constructor names resolve against it. *)
+let rec classify t ~query ~fuel ~visited ~subst ~self ty : verdict =
+  if fuel <= 0 then Safe (* depth-capped: deep but concrete is exact *)
+  else
+    let fuel = fuel - 1 in
+    match Types.get_desc ty with
+    | Tvar _ | Tunivar _ -> (
+        match List.assq_opt ty subst with
+        | Some ty' -> classify t ~query ~fuel ~visited ~subst:[] ~self ty'
+        | None -> Unsafe "a type variable (uninstantiated polymorphism)")
+    | Tarrow _ -> Unsafe "a function"
+    | Ttuple tys -> first_unsafe t ~query ~fuel ~visited ~subst ~self tys
+    | Tpoly (ty, _) -> classify t ~query ~fuel ~visited ~subst ~self ty
+    | Tobject _ | Tfield _ | Tnil -> Unsafe "an object type"
+    | Tpackage _ -> Unsafe "a first-class module"
+    | Tvariant row ->
+        (* polymorphic variants: recurse into present argument types *)
+        let tys =
+          Types.row_fields row
+          |> List.concat_map (fun (_, f) ->
+                 match Types.row_field_repr f with
+                 | Types.Rpresent (Some ty) -> [ ty ]
+                 | Types.Reither (_, tys, _) -> tys
+                 | _ -> [])
+        in
+        first_unsafe t ~query ~fuel ~visited ~subst ~self tys
+    | Tlink ty | Tsubst (ty, _) -> classify t ~query ~fuel ~visited ~subst ~self ty
+    | Tconstr (p, args, _) -> constr t ~query ~fuel ~visited ~subst ~self p args
+
+and first_unsafe t ~query ~fuel ~visited ~subst ~self tys =
+  List.fold_left
+    (fun acc ty ->
+      match acc with
+      | Unsafe _ -> acc
+      | Safe -> classify t ~query ~fuel ~visited ~subst ~self ty)
+    Safe tys
+
+and constr t ~query ~fuel ~visited ~subst ~self p args =
+  let name = normalize_path p in
+  if Path.same p Predef.path_float || name = "Float.t" then Unsafe "float"
+  else if is_any p predef_exact || List.mem name alias_safe then Safe
+  else if Path.same p Predef.path_bytes || name = "Bytes.t" then
+    match query with
+    | Hash_key -> Unsafe "mutable bytes"
+    | Compare_arg -> Safe
+  else if
+    is_any p predef_container
+    || List.mem name exact_container_names
+    || List.mem name alias_recurse
+  then first_unsafe t ~query ~fuel ~visited ~subst ~self args
+  else if
+    Path.same p Predef.path_array
+    || Path.same p Predef.path_floatarray
+    || name = "Array.t"
+  then
+    match query with
+    | Hash_key -> Unsafe "a mutable array"
+    | Compare_arg -> first_unsafe t ~query ~fuel ~visited ~subst ~self args
+  else if Path.same p Predef.path_lazy_t || name = "Lazy.t" then
+    Unsafe "a lazy value"
+  else if Path.same p Predef.path_exn then Unsafe "exn (open type)"
+  else if name = "Seq.t" then Unsafe "a function-backed Seq.t"
+  else if name = "Atomic.t" then Unsafe "Atomic.t (racy to hash/compare)"
+  else if name = "Stdlib.ref" || name = "ref" then
+    match query with
+    | Hash_key -> Unsafe "a mutable ref"
+    | Compare_arg -> first_unsafe t ~query ~fuel ~visited ~subst ~self args
+  else if List.mem_assoc name mutable_container_names then
+    Unsafe (List.assoc name mutable_container_names ^ " (mutable)")
+  else
+    let key = if String.contains name '.' then name else self ^ "." ^ name in
+    if List.mem key visited then Safe (* recursive occurrence *)
+    else
+      let visited = key :: visited in
+      match resolve t ~self name with
+      | None -> Unsafe (Printf.sprintf "abstract type %s" name)
+      | Some (decl, owner) ->
+          declaration t ~query ~fuel ~visited ~self:owner ~name decl args
+
+and declaration t ~query ~fuel ~visited ~self ~name
+    (decl : Types.type_declaration) args =
+  let subst =
+    try List.combine decl.type_params args with Invalid_argument _ -> []
+  in
+  match decl.type_manifest with
+  | Some manifest -> classify t ~query ~fuel ~visited ~subst ~self manifest
+  | None -> (
+      match decl.type_kind with
+      | Type_abstract -> Unsafe (Printf.sprintf "abstract type %s" name)
+      | Type_open -> Unsafe (Printf.sprintf "open type %s" name)
+      | Type_record (lds, _) ->
+          List.fold_left
+            (fun acc (ld : Types.label_declaration) ->
+              match acc with
+              | Unsafe _ -> acc
+              | Safe ->
+                  if query = Hash_key && is_mutable ld.ld_mutable then
+                    Unsafe
+                      (Printf.sprintf "mutable field %s.%s" name
+                         (Ident.name ld.ld_id))
+                  else classify t ~query ~fuel ~visited ~subst ~self ld.ld_type)
+            Safe lds
+      | Type_variant (cds, _) ->
+          List.fold_left
+            (fun acc (cd : Types.constructor_declaration) ->
+              match acc with
+              | Unsafe _ -> acc
+              | Safe -> (
+                  match cd.cd_args with
+                  | Cstr_tuple tys ->
+                      first_unsafe t ~query ~fuel ~visited ~subst ~self tys
+                  | Cstr_record lds ->
+                      List.fold_left
+                        (fun acc (ld : Types.label_declaration) ->
+                          match acc with
+                          | Unsafe _ -> acc
+                          | Safe ->
+                              if query = Hash_key && is_mutable ld.ld_mutable
+                              then
+                                Unsafe
+                                  (Printf.sprintf "mutable field %s.%s" name
+                                     (Ident.name ld.ld_id))
+                              else
+                                classify t ~query ~fuel ~visited ~subst ~self
+                                  ld.ld_type)
+                        Safe lds))
+            Safe cds)
+
+let hash_key t ?(self = "") ty =
+  classify t ~query:Hash_key ~fuel:fuel_limit ~visited:[] ~subst:[] ~self ty
+
+let compare_arg t ?(self = "") ty =
+  classify t ~query:Compare_arg ~fuel:fuel_limit ~visited:[] ~subst:[] ~self ty
+
+(* -- mutability (R7) -------------------------------------------------------- *)
+
+(* Mutable components of a type, for the domain-race rule.  Deliberately
+   narrower than hashing safety: arrays and bytes are excluded (disjoint
+   per-index writes are the fundamental parallel idiom here), [Atomic.t]
+   is synchronized by construction, and function types are opaque (a
+   captured closure's own captures are out of reach — documented
+   limitation).  Returns a deduplicated list of reasons, empty = clean. *)
+let mutable_parts t ?(self = "") ty =
+  let acc = ref [] in
+  let add reason = if not (List.mem reason !acc) then acc := reason :: !acc in
+  let rec go ~fuel ~visited ~subst ~self ty =
+    if fuel <= 0 then ()
+    else
+      let fuel = fuel - 1 in
+      match Types.get_desc ty with
+      | Tvar _ | Tunivar _ -> (
+          match List.assq_opt ty subst with
+          | Some ty' -> go ~fuel ~visited ~subst:[] ~self ty'
+          | None -> ())
+      | Tarrow _ | Tobject _ | Tfield _ | Tnil | Tpackage _ -> ()
+      | Ttuple tys -> List.iter (go ~fuel ~visited ~subst ~self) tys
+      | Tpoly (ty, _) -> go ~fuel ~visited ~subst ~self ty
+      | Tvariant row ->
+          Types.row_fields row
+          |> List.iter (fun (_, f) ->
+                 match Types.row_field_repr f with
+                 | Types.Rpresent (Some ty) -> go ~fuel ~visited ~subst ~self ty
+                 | Types.Reither (_, tys, _) ->
+                     List.iter (go ~fuel ~visited ~subst ~self) tys
+                 | _ -> ())
+      | Tlink ty | Tsubst (ty, _) -> go ~fuel ~visited ~subst ~self ty
+      | Tconstr (p, args, _) -> (
+          let name = normalize_path p in
+          if
+            Path.same p Predef.path_array
+            || Path.same p Predef.path_floatarray
+            || Path.same p Predef.path_bytes
+            || name = "Array.t" || name = "Bytes.t"
+            || name = "Atomic.t" || name = "Mutex.t" || name = "Semaphore.t"
+          then ()
+          else if name = "Stdlib.ref" || name = "ref" then begin
+            add "ref cell";
+            List.iter (go ~fuel ~visited ~subst ~self) args
+          end
+          else if List.mem_assoc name mutable_container_names then
+            add (List.assoc name mutable_container_names)
+          else
+            let key =
+              if String.contains name '.' then name else self ^ "." ^ name
+            in
+            if List.mem key visited then ()
+            else
+              let visited = key :: visited in
+              match resolve t ~self name with
+              | None -> () (* unknown abstract: assume synchronized/immutable *)
+              | Some (decl, owner) -> (
+                  let self = owner in
+                  let subst =
+                    try List.combine decl.type_params args
+                    with Invalid_argument _ -> []
+                  in
+                  match decl.type_manifest with
+                  | Some manifest -> go ~fuel ~visited ~subst ~self manifest
+                  | None -> (
+                      match decl.type_kind with
+                      | Type_abstract | Type_open -> ()
+                      | Type_record (lds, _) ->
+                          List.iter
+                            (fun (ld : Types.label_declaration) ->
+                              if is_mutable ld.ld_mutable then
+                                add
+                                  (Printf.sprintf "mutable field %s.%s" name
+                                     (Ident.name ld.ld_id));
+                              go ~fuel ~visited ~subst ~self ld.ld_type)
+                            lds
+                      | Type_variant (cds, _) ->
+                          List.iter
+                            (fun (cd : Types.constructor_declaration) ->
+                              match cd.cd_args with
+                              | Cstr_tuple tys ->
+                                  List.iter (go ~fuel ~visited ~subst ~self) tys
+                              | Cstr_record lds ->
+                                  List.iter
+                                    (fun (ld : Types.label_declaration) ->
+                                      if is_mutable ld.ld_mutable then
+                                        add
+                                          (Printf.sprintf
+                                             "mutable field %s.%s" name
+                                             (Ident.name ld.ld_id));
+                                      go ~fuel ~visited ~subst ~self ld.ld_type)
+                                    lds)
+                            cds)))
+  in
+  go ~fuel:fuel_limit ~visited:[] ~subst:[] ~self ty;
+  List.rev !acc
+
+let is_mutex_type ty =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) -> normalize_path p = "Mutex.t"
+  | _ -> false
+
+(* -- rendering -------------------------------------------------------------- *)
+
+(* A compact, env-free type renderer for messages (Printtyp wants a
+   typing env we do not have for marshalled cmt types). *)
+let rec render ?(depth = 0) ty =
+  if depth > 4 then "_"
+  else
+    match Types.get_desc ty with
+    | Tvar (Some v) | Tunivar (Some v) -> "'" ^ v
+    | Tvar None | Tunivar None -> "'_"
+    | Tarrow (_, a, b, _) ->
+        render ~depth:(depth + 1) a ^ " -> " ^ render ~depth:(depth + 1) b
+    | Ttuple tys ->
+        String.concat " * " (List.map (render ~depth:(depth + 1)) tys)
+    | Tconstr (p, [], _) -> normalize_path p
+    | Tconstr (p, args, _) ->
+        Printf.sprintf "(%s) %s"
+          (String.concat ", " (List.map (render ~depth:(depth + 1)) args))
+          (normalize_path p)
+    | Tpoly (ty, _) -> render ~depth ty
+    | Tlink ty | Tsubst (ty, _) -> render ~depth ty
+    | Tvariant _ -> "[> ]"
+    | Tobject _ | Tfield _ | Tnil -> "< .. >"
+    | Tpackage _ -> "(module _)"

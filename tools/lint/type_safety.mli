@@ -1,0 +1,52 @@
+(** Structural safety classification of [Types.type_expr] values from cmt
+    files, backed by a repo-wide table of type declarations harvested from
+    the same cmt set.  No typing environment is reconstructed: predefined
+    constructors match by path, named types resolve through the table by
+    normalized name, and anything unresolved is reported as abstract. *)
+
+type t
+(** The declaration table. *)
+
+val create : unit -> t
+
+val register_module : t -> modname:string -> Typedtree.structure -> unit
+(** Harvest every type declaration of one module's typedtree, keyed by
+    ["<Innermost_module>.<name>"] (e.g. ["Cost_cache.t"], ["Sub.t"]). *)
+
+val strip_mangling : string -> string
+(** Strip dune's module-name mangling: ["Cddpd_engine__Cost_cache"] and
+    ["Dune__exe__Main"] become ["Cost_cache"] and ["Main"]. *)
+
+val normalize_name : string -> string
+(** Last two path components with dune's [Lib__Module] mangling stripped:
+    ["Cddpd_engine__Cost_cache.t"] and ["Cddpd_engine.Cost_cache.t"] both
+    normalize to ["Cost_cache.t"]. *)
+
+val normalize_path : Path.t -> string
+
+type verdict = Safe | Unsafe of string  (** reason, e.g. ["float"] *)
+
+val hash_key : t -> ?self:string -> Types.type_expr -> verdict
+(** May this type be a key of a default-hash [Hashtbl] / an argument of
+    [Hashtbl.hash]?  Unsafe on floats, functions, mutable cells, abstract
+    or polymorphic types; exact base types and their immutable composites
+    are safe. *)
+
+val compare_arg : t -> ?self:string -> Types.type_expr -> verdict
+(** May this type flow into polymorphic [compare] / [(=)]?  Unsafe on
+    floats (NaN/bit semantics), functions (raises), abstract and
+    polymorphic types; mutable-but-concrete structures are safe.
+    [self] in all three queries is the module under analysis: bare
+    same-unit constructor names resolve as [self.name]. *)
+
+val mutable_parts : t -> ?self:string -> Types.type_expr -> string list
+(** Mutable components reachable through this type, for the domain-race
+    rule: ref cells, [Hashtbl.t]/[Buffer.t]/[Queue.t]/[Stack.t], mutable
+    record fields.  Arrays, [Bytes.t] and [Atomic.t] are deliberately
+    excluded (disjoint-index writes and atomics are the sanctioned
+    parallel idioms); function types are opaque.  Empty = clean. *)
+
+val is_mutex_type : Types.type_expr -> bool
+
+val render : ?depth:int -> Types.type_expr -> string
+(** Compact env-free rendering for finding messages. *)

@@ -1,0 +1,47 @@
+(** The typed per-file pass over one module's typedtree: exact R1/R2
+    findings (polymorphic hash/compare instantiated at unsafe types) and
+    the module's R7 extract — toplevel mutable roots, per-value reference
+    edges, and [Parallel] entry-point call sites with closure captures.
+    The cross-module fixpoint over extracts lives in {!Race}. *)
+
+type ref_target =
+  | Local of string  (** unqualified ident bound in the same module *)
+  | Extern of string  (** normalized ["Module.value"] *)
+
+type root = {
+  r_name : string;  (** qualified ["Module.value"] *)
+  r_kind : string;  (** what makes it mutable, e.g. ["ref cell"] *)
+  r_line : int;
+  r_guarded : bool;  (** a sibling mutex follows the naming convention *)
+}
+
+type capture = {
+  c_name : string;
+  c_type : string;  (** rendered type *)
+  c_kind : string;  (** mutable components *)
+}
+
+type site = {
+  s_line : int;
+  s_col : int;
+  s_entry : string;  (** e.g. ["Parallel.map_chunks"] *)
+  s_refs : ref_target list;
+  s_captures : capture list;
+}
+
+type extract = {
+  x_module : string;
+  x_path : string;
+  x_values : (string * bool * ref_target list) list;
+      (** qualified name, is-function (refs propagate on call), refs *)
+  x_roots : root list;
+  x_sites : site list;
+}
+
+val run :
+  config:Lint_config.t ->
+  types:Type_safety.t ->
+  path:string ->
+  modname:string ->
+  Typedtree.structure ->
+  extract * Lint_types.finding list
