@@ -51,7 +51,7 @@ lint-update-baseline:
 # digests must match between the incremental and from-scratch arms, and
 # stable-phase windows must hit the what-if-call reduction floor.
 bench-smoke:
-	$(DUNE) exec bench/main.exe -- --quick $(if $(JOBS),--jobs $(JOBS)) micro solvers experiments configspace serve
+	$(DUNE) exec bench/main.exe -- --quick $(if $(JOBS),--jobs $(JOBS)) micro solvers experiments configspace serve ingest
 
 bench:
 	$(DUNE) exec bench/main.exe -- $(if $(JOBS),--jobs $(JOBS)) all

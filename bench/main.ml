@@ -61,6 +61,7 @@ type options = {
   experiments_out : string;
   configspace_out : string;
   serve_out : string;
+  ingest_out : string;
   jobs : int option;
   cell_jobs : int option;
   cost_cache : bool;
@@ -68,17 +69,19 @@ type options = {
 
 let all_experiments =
   [ "table1"; "table2"; "figure3"; "figure4"; "ablation"; "updates"; "views";
-    "space"; "micro"; "solvers"; "experiments"; "configspace"; "serve" ]
+    "space"; "micro"; "solvers"; "experiments"; "configspace"; "serve";
+    "ingest" ]
 
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [table1|table2|figure3|figure4|ablation|updates|views|space|micro|solvers|experiments|configspace|serve]... \
+     [table1|table2|figure3|figure4|ablation|updates|views|space|micro|solvers|experiments|configspace|serve|ingest]... \
      [--suite NAME] \
      [--rows N] [--value-range N] [--scale F] [--seed N] [--readahead N] [--quick] \
      [--jobs N] [--cell-jobs N] [--no-cost-cache] \
      [--no-metrics] [--obs-out FILE] [--micro-out FILE] [--solvers-out FILE] \
-     [--experiments-out FILE] [--configspace-out FILE] [--serve-out FILE]";
+     [--experiments-out FILE] [--configspace-out FILE] [--serve-out FILE] \
+     [--ingest-out FILE]";
   exit 2
 
 let parse_args () =
@@ -91,6 +94,7 @@ let parse_args () =
   let experiments_out = ref "BENCH_experiments.json" in
   let configspace_out = ref "BENCH_configspace.json" in
   let serve_out = ref "BENCH_serve.json" in
+  let ingest_out = ref "BENCH_ingest.json" in
   let jobs = ref None in
   let cell_jobs = ref None in
   let cost_cache = ref true in
@@ -117,6 +121,9 @@ let parse_args () =
         go rest
     | "--serve-out" :: v :: rest ->
         serve_out := v;
+        go rest
+    | "--ingest-out" :: v :: rest ->
+        ingest_out := v;
         go rest
     | "--cell-jobs" :: v :: rest ->
         let j = int_of_string v in
@@ -179,6 +186,7 @@ let parse_args () =
     experiments_out = !experiments_out;
     configspace_out = !configspace_out;
     serve_out = !serve_out;
+    ingest_out = !ingest_out;
     jobs = !jobs;
     cell_jobs = !cell_jobs;
     cost_cache = !cost_cache;
@@ -224,9 +232,44 @@ let micro (session : Session.t) =
         ignore (Mix.sample_query Mix.mix_a ~table:"t" ~value_range:1000 rng)
       done
   in
+  (* SQL front-end micros: the lexer's scratch-buffer/int fast paths and
+     the template cache, over a pool of texts shaped like serve traffic. *)
+  let sql_pool =
+    Array.init 64 (fun i ->
+        Printf.sprintf
+          "SELECT a, b FROM t WHERE a = %d AND c BETWEEN %d AND %d AND d = 'v%d'"
+          (1 + (i * 1_031 mod 50_000))
+          (1 + (i * 157 mod 50_000))
+          (41 + (i * 157 mod 50_000))
+          (i mod 7))
+  in
+  let tokenize_pool () =
+    Array.iter (fun s -> ignore (Cddpd_sql.Lexer.tokenize s)) sql_pool
+  in
+  let parse_pool () =
+    Array.iter
+      (fun s ->
+        match Cddpd_sql.Parser.parse s with
+        | Ok _ -> ()
+        | Error _ -> failwith "micro: parse failed")
+      sql_pool
+  in
+  let parse_cached_pool =
+    let cache = Cddpd_sql.Template.create () in
+    fun () ->
+      Array.iter
+        (fun s ->
+          match Cddpd_sql.Parser.parse_cached cache s with
+          | Ok _ -> ()
+          | Error _ -> failwith "micro: parse_cached failed")
+        sql_pool
+  in
   let tests =
     Test.make_grouped ~name:"cddpd"
       [
+        Test.make ~name:"sql/tokenize-64" (Staged.stage tokenize_pool);
+        Test.make ~name:"sql/parse-64" (Staged.stage parse_pool);
+        Test.make ~name:"sql/parse-cached-64" (Staged.stage parse_cached_pool);
         Test.make ~name:"table1/mix-sample-100" (Staged.stage sample_mix);
         Test.make ~name:"table2/unconstrained"
           (Staged.stage (solve Solution.Unconstrained None));
@@ -339,10 +382,11 @@ let write_micro_json path ~(options : options) ~build_s rows =
   in
   Printf.fprintf oc
     "{\"schema\":\"cddpd-bench-micro/1\",\"rows\":%d,\"value_range\":%d,\
-     \"scale\":%.3f,\"seed\":%d,\"jobs\":%d,\"cost_cache\":%b,\
+     \"scale\":%.3f,\"seed\":%d,\"jobs\":%d,\"cores\":%d,\"cost_cache\":%b,\
      \"problem_build\":{\"runs\":%d,\"median_s\":%s},\"micro\":["
     options.config.Setup.rows options.config.Setup.value_range
-    options.config.Setup.scale options.config.Setup.seed jobs options.cost_cache
+    options.config.Setup.scale options.config.Setup.seed jobs
+    (Cddpd_util.Parallel.ncpu ()) options.cost_cache
     problem_build_runs (json_float build_s);
   List.iteri
     (fun i (name, ns) ->
@@ -610,8 +654,8 @@ let write_solvers_json path entries =
   let oc = open_out path in
   Printf.fprintf oc
     "{\"schema\":\"cddpd-bench-solvers/1\",\"stages\":%d,\"phase_len\":%d,\
-     \"runs\":%d,\"entries\":["
-    solvers_stages solvers_phase_len solvers_runs;
+     \"runs\":%d,\"cores\":%d,\"entries\":["
+    solvers_stages solvers_phase_len solvers_runs (Cddpd_util.Parallel.ncpu ());
   List.iteri
     (fun i e ->
       Printf.fprintf oc
@@ -686,11 +730,16 @@ let figure4_cost_digest (r : Figure4.result) =
 type sweep_arm = {
   ex_readahead : int;
   ex_cell_jobs : int;
-  ex_median_s : float;
+  ex_median_s : float;  (** [nan] when the arm was skipped *)
   ex_digest : string;  (** MD5 over the deterministic output fields *)
+  ex_skipped : bool;
+      (** true when [ex_cell_jobs] exceeds the machine's cores: a
+          multi-domain arm on that box measures scheduler thrash, not
+          parallel speedup, so it is recorded as skipped instead of run *)
 }
 
 let experiments_sweep (config : Setup.config) =
+  let cores = Cddpd_util.Parallel.ncpu () in
   List.concat_map
     (fun readahead ->
       let config = { config with Setup.readahead } in
@@ -700,28 +749,44 @@ let experiments_sweep (config : Setup.config) =
         (Unix.gettimeofday () -. t0);
       List.map
         (fun cell_jobs ->
-          let digest = ref "" in
-          let times =
-            Array.init experiments_runs (fun _ ->
-                let t0 = Unix.gettimeofday () in
-                let f3 = Figure3.run_cells ~cell_jobs session in
-                let f4 =
-                  Figure4.run_cells ~ks:experiments_ks
-                    ~repeats:experiments_repeats ~cell_jobs session
-                in
-                let elapsed = Unix.gettimeofday () -. t0 in
-                digest :=
-                  Digest.to_hex
-                    (Digest.string
-                       (figure3_digest f3 ^ "|" ^ figure4_cost_digest f4));
-                elapsed)
-          in
-          {
-            ex_readahead = readahead;
-            ex_cell_jobs = cell_jobs;
-            ex_median_s = median_of times;
-            ex_digest = !digest;
-          })
+          if cell_jobs > 1 && cores < 2 then begin
+            Printf.printf
+              "(skipping cell_jobs=%d arm: %d core%s available)\n%!" cell_jobs
+              cores
+              (if cores = 1 then "" else "s");
+            {
+              ex_readahead = readahead;
+              ex_cell_jobs = cell_jobs;
+              ex_median_s = nan;
+              ex_digest = "";
+              ex_skipped = true;
+            }
+          end
+          else begin
+            let digest = ref "" in
+            let times =
+              Array.init experiments_runs (fun _ ->
+                  let t0 = Unix.gettimeofday () in
+                  let f3 = Figure3.run_cells ~cell_jobs session in
+                  let f4 =
+                    Figure4.run_cells ~ks:experiments_ks
+                      ~repeats:experiments_repeats ~cell_jobs session
+                  in
+                  let elapsed = Unix.gettimeofday () -. t0 in
+                  digest :=
+                    Digest.to_hex
+                      (Digest.string
+                         (figure3_digest f3 ^ "|" ^ figure4_cost_digest f4));
+                  elapsed)
+            in
+            {
+              ex_readahead = readahead;
+              ex_cell_jobs = cell_jobs;
+              ex_median_s = median_of times;
+              ex_digest = !digest;
+              ex_skipped = false;
+            }
+          end)
         experiments_cell_jobs)
     [ Cddpd_storage.Buffer_pool.default_readahead; 0 ]
 
@@ -778,8 +843,9 @@ let experiments_bulk () =
   { bk_bulk_s; bk_row_s; bk_output_equal }
 
 let write_experiments_json path ~(config : Setup.config) arms bulk =
+  let ran = List.filter (fun a -> not a.ex_skipped) arms in
   let digests_identical =
-    match arms with
+    match ran with
     | first :: rest ->
         List.for_all (fun a -> String.equal a.ex_digest first.ex_digest) rest
     | [] -> true
@@ -789,12 +855,13 @@ let write_experiments_json path ~(config : Setup.config) arms bulk =
       List.find_opt
         (fun a ->
           a.ex_cell_jobs = jobs
-          && a.ex_readahead = Cddpd_storage.Buffer_pool.default_readahead)
+          && a.ex_readahead = Cddpd_storage.Buffer_pool.default_readahead
+          && not a.ex_skipped)
         arms
     in
     match (find 1, find 4) with
     | Some seq, Some par -> seq.ex_median_s /. par.ex_median_s
-    | _ -> nan
+    | _ -> nan (* serialised as null: no honest multi-core measurement *)
   in
   let oc = open_out path in
   Printf.fprintf oc
@@ -809,9 +876,11 @@ let write_experiments_json path ~(config : Setup.config) arms bulk =
   List.iteri
     (fun i a ->
       Printf.fprintf oc
-        "%s{\"readahead\":%d,\"cell_jobs\":%d,\"median_s\":%s,\"digest\":\"%s\"}"
+        "%s{\"readahead\":%d,\"cell_jobs\":%d,\"median_s\":%s,\"digest\":\"%s\",\
+         \"status\":\"%s\"}"
         (if i = 0 then "" else ",")
-        a.ex_readahead a.ex_cell_jobs (json_float6 a.ex_median_s) a.ex_digest)
+        a.ex_readahead a.ex_cell_jobs (json_float6 a.ex_median_s) a.ex_digest
+        (if a.ex_skipped then "skipped_single_core" else "ok"))
     arms;
   Printf.fprintf oc
     "],\"digests_identical\":%b,\"parallel_speedup\":%s,\
@@ -845,16 +914,24 @@ let experiments_suite ~(options : options) () =
   List.iter
     (fun a ->
       Cddpd_util.Text_table.add_row table
-        [
-          string_of_int a.ex_readahead;
-          string_of_int a.ex_cell_jobs;
-          Printf.sprintf "%.2f" a.ex_median_s;
-          String.sub a.ex_digest 0 12;
-        ])
+        (if a.ex_skipped then
+           [
+             string_of_int a.ex_readahead;
+             string_of_int a.ex_cell_jobs;
+             "skipped";
+             "(single core)";
+           ]
+         else
+           [
+             string_of_int a.ex_readahead;
+             string_of_int a.ex_cell_jobs;
+             Printf.sprintf "%.2f" a.ex_median_s;
+             String.sub a.ex_digest 0 12;
+           ]))
     arms;
   Cddpd_util.Text_table.print table;
-  (match arms with
-  | first :: rest ->
+  (match List.filter (fun a -> not a.ex_skipped) arms with
+  | first :: rest as ran ->
       List.iter
         (fun a ->
           if not (String.equal a.ex_digest first.ex_digest) then
@@ -863,8 +940,8 @@ let experiments_suite ~(options : options) () =
                  "experiments: outputs differ at readahead=%d cell_jobs=%d"
                  a.ex_readahead a.ex_cell_jobs))
         rest;
-      Printf.printf "\nall %d arms produced identical outputs\n%!"
-        (List.length arms)
+      Printf.printf "\nall %d measured arms produced identical outputs\n%!"
+        (List.length ran)
   | [] -> ());
   let bulk = experiments_bulk () in
   Printf.printf
@@ -1264,10 +1341,12 @@ let write_configspace_json path entries =
   let oc = open_out path in
   Printf.fprintf oc
     "{\"schema\":\"cddpd-bench-configspace/1\",\"rows\":%d,\"value_range\":%d,\
-     \"columns\":%d,\"statements_per_step\":%d,\"runs\":%d,\"max_width\":%d,\
+     \"columns\":%d,\"statements_per_step\":%d,\"runs\":%d,\"cores\":%d,\
+     \"max_width\":%d,\
      \"max_structures\":%d,\"max_configs\":%d,\"k\":%d,\"cells\":["
     configspace_rows configspace_value_range configspace_columns
-    configspace_stmts_per_step configspace_runs configspace_max_width
+    configspace_stmts_per_step configspace_runs (Cddpd_util.Parallel.ncpu ())
+    configspace_max_width
     configspace_max_structures configspace_max_configs configspace_k;
   List.iteri
     (fun i e ->
@@ -1598,10 +1677,11 @@ let write_serve_json path (scratch, incr, clusters) =
   Printf.fprintf oc
     "{\"schema\":\"cddpd-bench-serve/1\",\"rows\":%d,\"value_range\":%d,\
      \"window\":%d,\"pool\":%d,\"history\":%d,\"k\":%d,\"method\":\"%s\",\
-     \"jobs\":1,\"phases\":\"%s\",\"cells\":["
+     \"jobs\":1,\"cores\":%d,\"phases\":\"%s\",\"cells\":["
     serve_rows serve_value_range serve_window serve_pool_size
     cfg.Server.history cfg.Server.k
     (json_escape (Solution.method_to_string cfg.Server.method_name))
+    (Cddpd_util.Parallel.ncpu ())
     (String.concat "" (Array.to_list serve_phases));
   Array.iteri
     (fun i (s : serve_cell) ->
@@ -1651,12 +1731,298 @@ let write_serve_json path (scratch, incr, clusters) =
     scratch.se_stats.Reopt.warm_start_bounds;
   close_out oc
 
+(* -- ingest suite: serve statement fast path -------------------------------- *)
+
+(* The same phased raw-SQL trace replayed through two serve loops on
+   identically-seeded databases: the fast path (statement-template cache,
+   one-pass cost keys, plan-choice memo — the defaults) against
+   [--no-template-cache --no-plan-cache].  The caches claim bit-identity,
+   so every window's control decisions, drift distances, what-if call
+   counts and measured I/O must agree between the arms — checked with
+   failwith on every run, not just recorded.  The headline is ingest
+   statement throughput: per-feed wall time is split into an ingest
+   bucket (feeds that only execute and buffer) and a close bucket (the
+   one feed per window that also runs drift detection, re-optimization
+   and deployment — control work the caches do not claim to speed up and
+   both arms pay identically), and the gate is the ratio of ingest
+   statements/s, floor [ingest_min_ratio]. *)
+
+module Plan_cache = Cddpd_engine.Plan_cache
+module Template = Cddpd_sql.Template
+
+let ingest_rows = 3_000
+let ingest_value_range = 50_000
+let ingest_window = 1_000
+let ingest_pool_size = 48
+let ingest_churn_every = 20  (* every 20th statement carries fresh literals *)
+let ingest_min_ratio = 5.0
+
+let ingest_phases =
+  [| "a"; "a"; "a"; "a"; "a"; "b"; "b"; "b"; "b"; "b"; "a"; "a"; "a"; "a";
+     "a"; "a" |]
+
+(* A wide table and wide statements: seven predicates each, so the
+   per-statement front-end work (lex, parse, validate, cost-key every
+   predicate, plan choice) — the work the fast path caches — dominates
+   execution.  Both queried columns are indexed up front, so execution is
+   a cheap point seek (almost always empty at this value range) in every
+   window of both arms. *)
+let ingest_schema =
+  Schema.table "t"
+    [ ("a", Schema.Int_type); ("b", Schema.Int_type); ("c", Schema.Int_type);
+      ("d", Schema.Int_type); ("e", Schema.Int_type); ("f", Schema.Int_type);
+      ("g", Schema.Int_type); ("h", Schema.Int_type) ]
+
+let ingest_db () =
+  let db = Cddpd_engine.Database.create ~pool_capacity:2048 [ ingest_schema ] in
+  Cddpd_engine.Database.build_index db (Index_def.make ~table:"t" ~columns:[ "a" ]);
+  Cddpd_engine.Database.build_index db (Index_def.make ~table:"t" ~columns:[ "b" ]);
+  Cddpd_engine.Database.load db ~table:"t"
+    (Cddpd_workload.Data_gen.uniform_rows ~columns:8 ~rows:ingest_rows
+       ~value_range:ingest_value_range ~seed:11);
+  Cddpd_engine.Database.analyze db;
+  db
+
+let ingest_text column value lo =
+  Printf.sprintf
+    "SELECT a, b FROM t WHERE %s = %d AND c BETWEEN %d AND %d AND d = %d \
+     AND e = %d AND f = %d AND g = %d AND h = %d"
+    column value lo (lo + 40)
+    (1 + (value mod 97))
+    (1 + (lo mod 89))
+    (1 + (value mod 83))
+    (1 + (lo mod 79))
+    (1 + (value mod 73))
+
+(* Per phase column, a fixed pool of prepared-statement-like texts; the
+   churn statements between them never repeat a literal, so the template
+   layer must rebind, not just replay. *)
+let ingest_pool column =
+  Array.init ingest_pool_size (fun i ->
+      ingest_text column
+        (1 + (i * 1_031 mod ingest_value_range))
+        (1 + (i * 157 mod ingest_value_range)))
+
+let ingest_churn_text column j =
+  ingest_text column
+    (1 + (j * 7_919 mod ingest_value_range))
+    (1 + (j * 3_571 mod ingest_value_range))
+
+let ingest_trace () =
+  let texts = ref [] in
+  let j = ref 0 in
+  Array.iter
+    (fun phase ->
+      let pool = ingest_pool phase in
+      for i = 0 to ingest_window - 1 do
+        incr j;
+        texts :=
+          (if i mod ingest_churn_every = 0 then ingest_churn_text phase !j
+           else pool.(i mod ingest_pool_size))
+          :: !texts
+      done)
+    ingest_phases;
+  Array.of_list (List.rev !texts)
+
+let ingest_config ~fast =
+  {
+    (Server.default_config ~table:"t") with
+    Server.window = ingest_window;
+    jobs = Some 1;
+    template_cache = fast;
+    plan_cache = fast;
+  }
+
+(* The serve digest plus the window's what-if call count: the caches must
+   not change how much cost-model work re-optimization does either. *)
+let ingest_window_digest (w : Server.window_report) =
+  Printf.sprintf "%s:%d" (serve_window_digest w) w.Server.reopt_whatif_calls
+
+type ingest_arm = {
+  in_digests : string array;
+  in_ingest_s : float;  (** wall seconds in plain (non-closing) feeds *)
+  in_close_s : float;  (** wall seconds in window-closing feeds *)
+  in_ingest_statements : int;
+  in_statements : int;
+  in_exec_io : int;
+  in_trans_io : int;
+  in_report_digest : string;  (** the final report's counters, bit-precise *)
+  in_template : Template.stats option;
+  in_plan : Plan_cache.stats;
+}
+
+let ingest_run_arm ~fast trace =
+  let db = ingest_db () in
+  let server = Server.create db (ingest_config ~fast) in
+  let digests = ref [] in
+  let ingest_s = ref 0.0 in
+  let close_s = ref 0.0 in
+  let ingest_n = ref 0 in
+  Array.iter
+    (fun text ->
+      let t0 = Unix.gettimeofday () in
+      match Server.feed_sql server text with
+      | Ok None ->
+          ingest_s := !ingest_s +. (Unix.gettimeofday () -. t0);
+          incr ingest_n
+      | Ok (Some w) ->
+          close_s := !close_s +. (Unix.gettimeofday () -. t0);
+          digests := ingest_window_digest w :: !digests
+      | Error message -> failwith ("ingest: parse error: " ^ message))
+    trace;
+  let report = Server.finish server in
+  let report_digest =
+    Printf.sprintf "%d:%d:%d:%d:%d:%d:%d:%d:%d:%s" report.Server.statements
+      report.Server.residual_statements report.Server.drift_events
+      report.Server.reoptimizations report.Server.deployments
+      report.Server.rejections report.Server.rollbacks
+      report.Server.exec_logical_io report.Server.trans_logical_io
+      (Design.name report.Server.final_design)
+  in
+  {
+    in_digests = Array.of_list (List.rev !digests);
+    in_ingest_s = !ingest_s;
+    in_close_s = !close_s;
+    in_ingest_statements = !ingest_n;
+    in_statements = report.Server.statements;
+    in_exec_io = report.Server.exec_logical_io;
+    in_trans_io = report.Server.trans_logical_io;
+    in_report_digest = report_digest;
+    in_template = Server.template_stats server;
+    in_plan = Cddpd_engine.Database.plan_cache_stats db;
+  }
+
+let ingest_rate arm =
+  float_of_int arm.in_ingest_statements /. arm.in_ingest_s
+
+let ingest_suite () =
+  (* Instrumentation stays ENABLED for both arms: the digests include
+     what-if call counts, which are silent otherwise.  Both arms carry
+     the same small accounting overhead. *)
+  let was_enabled = Obs.Registry.enabled () in
+  Obs.Registry.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_enabled then Obs.Registry.disable ())
+  @@ fun () ->
+  let trace = ingest_trace () in
+  Printf.printf
+    "trace: %d windows x %d raw-SQL statements, %d pooled texts per phase, \
+     1-in-%d literal churn, phases %s\n%!"
+    (Array.length ingest_phases) ingest_window ingest_pool_size
+    ingest_churn_every
+    (String.concat "" (Array.to_list ingest_phases));
+  let slow = ingest_run_arm ~fast:false trace in
+  let fast = ingest_run_arm ~fast:true trace in
+  let n = Array.length ingest_phases in
+  if
+    Array.length slow.in_digests <> n || Array.length fast.in_digests <> n
+  then failwith "ingest: expected one closed window per phase entry";
+  Array.iteri
+    (fun i d ->
+      if not (String.equal d fast.in_digests.(i)) then
+        failwith
+          (Printf.sprintf
+             "ingest: window %d differs between slow and fast arms:\n\
+             \  slow %s\n  fast %s"
+             i d fast.in_digests.(i)))
+    slow.in_digests;
+  if not (String.equal slow.in_report_digest fast.in_report_digest) then
+    failwith
+      (Printf.sprintf
+         "ingest: final reports differ:\n  slow %s\n  fast %s"
+         slow.in_report_digest fast.in_report_digest);
+  let ratio = ingest_rate fast /. ingest_rate slow in
+  Printf.printf
+    "slow arm (--no-template-cache --no-plan-cache): %d ingest statements \
+     in %.3fs (%.0f/s), window closes %.3fs\n%!"
+    slow.in_ingest_statements slow.in_ingest_s (ingest_rate slow)
+    slow.in_close_s;
+  Printf.printf
+    "fast arm (defaults):                            %d ingest statements \
+     in %.3fs (%.0f/s), window closes %.3fs\n%!"
+    fast.in_ingest_statements fast.in_ingest_s (ingest_rate fast)
+    fast.in_close_s;
+  (match fast.in_template with
+  | Some t ->
+      Printf.printf
+        "template cache: %d exact hits, %d template hits, %d misses, %d \
+         skeletons\n%!"
+        t.Template.exact_hits t.Template.template_hits t.Template.misses
+        t.Template.templates
+  | None -> ());
+  Printf.printf
+    "plan memo: %d hits, %d misses, %d invalidations\n%!"
+    fast.in_plan.Plan_cache.hits fast.in_plan.Plan_cache.misses
+    fast.in_plan.Plan_cache.invalidations;
+  Printf.printf
+    "\ningest throughput ratio: %.1fx (floor %.0fx), windows and report \
+     bit-identical\n%!"
+    ratio ingest_min_ratio;
+  if ratio < ingest_min_ratio then
+    failwith
+      (Printf.sprintf
+         "ingest: fast/slow throughput ratio %.2fx below the %.0fx floor \
+          (%.0f/s vs %.0f/s)"
+         ratio ingest_min_ratio (ingest_rate fast) (ingest_rate slow));
+  (slow, fast, ratio)
+
+let write_ingest_json path (slow, fast, ratio) =
+  let arm_json a =
+    Printf.sprintf
+      "{\"statements\":%d,\"ingest_statements\":%d,\"ingest_wall_s\":%s,\
+       \"ingest_statements_per_s\":%s,\"close_wall_s\":%s,\
+       \"exec_logical_io\":%d,\"trans_logical_io\":%d,\
+       \"template_cache\":%s,\"plan_cache\":{\"hits\":%d,\"misses\":%d,\
+       \"invalidations\":%d,\"entries\":%d}}"
+      a.in_statements a.in_ingest_statements (json_float6 a.in_ingest_s)
+      (json_float (ingest_rate a))
+      (json_float6 a.in_close_s) a.in_exec_io a.in_trans_io
+      (match a.in_template with
+      | None -> "null"
+      | Some t ->
+          Printf.sprintf
+            "{\"exact_hits\":%d,\"template_hits\":%d,\"misses\":%d,\
+             \"templates\":%d,\"entries\":%d}"
+            t.Template.exact_hits t.Template.template_hits t.Template.misses
+            t.Template.templates t.Template.entries)
+      a.in_plan.Plan_cache.hits a.in_plan.Plan_cache.misses
+      a.in_plan.Plan_cache.invalidations a.in_plan.Plan_cache.entries
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"schema\":\"cddpd-bench-ingest/1\",\"rows\":%d,\"value_range\":%d,\
+     \"window\":%d,\"pool\":%d,\"churn_every\":%d,\"phases\":\"%s\",\
+     \"jobs\":1,\"cores\":%d,\"fast\":%s,\"slow\":%s,\
+     \"throughput_ratio\":%s,\"min_ratio\":%s,\"digests_identical\":true}\n"
+    ingest_rows ingest_value_range ingest_window ingest_pool_size
+    ingest_churn_every
+    (String.concat "" (Array.to_list ingest_phases))
+    (Cddpd_util.Parallel.ncpu ())
+    (arm_json fast) (arm_json slow) (json_float ratio)
+    (json_float ingest_min_ratio);
+  close_out oc
+
 let () =
   let ({ experiments; config; metrics; obs_out; micro_out; solvers_out;
-         experiments_out = _; configspace_out = _; serve_out = _; jobs;
-         cell_jobs; cost_cache } as options) =
+         experiments_out = _; configspace_out = _; serve_out = _;
+         ingest_out = _; jobs; cell_jobs; cost_cache } as options) =
     parse_args ()
   in
+  (* Honesty clamp: more domains than cores measures scheduler thrash,
+     not the code, so requested arms are capped at the machine. *)
+  let clamp_jobs what j =
+    let cores = Cddpd_util.Parallel.ncpu () in
+    if j > cores then begin
+      Printf.printf "(%s clamped from %d to %d: %d core%s available)\n%!" what
+        j cores cores
+        (if cores = 1 then "" else "s");
+      cores
+    end
+    else j
+  in
+  let jobs = Option.map (clamp_jobs "--jobs") jobs in
+  let cell_jobs = Option.map (clamp_jobs "--cell-jobs") cell_jobs in
+  let options = { options with jobs; cell_jobs } in
   (match jobs with
   | Some j -> Cddpd_util.Parallel.set_default_jobs j
   | None -> ());
@@ -1746,6 +2112,12 @@ let () =
           write_serve_json options.serve_out arms;
           Printf.printf "\n(wrote incremental re-optimization baseline to %s)\n%!"
             options.serve_out
+      | "ingest" ->
+          banner "Ingest: serve statement fast path";
+          let arms = ingest_suite () in
+          write_ingest_json options.ingest_out arms;
+          Printf.printf "\n(wrote ingest fast-path baseline to %s)\n%!"
+            options.ingest_out
       | _ -> usage ())
     experiments;
   if metrics then begin

@@ -463,6 +463,24 @@ let no_reopt_reuse_arg =
                  Results are bit-identical either way; this is the escape \
                  hatch (and the from-scratch arm of bench --suite serve).")
 
+let no_template_cache_arg =
+  Arg.(value & flag
+       & info [ "no-template-cache" ]
+           ~doc:"Disable the statement-template cache: every arriving text \
+                 is lexed and parsed from scratch instead of reusing the \
+                 cached AST (repeated text) or statement skeleton (repeated \
+                 shape). Results are bit-identical either way; this is the \
+                 escape hatch (and the slow arm of bench --suite ingest).")
+
+let no_plan_cache_arg =
+  Arg.(value & flag
+       & info [ "no-plan-cache" ]
+           ~doc:"Disable the plan-choice memo and the probation what-if \
+                 cache: every statement re-runs plan selection against the \
+                 cost model. Results are bit-identical either way; this is \
+                 the escape hatch (and the slow arm of bench --suite \
+                 ingest).")
+
 let status_json_arg =
   Arg.(value & flag
        & info [ "status" ]
@@ -544,6 +562,9 @@ let print_report (report : Server.report) =
     report.Server.exec_logical_io report.Server.trans_logical_io
     (Design.name report.Server.final_design)
 
+(* Both feed loops replay raw statement text through Server.feed_sql, so
+   the template cache sees the original strings — parsing up front would
+   bypass the ingest fast path entirely. *)
 let feed_stdin server =
   let rec loop () =
     match In_channel.input_line stdin with
@@ -552,8 +573,8 @@ let feed_stdin server =
         let line = String.trim line in
         if String.length line > 0 && not (String.length line >= 2 && String.sub line 0 2 = "--")
         then begin
-          match Cddpd_sql.Parser.parse line with
-          | Ok statement -> ignore (Server.feed server statement)
+          match Server.feed_sql server line with
+          | Ok _ -> ()
           | Error message ->
               Printf.eprintf "cddpd serve: skipping statement: %s\n%!" message
         end;
@@ -561,9 +582,39 @@ let feed_stdin server =
   in
   loop ()
 
+(* Trace-file replay: same line conventions as Trace.load ([#] comments,
+   blank lines), same strictness (a parse error aborts naming the line). *)
+let feed_file server path =
+  let ic =
+    try open_in path
+    with Sys_error message ->
+      prerr_endline ("cddpd: cannot load trace: " ^ message);
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec loop i =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | line ->
+            let trimmed = String.trim line in
+            if trimmed <> "" && trimmed.[0] <> '#' then begin
+              match Server.feed_sql server trimmed with
+              | Ok _ -> ()
+              | Error message ->
+                  Printf.eprintf "cddpd: cannot load trace: line %d: %s\n" i
+                    message;
+                  exit 1
+            end;
+            loop (i + 1)
+      in
+      loop 1)
+
 let serve input once regime window history horizon drift_threshold regret_budget
     rollback_factor k method_name rows value_range seed readahead jobs
-    no_cost_cache no_reopt_reuse status_json metrics trace =
+    no_cost_cache no_reopt_reuse no_template_cache no_plan_cache status_json
+    metrics trace =
   apply_perf_knobs jobs no_cost_cache;
   with_obs ~metrics ~trace @@ fun () ->
   if once && input = None then begin
@@ -575,18 +626,17 @@ let serve input once regime window history horizon drift_threshold regret_budget
       { serve_defaults with
         Server.regime; window; history; horizon; drift_threshold; regret_budget;
         rollback_factor; k; method_name; jobs;
-        reopt_reuse = not no_reopt_reuse }
+        reopt_reuse = not no_reopt_reuse;
+        template_cache = not no_template_cache;
+        plan_cache = not no_plan_cache }
     in
     let db = Setup.make_database (config_of ~readahead rows value_range seed 1.0) in
     let on_window = if status_json then fun _ -> () else print_window_line in
-    let report =
-      match input with
-      | Some path -> Server.run ~on_window db cfg (load_trace path)
-      | None ->
-          let server = Server.create ~on_window db cfg in
-          feed_stdin server;
-          Server.finish server
-    in
+    let server = Server.create ~on_window db cfg in
+    (match input with
+    | Some path -> feed_file server path
+    | None -> feed_stdin server);
+    let report = Server.finish server in
     if status_json then print_endline (report_json report) else print_report report;
     0
   end
@@ -602,8 +652,8 @@ let serve_cmd =
           $ history_arg $ horizon_arg $ drift_threshold_arg $ regret_budget_arg
           $ rollback_factor_arg $ serve_k_arg $ method_arg $ rows_arg
           $ value_range_arg $ seed_arg $ readahead_arg $ jobs_arg
-          $ no_cost_cache_arg $ no_reopt_reuse_arg $ status_json_arg
-          $ metrics_arg $ trace_spans_arg)
+          $ no_cost_cache_arg $ no_reopt_reuse_arg $ no_template_cache_arg
+          $ no_plan_cache_arg $ status_json_arg $ metrics_arg $ trace_spans_arg)
 
 (* -- main ---------------------------------------------------------------------- *)
 

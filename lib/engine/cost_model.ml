@@ -366,6 +366,82 @@ let choose_agg_plan params stats design ~table ~group_by ~where =
   Plan.count_choice best;
   best
 
+(* -- plan-memo rebinding ----------------------------------------------------
+
+   A plan cached under a [Cost_key.statement_under_design] key fixes the
+   access-path shape and the estimator's floats: the key embeds the
+   projection, the predicate sequence (operator, column, literal kind) and
+   the exact selectivity bits of every predicate, and the cost formulas
+   read a statement only through those, so key-equal statements choose the
+   bit-identical plan.  What the cached plan cannot carry is the *literal*
+   bindings of the statement that populated the entry.  Rebinding replays
+   only the literal extraction of [index_seek_plan] / [choose_agg_plan]
+   against the new statement — the same prefix walk over the same index
+   key, the same single-range rule — leaving every float untouched.
+   [None] (caller recomputes from scratch) is the defensive answer to any
+   structural surprise, which cannot happen for a correctly keyed call. *)
+
+let rebind_select_plan select plan =
+  match plan.Plan.path with
+  | Plan.Full_scan | Plan.Index_only_scan _ ->
+      (* No literals in the path. *)
+      Some plan
+  | Plan.View_probe _ -> None
+  | Plan.Index_seek { index; eq_prefix; range; covering } -> (
+      let eq = Ast.eq_columns select in
+      (* Re-extract the equality prefix: same key columns, new literals. *)
+      let rec take columns k acc =
+        if k = 0 then Some (List.rev acc)
+        else
+          match columns with
+          | [] -> None
+          | col :: rest -> (
+              match List.assoc_opt col eq with
+              | Some value -> (
+                  match int_value value with
+                  | Some v -> take rest (k - 1) (v :: acc)
+                  | None -> None)
+              | None -> None)
+      in
+      let n = List.length eq_prefix in
+      let key_columns = Index_def.columns index in
+      match take key_columns n [] with
+      | None -> None
+      | Some eq_prefix -> (
+          let range' =
+            match List.nth_opt key_columns n with
+            | Some col -> range_on_column select col
+            | None -> None
+          in
+          (* The cached floats assume the same seek shape: the range must
+             be present in both or neither. *)
+          match (range, range') with
+          | None, None ->
+              Some
+                {
+                  plan with
+                  Plan.path = Plan.Index_seek { index; eq_prefix; range = None; covering };
+                }
+          | Some _, (Some _ as range') ->
+              Some
+                {
+                  plan with
+                  Plan.path = Plan.Index_seek { index; eq_prefix; range = range'; covering };
+                }
+          | None, Some _ | Some _, None -> None))
+
+let rebind_agg_plan ~group_by ~where plan =
+  match plan.Plan.path with
+  | Plan.Full_scan -> Some plan
+  | Plan.Index_seek _ | Plan.Index_only_scan _ -> None
+  | Plan.View_probe { view; group_value } -> (
+      let group_value' = group_eq_value ~group_by ~where in
+      match (group_value, group_value') with
+      | None, None -> Some plan
+      | Some _, (Some _ as group_value) ->
+          Some { plan with Plan.path = Plan.View_probe { view; group_value } }
+      | None, Some _ | Some _, None -> None)
+
 (* Per affected base row: each index pays a root-to-leaf update; each view
    pays a lookup plus a row rewrite. *)
 let index_maintenance_cost params stats design table =

@@ -68,6 +68,22 @@ val select_cost :
   params -> Table_stats.t -> Cddpd_catalog.Design.t -> Cddpd_sql.Ast.select -> float
 (** Cost of the chosen plan. *)
 
+val rebind_select_plan : Cddpd_sql.Ast.select -> Plan.t -> Plan.t option
+(** [rebind_select_plan select plan] re-extracts [select]'s literals into
+    a plan memoized under the statement's [Cost_key] (which pins the plan
+    shape and the estimator's floats but not literal bindings): the
+    equality-prefix values and range bounds of an index seek.  [None] when
+    the plan's shape does not fit the statement — impossible for a
+    key-equal statement; callers then recompute with {!choose_plan}. *)
+
+val rebind_agg_plan :
+  group_by:string ->
+  where:Cddpd_sql.Ast.predicate list ->
+  Plan.t ->
+  Plan.t option
+(** {!rebind_select_plan} for aggregate plans: rebinds the view-probe
+    group value. *)
+
 val statement_cost :
   params -> Table_stats.t -> Cddpd_catalog.Design.t -> Cddpd_sql.Ast.statement -> float
 (** EXEC(S, C) for one statement: plan cost for selects; heap append plus

@@ -21,6 +21,7 @@ type table_state = {
   mutable indexes : Index.t list;
   mutable views : Mat_view.t list;
   mutable stats : Table_stats.t option; (* None when stale *)
+  mutable stats_gen : int; (* bumped whenever the snapshot is invalidated or replaced *)
 }
 
 type t = {
@@ -29,6 +30,9 @@ type t = {
   params : Cost_model.params;
   tables : (string, table_state) Hashtbl.t;
   table_order : string list;
+  mutable design_memo : (Design.t * string) option;
+      (* deployed design + its Cost_key, dropped on any structure change *)
+  plan_cache : Plan_cache.t;
 }
 
 let create ?(pool_capacity = 256) ?readahead ?(params = Cost_model.default_params)
@@ -42,7 +46,14 @@ let create ?(pool_capacity = 256) ?readahead ?(params = Cost_model.default_param
       if Hashtbl.mem tables schema.Schema.name then
         invalid_arg "Database.create: duplicate table name";
       Hashtbl.replace tables schema.Schema.name
-        { schema; heap = Heap_file.create pool; indexes = []; views = []; stats = None })
+        {
+          schema;
+          heap = Heap_file.create pool;
+          indexes = [];
+          views = [];
+          stats = None;
+          stats_gen = 0;
+        })
     schemas;
   {
     disk;
@@ -50,6 +61,8 @@ let create ?(pool_capacity = 256) ?readahead ?(params = Cost_model.default_param
     params;
     tables;
     table_order = List.map (fun (s : Schema.table) -> s.Schema.name) schemas;
+    design_memo = None;
+    plan_cache = Plan_cache.create ();
   }
 
 let params t = t.params
@@ -100,12 +113,25 @@ let table_stats t name =
       state.stats <- Some stats;
       stats
 
+(* Invalidation bumps the table's statistics generation; [analyze] bumps
+   it too because it *replaces* the snapshot.  Lazy materialization in
+   [table_stats] does not bump, so within one generation there is at most
+   one snapshot and generation equality proves two [table_stats] results
+   are physically the same object — the fence the serve fast path keys
+   cost identities on. *)
+let invalidate_stats state =
+  state.stats <- None;
+  state.stats_gen <- state.stats_gen + 1
+
 let analyze t =
   List.iter
     (fun name ->
       let state = table_state t name in
-      state.stats <- Some (collect_stats state))
+      state.stats <- Some (collect_stats state);
+      state.stats_gen <- state.stats_gen + 1)
     t.table_order
+
+let stats_generation t name = (table_state t name).stats_gen
 
 (* -- loading -------------------------------------------------------------- *)
 
@@ -154,14 +180,14 @@ let load ?(bulk = true) t ~table rows =
   (* Invalidate rather than recompute: statistics are rebuilt on the first
      [table_stats] call, the same convention as the DML paths.  Loading a
      table that is never analyzed costs no histogram pass. *)
-  state.stats <- None
+  invalidate_stats state
 
 (* -- physical design ------------------------------------------------------ *)
 
 (* Iterate in declared table order (not Hashtbl order) so the resulting
    design — and anything derived from it, like migration sequences — is
    deterministic across processes and hash seeds. *)
-let current_design t =
+let compute_design t =
   List.fold_left
     (fun acc name ->
       let state = table_state t name in
@@ -173,33 +199,65 @@ let current_design t =
       List.fold_left (fun acc view -> Design.add_view (Mat_view.def view) acc) acc state.views)
     Design.empty t.table_order
 
+let current_design t =
+  match t.design_memo with
+  | Some (design, _) -> design
+  | None ->
+      let design = compute_design t in
+      t.design_memo <- Some (design, Cost_key.design design);
+      design
+
+let design_key t =
+  match t.design_memo with
+  | Some (_, key) -> key
+  | None ->
+      let design = compute_design t in
+      let key = Cost_key.design design in
+      t.design_memo <- Some (design, key);
+      key
+
+(* Every actual structure change drops the design memo and flushes the
+   plan memo: entries under the old design key would linger unreachable
+   (the key embeds the design) and only waste the table's capacity. *)
+let design_changed t =
+  t.design_memo <- None;
+  Plan_cache.invalidate t.plan_cache
+
 let build_index t def =
   let state = table_state t (Index_def.table def) in
   let already = List.exists (fun i -> Index_def.equal (Index.def i) def) state.indexes in
   if not already then begin
     let index = Index.build t.pool state.schema state.heap def in
-    state.indexes <- index :: state.indexes
+    state.indexes <- index :: state.indexes;
+    design_changed t
   end
 
 let drop_index t def =
   let state = table_state t (Index_def.table def) in
-  (* Pages of the dropped tree are not reclaimed by the simulated disk;
-     dropping is a catalog-only operation, as in the cost model. *)
-  state.indexes <-
-    List.filter (fun i -> not (Index_def.equal (Index.def i) def)) state.indexes
+  if List.exists (fun i -> Index_def.equal (Index.def i) def) state.indexes then begin
+    (* Pages of the dropped tree are not reclaimed by the simulated disk;
+       dropping is a catalog-only operation, as in the cost model. *)
+    state.indexes <-
+      List.filter (fun i -> not (Index_def.equal (Index.def i) def)) state.indexes;
+    design_changed t
+  end
 
 let build_view t def =
   let state = table_state t (View_def.table def) in
   let already = List.exists (fun v -> View_def.equal (Mat_view.def v) def) state.views in
   if not already then begin
     let view = Mat_view.build t.pool state.schema state.heap def in
-    state.views <- view :: state.views
+    state.views <- view :: state.views;
+    design_changed t
   end
 
 let drop_view t def =
   let state = table_state t (View_def.table def) in
-  state.views <-
-    List.filter (fun v -> not (View_def.equal (Mat_view.def v) def)) state.views
+  if List.exists (fun v -> View_def.equal (Mat_view.def v) def) state.views then begin
+    state.views <-
+      List.filter (fun v -> not (View_def.equal (Mat_view.def v) def)) state.views;
+    design_changed t
+  end
 
 let build_structure t structure =
   match structure with
@@ -479,7 +537,7 @@ let run_delete t ~table ~where =
   let state = table_state t table in
   let victims, plan = collect_matching t state ~table ~where in
   List.iter (fun (rid, tuple) -> delete_row state rid tuple) victims;
-  state.stats <- None;
+  invalidate_stats state;
   (List.length victims, plan)
 
 let run_update t ~table ~assignments ~where =
@@ -500,7 +558,7 @@ let run_update t ~table ~assignments ~where =
       delete_row state rid tuple;
       insert_row state (apply tuple))
     victims;
-  state.stats <- None;
+  invalidate_stats state;
   (List.length victims, plan)
 
 (* Run an aggregate query: either from a matching materialized view or by
@@ -563,8 +621,7 @@ let run_select_agg t ~table ~group_by ~aggregate ~where plan =
             in
             Hashtbl.replace groups g (delta + Option.value ~default:0 (Hashtbl.find_opt groups g))
           end);
-      (* cddpd-lint: allow determinism — fold builds an unordered tally; the result is sorted by group below *)
-      Hashtbl.fold (fun g v acc -> (g, v) :: acc) groups []
+      Hashtbl.to_seq groups |> List.of_seq
       |> List.sort (fun (g1, v1) (g2, v2) ->
              let c = Int.compare g1 g2 in
              if c <> 0 then c else Int.compare v1 v2)
@@ -572,28 +629,65 @@ let run_select_agg t ~table ~group_by ~aggregate ~where plan =
   | Plan.Index_seek _ | Plan.Index_only_scan _ ->
       failwith "Database: unexpected plan for an aggregate query"
 
-let execute t statement =
-  Check.statement_exn (tables t) statement;
+(* Plan-choice memo, engaged only when the caller passes the statement's
+   cost-identity key (serve's ingest fast path).  The combined
+   [design_key ^ "\n" ^ statement_key] is self-fencing against statistics
+   churn — see {!Plan_cache} — so a hit returns the bit-identical plan a
+   fresh choice would make, with the statement's own literals rebound into
+   the cached path.  [Plan.count_choice] keeps the plan.chosen.* metrics
+   consistent with the slow path. *)
+let memoized_plan t ~statement_key ~rebind compute =
+  match statement_key with
+  | None -> compute ()
+  | Some skey -> (
+      let key = design_key t ^ "\n" ^ skey in
+      match Plan_cache.find t.plan_cache key with
+      | Some cached -> (
+          match rebind cached with
+          | Some plan ->
+              Plan.count_choice plan;
+              plan
+          | None ->
+              let plan = compute () in
+              Plan_cache.store t.plan_cache key plan;
+              plan)
+      | None ->
+          let plan = compute () in
+          Plan_cache.store t.plan_cache key plan;
+          plan)
+
+let plan_cache_stats t = Plan_cache.stats t.plan_cache
+
+let execute ?statement_key ?(skip_check = false) t statement =
+  if not skip_check then Check.statement_exn (tables t) statement;
   let logical_before = pool_accesses t in
   let physical_before = disk_reads t in
   let rows, affected, plan =
     match statement with
     | Ast.Select select ->
         let state = table_state t select.Ast.table in
-        let stats = table_stats t select.Ast.table in
-        let plan = Cost_model.choose_plan t.params stats (current_design t) select in
+        let plan =
+          memoized_plan t ~statement_key
+            ~rebind:(Cost_model.rebind_select_plan select)
+            (fun () ->
+              Cost_model.choose_plan t.params
+                (table_stats t select.Ast.table)
+                (current_design t) select)
+        in
         (run_select state select plan, 0, Some plan)
     | Ast.Select_agg { table; group_by; aggregate; where } ->
-        let stats = table_stats t table in
         let plan =
-          Cost_model.choose_agg_plan t.params stats (current_design t) ~table ~group_by
-            ~where
+          memoized_plan t ~statement_key
+            ~rebind:(Cost_model.rebind_agg_plan ~group_by ~where)
+            (fun () ->
+              Cost_model.choose_agg_plan t.params (table_stats t table)
+                (current_design t) ~table ~group_by ~where)
         in
         (run_select_agg t ~table ~group_by ~aggregate ~where plan, 0, Some plan)
     | Ast.Insert { table; values } ->
         let state = table_state t table in
         insert_row state (Array.of_list values);
-        state.stats <- None;
+        invalidate_stats state;
         ([], 1, None)
     | Ast.Delete { table; where } ->
         let affected, plan = run_delete t ~table ~where in

@@ -45,11 +45,23 @@ val table_stats : t -> string -> Table_stats.t
 (** Statistics for the table, computing them if stale.  Raises
     [Invalid_argument] on an unknown table. *)
 
+val stats_generation : t -> string -> int
+(** The table's statistics generation: bumped by every invalidation (DML,
+    {!load}) and every {!analyze} replacement, but not by lazy
+    materialization.  Within one generation at most one snapshot exists,
+    so generation equality proves two {!table_stats} results are
+    physically the same object — the fence serve's one-pass cost-identity
+    pipeline keys on. *)
+
 (** {1 Physical design} *)
 
 val current_design : t -> Cddpd_catalog.Design.t
 (** The materialised design, assembled in declared table order so the
-    result is deterministic across processes and hash seeds. *)
+    result is deterministic across processes and hash seeds.  Memoized;
+    recomputed only after a structure change. *)
+
+val design_key : t -> string
+(** [Cost_key.design (current_design t)], memoized alongside the design. *)
 
 val build_index : t -> Cddpd_catalog.Index_def.t -> unit
 (** Materialise an index (no-op if already present). *)
@@ -72,9 +84,22 @@ type exec_result = {
   physical_io : int;  (** disk page reads *)
 }
 
-val execute : t -> Cddpd_sql.Ast.statement -> exec_result
+val execute :
+  ?statement_key:string -> ?skip_check:bool -> t -> Cddpd_sql.Ast.statement -> exec_result
 (** Validate, plan, and run one statement.  Raises [Invalid_argument] on
-    semantic errors. *)
+    semantic errors.
+
+    [statement_key] engages the plan-choice memo for SELECT and aggregate
+    statements: it must be [Cost_key.statement] of this statement under
+    the table's *current* statistics (see {!stats_generation}).  A memo
+    hit skips {!Cost_model.choose_plan} and returns the bit-identical
+    plan with this statement's literals rebound; results and I/O are
+    unchanged.  [skip_check] (default [false]) skips semantic validation;
+    only pass [true] for a statement that already passed it against an
+    unchanged schema, as serve's template cache does. *)
+
+val plan_cache_stats : t -> Plan_cache.stats
+(** Hit/miss/invalidation counters of the plan-choice memo. *)
 
 val execute_sql : t -> string -> exec_result
 (** Parse then {!execute}.  Raises [Cddpd_sql.Parser.Parse_error] or

@@ -153,8 +153,9 @@ let build pool schema heap view =
   in
   (* Store in ascending group order so the heap is clustered by group. *)
   let sorted =
-    (* cddpd-lint: allow determinism — fold builds an unordered tally; the result is sorted by group below *)
-    Hashtbl.fold (fun g (count, sums) acc -> (g, !count, sums) :: acc) groups []
+    Hashtbl.to_seq groups
+    |> Seq.map (fun (g, (count, sums)) -> (g, !count, sums))
+    |> List.of_seq
     |> List.sort (fun (g1, _, _) (g2, _, _) -> Int.compare g1 g2)
   in
   List.iter

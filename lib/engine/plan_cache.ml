@@ -1,0 +1,77 @@
+(* Plan-choice memo for the serve ingest fast path.
+
+   Keys are [Cost_key.statement_under_design] strings, which are
+   self-fencing: the statement half embeds the statistics shape and the
+   exact selectivity bits of every predicate, and the design half embeds
+   the deployed structure set, so a key computed under the current
+   statistics and design can only collide with an entry whose plan choice
+   is bit-identical.  No explicit statistics invalidation is needed — a
+   stale snapshot yields a different key.  Design changes *are* fenced
+   explicitly (see [invalidate]) only to bound the table: entries under an
+   old design key would otherwise linger unreachable.
+
+   Cached plans fix the access-path *shape* and the estimator's floats;
+   literal bindings ([eq_prefix], range bounds, group probes) are rebound
+   per statement by [Cost_model.rebind_select_plan]/[rebind_agg_plan]. *)
+
+module Obs = Cddpd_obs
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  entries : int;
+}
+
+type t = {
+  table : (string, Plan.t) Hashtbl.t;
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let m_hits = Obs.Registry.counter "plan_cache.hits"
+let m_misses = Obs.Registry.counter "plan_cache.misses"
+let m_invalidations = Obs.Registry.counter "plan_cache.invalidations"
+
+let default_capacity = 8192
+
+let create ?(capacity = default_capacity) () =
+  {
+    table = Hashtbl.create 256;
+    capacity = max 16 capacity;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    entries = Hashtbl.length t.table;
+  }
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some plan ->
+      t.hits <- t.hits + 1;
+      Obs.Counter.incr m_hits;
+      Some plan
+  | None ->
+      t.misses <- t.misses + 1;
+      Obs.Counter.incr m_misses;
+      None
+
+let store t key plan =
+  if Hashtbl.length t.table >= t.capacity then Hashtbl.reset t.table;
+  Hashtbl.replace t.table key plan
+
+let invalidate t =
+  if Hashtbl.length t.table > 0 then begin
+    Hashtbl.reset t.table;
+    t.invalidations <- t.invalidations + 1;
+    Obs.Counter.incr m_invalidations
+  end

@@ -1,0 +1,31 @@
+(** Plan-choice memo keyed on [Cost_key.statement_under_design] strings.
+
+    The key is self-fencing against statistics churn — it embeds the
+    statistics shape and the exact selectivity bits of every predicate —
+    so a hit is guaranteed to carry the bit-identical plan shape and
+    estimator floats a fresh [Cost_model.choose_plan] would produce.
+    Literal bindings inside the cached path must still be rebound per
+    statement (see [Cost_model.rebind_select_plan]).  Single-domain. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;  (** design-change flushes of a non-empty table *)
+  entries : int;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Overflow resets the table wholesale; entries are pure memos. *)
+
+val stats : t -> stats
+
+val find : t -> string -> Plan.t option
+(** Lookup; counts a hit or a miss. *)
+
+val store : t -> string -> Plan.t -> unit
+
+val invalidate : t -> unit
+(** Flush after a deployed-design change.  No-op (and not counted) when
+    the table is already empty. *)

@@ -13,6 +13,10 @@ type t = {
 
 let make_node name = { name; calls = 0; total = 0.0; children = [] }
 
+(* The sanctioned clock for instrumentation outside lib/obs: determinism
+   linting confines raw Unix.gettimeofday to this library. *)
+let now_s () = Unix.gettimeofday ()
+
 let root = make_node "<root>"
 
 (* cddpd-lint: allow domain-unsafe-state — span trees are main-domain only by convention (docs/OBSERVABILITY.md); workers never open spans *)

@@ -19,6 +19,12 @@
 type t
 (** An aggregated node of the span tree. *)
 
+val now_s : unit -> float
+(** Wall-clock seconds (Unix epoch).  The sanctioned clock for
+    instrumentation code outside lib/obs — the determinism lint confines
+    raw [Unix.gettimeofday] to this library.  Only read it behind a
+    {!Registry.enabled} gate so replays stay deterministic. *)
+
 val with_span : string -> (unit -> 'a) -> 'a
 (** Run [f] inside a span called [name], nested under the innermost open
     span (or at the root).  Returns [f ()]'s result. *)

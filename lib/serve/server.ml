@@ -1,8 +1,11 @@
 module Ast = Cddpd_sql.Ast
+module Parser = Cddpd_sql.Parser
+module Template = Cddpd_sql.Template
 module Design = Cddpd_catalog.Design
 module Structure = Cddpd_catalog.Structure
 module Database = Cddpd_engine.Database
 module Cost_model = Cddpd_engine.Cost_model
+module Cost_cache = Cddpd_engine.Cost_cache
 module Problem = Cddpd_core.Problem
 module Config_space = Cddpd_core.Config_space
 module Advisor = Cddpd_core.Advisor
@@ -26,6 +29,7 @@ let m_rollbacks = Obs.Registry.counter "serve.rollbacks"
 let m_window_io = Obs.Registry.histogram "serve.window_io"
 let m_regret = Obs.Registry.histogram "serve.regret"
 let m_reopt_s = Obs.Registry.histogram "serve.reopt_s"
+let m_ingest_rate = Obs.Registry.histogram "serve.ingest_statements_per_s"
 
 (* The engine's what-if call counter (get-or-create returns the same
    counter Cost_model registered), snapshotted around each
@@ -63,6 +67,8 @@ type config = {
   space_bound_bytes : int option;
   jobs : int option;
   reopt_reuse : bool;
+  template_cache : bool;
+  plan_cache : bool;
 }
 
 let default_config ~table =
@@ -82,6 +88,8 @@ let default_config ~table =
     space_bound_bytes = None;
     jobs = None;
     reopt_reuse = true;
+    template_cache = true;
+    plan_cache = true;
   }
 
 type action =
@@ -149,6 +157,12 @@ type t = {
   reopt : Reopt.t;
   on_window : window_report -> unit;
   buf : Ast.statement array;
+  buf_keys : string array;  (* feed-time cost keys; "" for deferred DML *)
+  buf_gens : int array;  (* statistics generation each key was computed under; -1 = deferred *)
+  parse_cache : Template.t option;  (* None when cfg.template_cache is off *)
+  probe_cache : Cost_cache.t;  (* probation what-ifs; pass-through when plan_cache is off *)
+  intern : (string, string) Hashtbl.t;  (* physical sharing of equal cost keys *)
+  mutable window_started_s : float;  (* wall clock at first feed of the window; 0 = unset *)
   mutable fill : int;
   mutable window_index : int;
   mutable window_io : int;  (* measured exec I/O of the open window *)
@@ -179,6 +193,14 @@ let create ?(on_window = fun _ -> ()) db cfg =
     reopt = Reopt.create ~reuse:cfg.reopt_reuse db;
     on_window;
     buf = Array.make cfg.window (Ast.Select { projection = Ast.Star; table = cfg.table; where = [] });
+    buf_keys = Array.make cfg.window "";
+    buf_gens = Array.make cfg.window (-1);
+    parse_cache = (if cfg.template_cache then Some (Template.create ()) else None);
+    probe_cache =
+      (if cfg.plan_cache && Cost_cache.default_enabled () then Cost_cache.create ()
+       else Cost_cache.disabled);
+    intern = Hashtbl.create 256;
+    window_started_s = 0.0;
     fill = 0;
     window_index = 0;
     window_io = 0;
@@ -199,6 +221,44 @@ let create ?(on_window = fun _ -> ()) db cfg =
 let config t = t.cfg
 
 let reopt_stats t = Reopt.stats t.reopt
+
+let template_stats t = Option.map Template.stats t.parse_cache
+
+(* Physical sharing of equal cost keys: repeated templates produce the
+   same key string once per window otherwise.  Bounded; a reset only
+   costs the sharing, never correctness. *)
+let intern_capacity = 16_384
+
+let intern t key =
+  match Hashtbl.find_opt t.intern key with
+  | Some shared -> shared
+  | None ->
+      if Hashtbl.length t.intern >= intern_capacity then Hashtbl.reset t.intern;
+      Hashtbl.add t.intern key key;
+      key
+
+(* Feed-time half of the one-pass cost-identity pipeline: key a read-only
+   statement under the served table's *current* statistics, tagged with
+   the statistics generation so window close can prove the key is the one
+   its own pass would compute.  A cached text reuses its tag while the
+   generation matches — the common case, since only DML moves it.  (Lazy
+   materialization inside [table_stats] never bumps the generation, so
+   reading the generation first is safe.) *)
+let feed_key t entry statement =
+  let gen = Database.stats_generation t.db t.cfg.table in
+  let compute () =
+    let stats = Database.table_stats t.db t.cfg.table in
+    intern t (Cost_key.statement stats statement)
+  in
+  match (entry : Template.entry option) with
+  | Some entry -> (
+      match entry.Template.cost_tag with
+      | Some (g, key) when g = gen -> (key, gen)
+      | _ ->
+          let key = compute () in
+          entry.Template.cost_tag <- Some (gen, key);
+          (key, gen))
+  | None -> (compute (), gen)
 
 let statement_table statement =
   match statement with
@@ -264,10 +324,16 @@ let check_probation t ~stats ~window ~measured_io =
   | Some { prev_design } ->
       t.probation <- None;
       let params = Database.params t.db in
+      (* What-if the window's repeated templates through the probe cache:
+         bit-identical memoization (see Cost_cache), pass-through when the
+         fast path is off. *)
+      let design_key = Cost_key.design prev_design in
       let expected =
         Array.fold_left
           (fun acc statement ->
-            acc +. Cost_model.statement_cost params stats prev_design statement)
+            acc
+            +. Cost_cache.statement_cost t.probe_cache params stats
+                 ~design:prev_design ~design_key statement)
           0.0 window
       in
       let measured = float_of_int measured_io in
@@ -350,15 +416,34 @@ let reoptimize_reactive t window =
     Deployed { design; projection = None; build_io }
   end
 
-let close_window t window =
+let close_window t window fed_keys fed_gens =
   Obs.Span.with_span "serve.window" @@ fun () ->
+  (if t.window_started_s > 0.0 then begin
+     let elapsed = Obs.Span.now_s () -. t.window_started_s in
+     if elapsed > 0.0 then
+       Obs.Histogram.observe m_ingest_rate
+         (float_of_int (Array.length window) /. elapsed);
+     t.window_started_s <- 0.0
+   end);
   let index = t.window_index in
   let served_design = Database.current_design t.db in
   let measured_io = t.window_io in
   let stats = Database.table_stats t.db t.cfg.table in
-  (* One cost-identity pass per window: the keys feed drift detection
-     here and, fingerprint permitting, the incremental problem build. *)
-  let keys = Array.map (fun s -> Cost_key.statement stats s) window in
+  let gen = Database.stats_generation t.db t.cfg.table in
+  (* Close-time half of the one-pass cost-identity pipeline: a key fed
+     under the current statistics generation *is* the key this pass would
+     compute — the snapshot is physically the same object — so it rides
+     through untouched.  Anything older (fed before mid-window DML) or
+     deferred (DML itself) is keyed here, exactly as the single close-time
+     pass always did.  The keys feed drift detection and, fingerprint
+     permitting, the incremental problem build. *)
+  let keys =
+    Array.mapi
+      (fun i s ->
+        if fed_gens.(i) = gen then fed_keys.(i)
+        else intern t (Cost_key.statement stats s))
+      window
+  in
   let profile = Drift.profile_of_clustering ~keys (Compress.cluster_keys keys) in
   let fingerprint = Table_stats.fingerprint stats in
   let closed =
@@ -428,20 +513,58 @@ let close_window t window =
   t.on_window report;
   report
 
-let feed t statement =
-  let result = Database.execute t.db statement in
+let feed_statement t ?entry statement =
+  if t.fill = 0 && Obs.Registry.enabled () then
+    t.window_started_s <- Obs.Span.now_s ();
+  let read_only = Ast.is_read_only statement in
+  (* Key read-only statements now; defer DML to window close — keying DML
+     here would force a histogram rebuild that its own execution is about
+     to invalidate. *)
+  let key, gen = if read_only then feed_key t entry statement else ("", -1) in
+  (* The plan memo only understands keys computed under the statement's
+     own table's statistics; serve keys everything under the served table
+     (the drift convention), so only that table's reads pass one. *)
+  let statement_key =
+    if
+      t.cfg.plan_cache && read_only
+      && String.equal (statement_table statement) t.cfg.table
+    then Some key
+    else None
+  in
+  let skip_check =
+    match entry with Some e -> e.Template.validated | None -> false
+  in
+  let result = Database.execute ?statement_key ~skip_check t.db statement in
+  (match entry with Some e -> e.Template.validated <- true | None -> ());
   t.statements <- t.statements + 1;
   t.exec_io <- t.exec_io + result.Database.logical_io;
   t.window_io <- t.window_io + result.Database.logical_io;
   Obs.Counter.incr m_statements;
   t.buf.(t.fill) <- statement;
+  t.buf_keys.(t.fill) <- key;
+  t.buf_gens.(t.fill) <- gen;
   t.fill <- t.fill + 1;
   if t.fill = t.cfg.window then begin
     let window = Array.sub t.buf 0 t.fill in
+    let keys = Array.sub t.buf_keys 0 t.fill in
+    let gens = Array.sub t.buf_gens 0 t.fill in
     t.fill <- 0;
-    Some (close_window t window)
+    Some (close_window t window keys gens)
   end
   else None
+
+let feed t statement = feed_statement t statement
+
+let feed_sql t sql =
+  match t.parse_cache with
+  | Some cache -> (
+      match Parser.parse_cached cache sql with
+      | Ok entry -> Ok (feed_statement t ~entry entry.Template.statement)
+      | Error e -> Error e)
+  | None -> (
+      match Parser.parse sql with
+      | Ok statement -> Ok (feed_statement t statement)
+      | Error e -> Error e)
 
 let finish t =
   {

@@ -68,6 +68,18 @@ type config = {
           re-optimizations (default [true]); [false] is the
           [--no-reopt-reuse] escape hatch — every re-optimization builds
           from scratch, with bit-identical results *)
+  template_cache : bool;
+      (** parse arriving SQL through a statement-template cache: distinct
+          texts cache their parsed AST, repeated statement *shapes* share
+          one skeleton with literals rebound (default [true]); [false] is
+          the [--no-template-cache] escape hatch — {!feed_sql} parses
+          every text from scratch, with bit-identical results *)
+  plan_cache : bool;
+      (** memoize plan choice on (cost identity, design) for read-only
+          statements against the served table, and what-if probation costs
+          through a {!Cddpd_engine.Cost_cache} (default [true]); [false]
+          is the [--no-plan-cache] escape hatch — every statement is
+          planned from scratch, with bit-identical results *)
 }
 
 val default_config : table:string -> config
@@ -147,7 +159,22 @@ val reopt_stats : t -> Cddpd_core.Reopt.stats
 
 val feed : t -> Cddpd_sql.Ast.statement -> window_report option
 (** Execute one arriving statement and buffer it; when it completes a
-    window, run the window-close protocol and return its report. *)
+    window, run the window-close protocol and return its report.
+    Read-only statements are cost-keyed on arrival under the current
+    statistics generation, so the window close reuses instead of
+    recomputing their identities (see
+    {!Cddpd_engine.Database.stats_generation}). *)
+
+val feed_sql : t -> string -> (window_report option, string) result
+(** Parse one arriving statement text and {!feed} it — the ingest fast
+    path.  With [config.template_cache] on, parsing goes through
+    {!Cddpd_sql.Parser.parse_cached}: repeated texts reuse their AST,
+    cost key, and semantic validation; repeated shapes reparse nothing.
+    [Error] carries the parse error message; nothing was executed. *)
+
+val template_stats : t -> Cddpd_sql.Template.stats option
+(** The statement-template cache's hit/miss counters; [None] when
+    [config.template_cache] is off. *)
 
 val finish : t -> report
 (** The run summary.  Statements still in the open window have been

@@ -65,6 +65,10 @@ let tokenize input =
   let pos = ref 0 in
   let peek () = if !pos < n then Some input.[!pos] else None in
   let advance () = incr pos in
+  (* One scratch buffer shared by every string literal in the statement:
+     literals are lexed strictly one at a time, so reuse is safe and saves
+     an allocation per literal on the serve ingest path. *)
+  let scratch = Buffer.create 32 in
   let lex_ident () =
     let start = !pos in
     while !pos < n && is_ident_char input.[!pos] do
@@ -81,15 +85,27 @@ let tokenize input =
     while !pos < n && is_digit input.[!pos] do
       advance ()
     done;
-    let text = String.sub input start (!pos - start) in
-    match int_of_string_opt text with
-    | Some v -> emit (Int_lit v)
-    | None -> error start (Printf.sprintf "invalid integer literal %S" text)
+    let len = !pos - start in
+    (* Unsigned literals of at most 18 digits cannot overflow a 63-bit
+       int, so accumulate them in place instead of allocating a substring
+       for int_of_string. *)
+    if len > 0 && len <= 18 && input.[start] <> '-' then begin
+      let v = ref 0 in
+      for i = start to !pos - 1 do
+        v := (!v * 10) + (Char.code input.[i] - Char.code '0')
+      done;
+      emit (Int_lit !v)
+    end
+    else
+      let text = String.sub input start len in
+      match int_of_string_opt text with
+      | Some v -> emit (Int_lit v)
+      | None -> error start (Printf.sprintf "invalid integer literal %S" text)
   in
   let lex_string () =
     let start = !pos in
     advance () (* opening quote *);
-    let buf = Buffer.create 16 in
+    Buffer.clear scratch;
     let rec go () =
       if !pos >= n then error start "unterminated string literal"
       else
@@ -97,17 +113,17 @@ let tokenize input =
         | '\'' ->
             advance ();
             if !pos < n && input.[!pos] = '\'' then begin
-              Buffer.add_char buf '\'';
+              Buffer.add_char scratch '\'';
               advance ();
               go ()
             end
         | c ->
-            Buffer.add_char buf c;
+            Buffer.add_char scratch c;
             advance ();
             go ()
     in
     go ();
-    emit (Str_lit (Buffer.contents buf))
+    emit (Str_lit (Buffer.contents scratch))
   in
   while !pos < n do
     match peek () with

@@ -8,8 +8,7 @@ let n_clusters t = Array.length t.representatives
 
 let cluster ~key items =
   let n = Array.length items in
-  (* cddpd-lint: allow poly-hash — caller-supplied string keys (Cost_key digests in practice): hashing the string is exact *)
-  let ids = Hashtbl.create (max 16 (n / 4)) in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create (max 16 (n / 4)) in
   let cluster_of = Array.make n 0 in
   let reps = ref [] in
   let next = ref 0 in

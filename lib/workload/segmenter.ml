@@ -24,11 +24,10 @@ let column_profile statements =
     statements;
   if !total = 0 then []
   else
-    (* cddpd-lint: allow determinism — fold builds an unordered tally; the result is sorted below *)
-    Hashtbl.fold
-      (fun column count acc ->
-        (column, float_of_int count /. float_of_int !total) :: acc)
-      counts []
+    Hashtbl.to_seq counts
+    |> Seq.map (fun (column, count) ->
+           (column, float_of_int count /. float_of_int !total))
+    |> List.of_seq
     |> List.sort (fun (c1, f1) (c2, f2) ->
            let c = Float.compare f2 f1 in
            if c <> 0 then c else String.compare c1 c2)

@@ -548,6 +548,95 @@ let view_maintenance_prop =
       let via_scan = Database.execute_sql db sql in
       rows_as_pairs via_view = rows_as_pairs via_scan)
 
+(* -- plan-choice memo --------------------------------------------------------------- *)
+
+module Cost_key = Cddpd_engine.Cost_key
+module Plan_cache = Cddpd_engine.Plan_cache
+
+(* Drive the same statement through two identically-built databases — one
+   passing [statement_key] (memo engaged), one never — and demand
+   bit-identical plans, rows and I/O. *)
+let memo_step memo fresh sql =
+  let stmt = Cddpd_sql.Parser.parse_exn sql in
+  let key = Cost_key.statement (Database.table_stats memo "t") stmt in
+  (* keep the I/O comparison apples-to-apples: materialize any stale
+     statistics outside the measured execution on both sides *)
+  ignore (Database.table_stats fresh "t");
+  let m = Database.execute ~statement_key:key memo stmt in
+  let f = Database.execute fresh stmt in
+  if m.Database.plan <> f.Database.plan then Alcotest.failf "plans differ for %s" sql;
+  Alcotest.(check int)
+    (Printf.sprintf "io for %s" sql)
+    f.Database.logical_io m.Database.logical_io;
+  if rows_sorted m <> rows_sorted f then Alcotest.failf "rows differ for %s" sql
+
+let test_plan_memo_equiv () =
+  let mk () =
+    let db, _ = make_db ~rows:2000 ~value_range:5000 () in
+    Database.build_index db (index [ "a" ]);
+    Database.analyze db;
+    db
+  in
+  let memo = mk () in
+  let fresh = mk () in
+  let queries values =
+    List.iter
+      (fun v -> memo_step memo fresh (Printf.sprintf "SELECT b FROM t WHERE a = %d" v))
+      values;
+    List.iter
+      (fun v ->
+        memo_step memo fresh
+          (Printf.sprintf "SELECT a FROM t WHERE a BETWEEN %d AND %d" v (v + 50)))
+      values
+  in
+  (* Repeats with fresh literals: memo hits must rebind, not replay. *)
+  queries [ 5; 9; 13; 5; 9 ];
+  let warm = Database.plan_cache_stats memo in
+  Alcotest.(check bool) "memo hits happened" true (warm.Plan_cache.hits > 0);
+  (* A design change fences the memo; choices must track the new design. *)
+  Database.build_index memo (index [ "a"; "b" ]);
+  Database.build_index fresh (index [ "a"; "b" ]);
+  queries [ 5; 7; 5 ];
+  let after_design = Database.plan_cache_stats memo in
+  Alcotest.(check bool) "design change invalidated" true
+    (after_design.Plan_cache.invalidations >= 1);
+  (* DML bumps the statistics generation: keys computed under the new
+     snapshot miss the memo and the fresh choices must still agree. *)
+  ignore (Database.execute_sql memo "INSERT INTO t VALUES (1, 2, 3, 4)");
+  ignore (Database.execute_sql fresh "INSERT INTO t VALUES (1, 2, 3, 4)");
+  queries [ 5; 9; 5 ]
+
+let test_plan_memo_view_probe () =
+  let mk () =
+    let db, _ = make_db ~rows:2000 ~value_range:50 () in
+    Database.migrate_to db (Design.empty |> Design.add_view (view "a"));
+    db
+  in
+  let memo = mk () in
+  let fresh = mk () in
+  List.iter
+    (fun g ->
+      let sql = Printf.sprintf "SELECT a, COUNT(*) FROM t WHERE a = %d GROUP BY a" g in
+      memo_step memo fresh sql;
+      (* The memoized probe must carry THIS statement's group value. *)
+      match (Database.execute ~statement_key:"probe" memo (Cddpd_sql.Parser.parse_exn sql)).Database.plan with
+      | Some { Plan.path = Plan.View_probe { group_value = Some v; _ }; _ } ->
+          Alcotest.(check int) "rebound group value" g v
+      | _ -> Alcotest.fail "expected a view probe")
+    [ 3; 4; 3; 5 ]
+
+let test_stats_generation_fence () =
+  let db, _ = make_db ~rows:100 () in
+  let g0 = Database.stats_generation db "t" in
+  ignore (Database.table_stats db "t");
+  Alcotest.(check int) "lazy materialization does not bump" g0
+    (Database.stats_generation db "t");
+  ignore (Database.execute_sql db "INSERT INTO t VALUES (1, 2, 3, 4)");
+  Alcotest.(check bool) "DML bumps" true (Database.stats_generation db "t" > g0);
+  let g1 = Database.stats_generation db "t" in
+  Database.analyze db;
+  Alcotest.(check bool) "analyze bumps" true (Database.stats_generation db "t" > g1)
+
 (* Failure-injection-adjacent stress: a buffer pool far smaller than the
    working set forces eviction on every scan; answers must not change and
    physical reads must appear. *)
@@ -769,6 +858,15 @@ let () =
           Alcotest.test_case "text group rejected" `Quick test_view_on_text_column_rejected;
           Alcotest.test_case "design with views" `Quick test_view_in_design_name;
           QCheck_alcotest.to_alcotest view_maintenance_prop;
+        ] );
+      ( "plan memo",
+        [
+          Alcotest.test_case "memo = fresh across invalidations" `Quick
+            test_plan_memo_equiv;
+          Alcotest.test_case "view probe rebinds group value" `Quick
+            test_plan_memo_view_probe;
+          Alcotest.test_case "stats generation fence" `Quick
+            test_stats_generation_fence;
         ] );
       ( "stress",
         [ Alcotest.test_case "tiny buffer pool" `Quick test_tiny_pool_correctness ] );

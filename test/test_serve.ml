@@ -307,6 +307,61 @@ let test_serve_validates_config () =
     (Invalid_argument "Server.create: unknown table missing") (fun () ->
       ignore (Server.create db { (serve_config ()) with Server.table = "missing" }))
 
+(* The ingest fast path (template cache + plan memo + feed-time cost keys)
+   must be a pure speedup: the same raw texts fed through [feed_sql] with
+   both caches off — the [--no-template-cache --no-plan-cache] arm — must
+   produce a bit-identical report. *)
+let test_serve_cache_flags_bit_identical () =
+  let window = 50 in
+  let texts =
+    let phase_texts column n =
+      Array.init n (fun i ->
+          if i mod 17 = 9 then
+            (* some DML so the non-read-only path is exercised too *)
+            Printf.sprintf "INSERT INTO t VALUES (%d, %d, %d, %d)"
+              (1 + (i mod value_range))
+              (i mod value_range) (i mod 7) (i mod 11)
+          else
+            Printf.sprintf "SELECT * FROM t WHERE %s = %d" column
+              (1 + ((i * 37) mod value_range)))
+    in
+    Array.concat
+      [
+        phase_texts "a" (3 * window);
+        phase_texts "c" window;
+        phase_texts "a" (2 * window);
+      ]
+  in
+  let run ~fast =
+    let cfg =
+      {
+        (serve_config ~window ()) with
+        Server.template_cache = fast;
+        plan_cache = fast;
+      }
+    in
+    let server = Server.create (make_db ()) cfg in
+    Array.iter
+      (fun sql ->
+        match Server.feed_sql server sql with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "parse error on %S: %s" sql e)
+      texts;
+    (Server.finish server, Server.template_stats server)
+  in
+  let fast_report, fast_stats = run ~fast:true in
+  let slow_report, slow_stats = run ~fast:false in
+  Alcotest.(check string) "reports bit-identical"
+    (report_fingerprint slow_report)
+    (report_fingerprint fast_report);
+  Alcotest.(check bool) "slow arm has no template cache" true (slow_stats = None);
+  match fast_stats with
+  | None -> Alcotest.fail "fast arm should expose template stats"
+  | Some s ->
+      Alcotest.(check bool) "exact hits" true (s.Cddpd_sql.Template.exact_hits > 0);
+      Alcotest.(check bool) "template hits" true
+        (s.Cddpd_sql.Template.template_hits > 0)
+
 (* -- Reopt: incremental re-optimization ------------------------------------ *)
 
 module Advisor = Cddpd_core.Advisor
@@ -585,6 +640,8 @@ let () =
           Alcotest.test_case "non-positive threshold" `Quick
             test_serve_reopt_every_window_when_threshold_nonpositive;
           Alcotest.test_case "config validation" `Quick test_serve_validates_config;
+          Alcotest.test_case "cache flags bit-identical" `Quick
+            test_serve_cache_flags_bit_identical;
         ] );
       ( "reopt",
         [

@@ -5,6 +5,7 @@ module Ast = Cddpd_sql.Ast
 module Lexer = Cddpd_sql.Lexer
 module Parser = Cddpd_sql.Parser
 module Printer = Cddpd_sql.Printer
+module Template = Cddpd_sql.Template
 module Tuple = Cddpd_storage.Tuple
 
 let statement_testable =
@@ -39,6 +40,17 @@ let test_lexer_string_escape () =
 let test_lexer_negative_int () =
   Alcotest.(check bool) "negative" true
     (Lexer.tokenize "-42" = [ Lexer.Int_lit (-42); Lexer.Eof ])
+
+(* 18 digits ride the accumulate-in-place fast path; longer literals fall
+   back to int_of_string, which must still reject overflow as before. *)
+let test_lexer_int_fast_path_bounds () =
+  Alcotest.(check bool) "18 digits" true
+    (Lexer.tokenize "123456789012345678"
+    = [ Lexer.Int_lit 123456789012345678; Lexer.Eof ]);
+  Alcotest.(check bool) "overflow still raises" true
+    (match Lexer.tokenize "99999999999999999999999" with
+    | _ -> false
+    | exception Lexer.Lex_error _ -> true)
 
 let test_lexer_unterminated_string () =
   Alcotest.(check bool) "unterminated raises" true
@@ -329,6 +341,74 @@ let token_soup_prop =
       match Parser.parse (String.concat " " tokens) with
       | Ok _ | Error _ -> true)
 
+(* -- template cache / parse_cached -------------------------------------------- *)
+
+let parse_cached_ok cache sql =
+  match Parser.parse_cached cache sql with
+  | Ok entry -> entry
+  | Error message -> Alcotest.failf "parse_cached %S failed: %s" sql message
+
+let test_parse_cached_exact_hit () =
+  let cache = Template.create () in
+  let sql = "SELECT a FROM t WHERE a = 5" in
+  let e1 = parse_cached_ok cache sql in
+  let e2 = parse_cached_ok cache sql in
+  Alcotest.(check bool) "same physical entry" true (e1 == e2);
+  Alcotest.check statement_testable "matches fresh parse" (parse_ok sql)
+    e1.Template.statement;
+  let stats = Template.stats cache in
+  Alcotest.(check int) "one exact hit" 1 stats.Template.exact_hits;
+  Alcotest.(check int) "one miss" 1 stats.Template.misses;
+  Alcotest.(check int) "one entry" 1 stats.Template.entries
+
+let test_parse_cached_rebind () =
+  let cache = Template.create () in
+  let first = "SELECT a FROM t WHERE a = 5 AND b BETWEEN 1 AND 2" in
+  let second = "SELECT a FROM t WHERE a = 7 AND b BETWEEN 30 AND 90" in
+  ignore (parse_cached_ok cache first);
+  let entry = parse_cached_ok cache second in
+  Alcotest.check statement_testable "rebound skeleton = fresh parse"
+    (parse_ok second) entry.Template.statement;
+  let stats = Template.stats cache in
+  Alcotest.(check int) "one template hit" 1 stats.Template.template_hits;
+  Alcotest.(check int) "one shared skeleton" 1 stats.Template.templates;
+  (* Same shape with a text literal in an int slot still rebinds: the
+     grammar accepts either literal kind in a value position. *)
+  let text_twist = "SELECT a FROM t WHERE a = 'x' AND b BETWEEN 8 AND 9" in
+  Alcotest.check statement_testable "text literal rebound"
+    (parse_ok text_twist)
+    (parse_cached_ok cache text_twist).Template.statement
+
+let test_parse_cached_errors_match_parse () =
+  let cache = Template.create () in
+  List.iter
+    (fun sql ->
+      match (Parser.parse sql, Parser.parse_cached cache sql) with
+      | Error fresh, Error cached ->
+          Alcotest.(check string) (Printf.sprintf "error for %S" sql) fresh cached
+      | Ok _, Ok _ -> Alcotest.failf "expected %S to fail" sql
+      | _ -> Alcotest.failf "parse and parse_cached disagree on %S" sql)
+    [ "SELECT a FROM t WHERE"; "SELECT a FROM t WHERE a = "; "a ! b"; "'oops" ]
+
+(* The tentpole property: over printer-roundtripped random statements fed
+   through ONE long-lived cache (so exact hits, template rebinds and
+   misses all occur), parse_cached must agree with a fresh parse — and a
+   second lookup of the same text must return the same physical entry. *)
+let parse_cached_equiv_prop =
+  let cache = Template.create () in
+  QCheck.Test.make ~name:"parse_cached = parse over printed statements"
+    ~count:1000 statement_arbitrary (fun s ->
+      let sql = Printer.to_string s in
+      match (Parser.parse sql, Parser.parse_cached cache sql) with
+      | Ok fresh, Ok entry -> (
+          Ast.equal_statement fresh entry.Template.statement
+          &&
+          match Parser.parse_cached cache sql with
+          | Ok again -> again == entry
+          | Error _ -> false)
+      | Error fresh, Error cached -> String.equal fresh cached
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
 (* -- Ast helpers ---------------------------------------------------------------- *)
 
 let test_eq_columns () =
@@ -365,6 +445,8 @@ let () =
           Alcotest.test_case "operators" `Quick test_lexer_operators;
           Alcotest.test_case "string escapes" `Quick test_lexer_string_escape;
           Alcotest.test_case "negative int" `Quick test_lexer_negative_int;
+          Alcotest.test_case "int fast-path bounds" `Quick
+            test_lexer_int_fast_path_bounds;
           Alcotest.test_case "unterminated string" `Quick test_lexer_unterminated_string;
           Alcotest.test_case "bad character" `Quick test_lexer_bad_char;
         ] );
@@ -395,6 +477,15 @@ let () =
           QCheck_alcotest.to_alcotest roundtrip_prop;
           QCheck_alcotest.to_alcotest parser_total_prop;
           QCheck_alcotest.to_alcotest token_soup_prop;
+        ] );
+      ( "template",
+        [
+          Alcotest.test_case "exact hit shares the entry" `Quick
+            test_parse_cached_exact_hit;
+          Alcotest.test_case "template rebinding" `Quick test_parse_cached_rebind;
+          Alcotest.test_case "errors match parse" `Quick
+            test_parse_cached_errors_match_parse;
+          QCheck_alcotest.to_alcotest parse_cached_equiv_prop;
         ] );
       ( "ast",
         [
